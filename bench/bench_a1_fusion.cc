@@ -1,0 +1,60 @@
+// A1 — ablation: element-wise fusion into the multiply template, Cumulon's
+// operator-level contribution. Fusion off mimics one-job-per-operator
+// systems (extra jobs, extra materialization passes).
+//
+// Expectation: fusion saves whole jobs and all the bytes the intermediate
+// would have round-tripped through the DFS.
+
+#include "bench/bench_util.h"
+
+namespace cumulon::bench {
+namespace {
+
+double Predict(bool fusion, int* jobs, int64_t* bytes_written) {
+  GnmfSpec spec;
+  spec.m = 1 << 15;
+  spec.n = 1 << 14;
+  spec.k = 128;
+  ProgramSpec program_spec;
+  program_spec.program = OptimizeProgram(BuildGnmfIteration(spec));
+  program_spec.inputs = {
+      {"V", TileLayout::Square(spec.m, spec.n, 2048)},
+      {"W", TileLayout::Square(spec.m, spec.k, 2048)},
+      {"H", TileLayout::Square(spec.k, spec.n, 2048)},
+  };
+  PredictorOptions options;
+  options.lowering.tile_dim = 2048;
+  options.lowering.enable_fusion = fusion;
+  auto prediction = PredictProgram(program_spec, DefaultCluster(16), options);
+  CUMULON_CHECK(prediction.ok()) << prediction.status();
+  *jobs = static_cast<int>(prediction->stats.jobs.size());
+  *bytes_written = prediction->stats.bytes_written;
+  return prediction->seconds;
+}
+
+void Run() {
+  PrintHeader("A1: element-wise fusion ablation (GNMF, 16 x m1.large)");
+  int jobs_on = 0, jobs_off = 0;
+  int64_t bytes_on = 0, bytes_off = 0;
+  const double t_on = Predict(true, &jobs_on, &bytes_on);
+  const double t_off = Predict(false, &jobs_off, &bytes_off);
+  std::printf("%-14s %8s %14s %12s\n", "fusion", "jobs", "bytes written",
+              "time");
+  PrintRule();
+  std::printf("%-14s %8d %14s %12s\n", "on (Cumulon)", jobs_on,
+              FormatBytes(bytes_on).c_str(), FormatDuration(t_on).c_str());
+  std::printf("%-14s %8d %14s %12s\n", "off", jobs_off,
+              FormatBytes(bytes_off).c_str(), FormatDuration(t_off).c_str());
+  PrintRule();
+  std::printf("fusion saves %d jobs, %s of writes, %.2fx time\n",
+              jobs_off - jobs_on, FormatBytes(bytes_off - bytes_on).c_str(),
+              t_off / t_on);
+}
+
+}  // namespace
+}  // namespace cumulon::bench
+
+int main() {
+  cumulon::bench::Run();
+  return 0;
+}

@@ -1,0 +1,79 @@
+// E12 — the billing quantum's effect on plan choice: with hourly billing
+// (the 2013 EC2 model) the cheapest plan snaps to configurations that fill
+// whole hours; per-second billing frees the optimizer to scale out.
+//
+// Paper expectation (pricing discussion): the optimal cluster size under a
+// deadline depends on the billing granularity, not just raw speed.
+
+#include "bench/bench_util.h"
+
+namespace cumulon::bench {
+namespace {
+
+void Run() {
+  RsvdSpec spec;
+  spec.m = 1 << 17;
+  spec.n = 1 << 14;
+  spec.l = 64;
+  ProgramSpec program_spec;
+  program_spec.program = OptimizeProgram(BuildRsvd1(spec));
+  program_spec.inputs = {
+      {"A", TileLayout::Square(spec.m, spec.n, 2048)},
+      {"Omega", TileLayout::Square(spec.n, spec.l, 2048)},
+  };
+  SearchSpace space;
+  space.machine_types = {"m1.large", "c1.xlarge"};
+  space.cluster_sizes = {1, 2, 4, 8, 16, 32};
+  space.mm_candidates = {MatMulParams{1, 1, 0}};
+
+  PrintHeader("E12: cheapest plan per deadline, hourly vs per-second billing");
+  std::printf("%-12s | %-34s | %-34s\n", "deadline", "hourly quantum",
+              "per-second quantum");
+  PrintRule();
+  std::vector<PlanPoint> hourly_points, per_second_points;
+  {
+    PredictorOptions options;
+    options.lowering.tile_dim = 2048;
+    options.billing.quantum_seconds = 3600.0;
+    auto points = EnumeratePlans(program_spec, space, options);
+    CUMULON_CHECK(points.ok()) << points.status();
+    hourly_points = std::move(points).value();
+    options.billing.quantum_seconds = 1.0;
+    points = EnumeratePlans(program_spec, space, options);
+    CUMULON_CHECK(points.ok()) << points.status();
+    per_second_points = std::move(points).value();
+  }
+
+  auto describe = [](const Result<PlanPoint>& best) {
+    return best.ok() ? StrCat(best->cluster.num_machines, "x",
+                              best->cluster.machine.name, " @ ",
+                              FormatMoney(best->dollars), " (",
+                              FormatDuration(best->seconds), ")")
+                     : std::string("infeasible");
+  };
+
+  for (double minutes : {15.0, 30.0, 60.0, 180.0}) {
+    std::printf("%9.0f min | %-34s | %-34s\n", minutes,
+                describe(MinCostUnderDeadline(hourly_points,
+                                              minutes * 60.0)).c_str(),
+                describe(MinCostUnderDeadline(per_second_points,
+                                              minutes * 60.0)).c_str());
+  }
+
+  std::printf("\nfastest plan per budget, hourly vs per-second billing:\n");
+  PrintRule();
+  for (double dollars : {0.1, 0.25, 0.5, 1.0}) {
+    std::printf("%10s    | %-34s | %-34s\n", FormatMoney(dollars).c_str(),
+                describe(MinTimeUnderBudget(hourly_points, dollars)).c_str(),
+                describe(MinTimeUnderBudget(per_second_points,
+                                            dollars)).c_str());
+  }
+}
+
+}  // namespace
+}  // namespace cumulon::bench
+
+int main() {
+  cumulon::bench::Run();
+  return 0;
+}

@@ -1,0 +1,124 @@
+// E14 (extension) — sparse kernels: CSR SpMM vs dense GEMM as density
+// varies, measured for real on this host. Statistical inputs (document
+// matrices, one-hot features) are often sparse; the crossover density
+// tells the storage layer when CSR tiles pay off.
+//
+// Expectation: SpMM wins below a crossover density (flops scale with nnz)
+// and loses above it (irregular access beats streaming only when it skips
+// enough work). Storage crossover for CSR sits at density ~0.5 (16 bytes
+// per nonzero vs 8 per dense element).
+
+#include "bench/bench_util.h"
+#include "common/stopwatch.h"
+
+namespace cumulon::bench {
+namespace {
+
+void Run() {
+  PrintHeader("E14: CSR SpMM vs dense GEMM, 256x256 tiles (this host)");
+  std::printf("%-10s %12s %12s %10s %14s\n", "density", "gemm", "spmm",
+              "speedup", "bytes s/d");
+  PrintRule();
+  const int64_t d = 256;
+  Rng rng(5);
+  Tile dense_b(d, d), c(d, d);
+  FillGaussian(&dense_b, &rng);
+
+  // Dense baseline time (density-independent).
+  Tile dense_a(d, d);
+  FillGaussian(&dense_a, &rng);
+  double gemm_time = 1e300;
+  for (int rep = 0; rep < 3; ++rep) {
+    Stopwatch sw;
+    Status st = Gemm(dense_a, dense_b, 1.0, 0.0, &c);
+    CUMULON_CHECK(st.ok()) << st;
+    gemm_time = std::min(gemm_time, sw.ElapsedSeconds());
+  }
+
+  double crossover = -1.0;
+  for (double density : {0.005, 0.01, 0.05, 0.1, 0.2, 0.4, 0.8}) {
+    SparseTile sparse = SparseTile::Random(d, d, density, &rng);
+    double spmm_time = 1e300;
+    for (int rep = 0; rep < 3; ++rep) {
+      Stopwatch sw;
+      Status st = SparseTile::SpMM(sparse, dense_b, 1.0, 0.0, &c);
+      CUMULON_CHECK(st.ok()) << st;
+      spmm_time = std::min(spmm_time, sw.ElapsedSeconds());
+    }
+    const double speedup = gemm_time / spmm_time;
+    if (speedup < 1.0 && crossover < 0.0) crossover = density;
+    Tile dense_equivalent(d, d);
+    std::printf("%-10.3f %10.3fms %10.3fms %9.2fx %13.2f\n", density,
+                gemm_time * 1e3, spmm_time * 1e3, speedup,
+                static_cast<double>(sparse.SizeBytes()) /
+                    dense_equivalent.SizeBytes());
+  }
+  PrintRule();
+  if (crossover > 0.0) {
+    std::printf("compute crossover near density %.2f\n", crossover);
+  } else {
+    std::printf("SpMM won at every tested density\n");
+  }
+}
+
+/// E14b — operator level: simulated job time of the sparse multiply
+/// operator vs the dense one on the same logical 32k x 32k x 8k multiply,
+/// as the left matrix's density varies.
+void JobLevel() {
+  PrintHeader(
+      "E14b: simulated job time, sparse vs dense multiply (16 x m1.large)");
+  std::printf("%-10s %14s %14s %10s\n", "density", "dense op", "sparse op",
+              "speedup");
+  PrintRule();
+  const int64_t tile = 2048;
+  TiledMatrix s{"S", TileLayout::Square(32768, 32768, tile)};
+  TiledMatrix b{"B", TileLayout::Square(32768, 8192, tile)};
+
+  // Dense operator time (density-independent).
+  double dense_time = 0.0;
+  {
+    SimWorld world(DefaultCluster(16));
+    world.LoadInput(s);
+    world.LoadInput(b);
+    TiledMatrix c{"C", TileLayout::Square(32768, 8192, tile)};
+    PhysicalPlan plan;
+    CUMULON_CHECK(AddMatMul(s, b, c, MatMulParams{1, 1, 0}, {}, &plan).ok());
+    dense_time = world.Run(plan).total_seconds;
+  }
+
+  for (double density : {0.01, 0.05, 0.2, 0.5}) {
+    SimWorld world(DefaultCluster(16));
+    SparseTileStore sparse_store(world.dfs());
+    // Register the sparse tiles' CSR footprints.
+    for (int64_t r = 0; r < s.layout.grid_rows(); ++r) {
+      for (int64_t c = 0; c < s.layout.grid_cols(); ++c) {
+        const int64_t rows = s.layout.TileRowsAt(r);
+        const int64_t nnz = static_cast<int64_t>(
+            density * rows * s.layout.TileColsAt(c));
+        CUMULON_CHECK(world.dfs()
+                          ->Write(SparseTileStore::TilePath("S", TileId{r, c}),
+                                  24 + (rows + 1) * 8 + nnz * 16, -1, nullptr)
+                          .ok());
+      }
+    }
+    world.LoadInput(b);
+    TiledMatrix c{"C", TileLayout::Square(32768, 8192, tile)};
+    PhysicalPlan plan;
+    plan.jobs.push_back(std::make_unique<SparseMatMulJob>(
+        "spmm", &sparse_store, s, density, b, c, /*tiles_per_task=*/1));
+    const double sparse_time = world.Run(plan).total_seconds;
+    std::printf("%-10.2f %14s %14s %9.2fx\n", density,
+                FormatDuration(dense_time).c_str(),
+                FormatDuration(sparse_time).c_str(),
+                dense_time / sparse_time);
+  }
+}
+
+}  // namespace
+}  // namespace cumulon::bench
+
+int main() {
+  cumulon::bench::Run();
+  cumulon::bench::JobLevel();
+  return 0;
+}

@@ -1,0 +1,90 @@
+// E1 — Cumulon vs Hadoop-based matrix systems on multiply (the paper's
+// headline performance comparison). Same simulated cluster, same inputs;
+// compares Cumulon's map-only multiply against the RMM and CPMM MapReduce
+// strategies across matrix sizes and shapes.
+//
+// Paper expectation: Cumulon wins on every shape (roughly 2x or more),
+// because it shuffles nothing; RMM degrades with output size, CPMM with
+// the shared dimension.
+
+#include "bench/bench_util.h"
+
+namespace cumulon::bench {
+namespace {
+
+struct Shape {
+  const char* label;
+  int64_t m, k, n;
+};
+
+void RunShape(const Shape& shape) {
+  const int64_t tile = 2048;
+  SimWorld world(DefaultCluster(16));
+  TiledMatrix a{"A", TileLayout::Square(shape.m, shape.k, tile)};
+  TiledMatrix b{"B", TileLayout::Square(shape.k, shape.n, tile)};
+  world.LoadInput(a);
+  world.LoadInput(b);
+
+  // Cumulon: map-only multiply with optimizer-chosen split parameters
+  // (the system tunes these per job; we take the best of its portfolio).
+  PlanStats cumulon;
+  bool have_best = false;
+  for (const MatMulParams params :
+       {MatMulParams{1, 1, 0}, MatMulParams{2, 2, 0}, MatMulParams{4, 4, 0},
+        MatMulParams{1, 1, 1}, MatMulParams{1, 1, 4},
+        MatMulParams{1, 1, 8}}) {
+    TiledMatrix c_cumulon{"C_cumulon",
+                          TileLayout::Square(shape.m, shape.n, tile)};
+    PhysicalPlan plan;
+    Status st = AddMatMul(a, b, c_cumulon, params, {}, &plan);
+    CUMULON_CHECK(st.ok()) << st;
+    PlanStats stats = world.Run(plan);
+    world.store()->DeleteMatrix("C_cumulon");
+    if (!have_best || stats.total_seconds < cumulon.total_seconds) {
+      cumulon = std::move(stats);
+      have_best = true;
+    }
+  }
+
+  MrOptions mr;
+  mr.real_mode = false;
+  TiledMatrix c_rmm{"C_rmm", TileLayout::Square(shape.m, shape.n, tile)};
+  auto rmm = RunMrMultiply(MrStrategy::kRmm, a, b, c_rmm, world.store(),
+                           world.engine(), world.cost(), mr);
+  CUMULON_CHECK(rmm.ok()) << rmm.status();
+  TiledMatrix c_cpmm{"C_cpmm", TileLayout::Square(shape.m, shape.n, tile)};
+  auto cpmm = RunMrMultiply(MrStrategy::kCpmm, a, b, c_cpmm, world.store(),
+                            world.engine(), world.cost(), mr);
+  CUMULON_CHECK(cpmm.ok()) << cpmm.status();
+
+  std::printf("%-24s %10s %10s %10s %8.2fx %8.2fx\n", shape.label,
+              FormatDuration(cumulon.total_seconds).c_str(),
+              FormatDuration(rmm->total_seconds).c_str(),
+              FormatDuration(cpmm->total_seconds).c_str(),
+              rmm->total_seconds / cumulon.total_seconds,
+              cpmm->total_seconds / cumulon.total_seconds);
+}
+
+void Run() {
+  PrintHeader("E1: multiply time, Cumulon vs RMM vs CPMM (16 x m1.large)");
+  std::printf("%-24s %10s %10s %10s %9s %9s\n", "shape (m x k x n)",
+              "Cumulon", "RMM", "CPMM", "RMM/C", "CPMM/C");
+  PrintRule();
+  const Shape shapes[] = {
+      {"8k x 8k x 8k", 8192, 8192, 8192},
+      {"16k x 16k x 16k", 16384, 16384, 16384},
+      {"32k x 32k x 32k", 32768, 32768, 32768},
+      {"64k x 8k x 8k (tall)", 65536, 8192, 8192},
+      {"8k x 64k x 8k (deep)", 8192, 65536, 8192},
+      {"8k x 8k x 64k (wide)", 8192, 8192, 65536},
+  };
+  for (const Shape& shape : shapes) RunShape(shape);
+}
+
+}  // namespace
+}  // namespace cumulon::bench
+
+int main() {
+  cumulon::bench::Run();
+  return 0;
+}

@@ -1,0 +1,71 @@
+// E2 — effect of the multiply split parameters (tiles of C per task, and
+// split-k) on job time: the per-operator knob Cumulon's optimizer tunes.
+//
+// Paper expectation: a U-shaped curve. Tiny blocks maximize parallelism
+// but re-read inputs many times; huge blocks starve the cluster's slots.
+// Split-k adds a merge job that only pays off for deep multiplies.
+
+#include "bench/bench_util.h"
+
+namespace cumulon::bench {
+namespace {
+
+void SweepBlocks() {
+  PrintHeader("E2a: C-block size sweep, C = A(32k x 32k) * B (16 x m1.large)");
+  std::printf("%-12s %8s %12s %12s %10s\n", "bi x bj", "tasks",
+              "bytes read", "job time", "waves");
+  PrintRule();
+  for (int64_t block : {1, 2, 4, 8, 16}) {
+    SimWorld world(DefaultCluster(16));
+    const int64_t dim = 32768, tile = 2048;  // 16x16 tile grid
+    TiledMatrix a = Square("A", dim, tile);
+    TiledMatrix b = Square("B", dim, tile);
+    world.LoadInput(a);
+    world.LoadInput(b);
+    TiledMatrix c = Square("C", dim, tile);
+    PhysicalPlan plan;
+    Status st =
+        AddMatMul(a, b, c, MatMulParams{block, block, 0}, {}, &plan);
+    CUMULON_CHECK(st.ok()) << st;
+    PlanStats stats = world.Run(plan);
+    std::printf("%2lld x %-7lld %8d %12s %12s %10d\n",
+                static_cast<long long>(block), static_cast<long long>(block),
+                stats.total_tasks, FormatBytes(stats.bytes_read).c_str(),
+                FormatDuration(stats.total_seconds).c_str(),
+                stats.jobs[0].stats.waves);
+  }
+}
+
+void SweepSplitK() {
+  PrintHeader(
+      "E2b: split-k sweep, deep multiply C = A(8k x 128k) * B(128k x 8k)");
+  std::printf("%-8s %8s %8s %12s %12s\n", "bk", "jobs", "tasks",
+              "bytes written", "total time");
+  PrintRule();
+  for (int64_t bk : {0, 32, 16, 8, 4}) {
+    SimWorld world(DefaultCluster(16));
+    const int64_t tile = 2048;
+    TiledMatrix a{"A", TileLayout::Square(8192, 131072, tile)};
+    TiledMatrix b{"B", TileLayout::Square(131072, 8192, tile)};
+    world.LoadInput(a);
+    world.LoadInput(b);
+    TiledMatrix c = Square("C", 8192, tile);
+    PhysicalPlan plan;
+    Status st = AddMatMul(a, b, c, MatMulParams{1, 1, bk}, {}, &plan);
+    CUMULON_CHECK(st.ok()) << st;
+    PlanStats stats = world.Run(plan);
+    std::printf("%-8lld %8zu %8d %12s %12s\n", static_cast<long long>(bk),
+                stats.jobs.size(), stats.total_tasks,
+                FormatBytes(stats.bytes_written).c_str(),
+                FormatDuration(stats.total_seconds).c_str());
+  }
+}
+
+}  // namespace
+}  // namespace cumulon::bench
+
+int main() {
+  cumulon::bench::SweepBlocks();
+  cumulon::bench::SweepSplitK();
+  return 0;
+}

@@ -1,0 +1,75 @@
+// E3 — slots per machine: the Hadoop configuration knob Cumulon tunes
+// alongside hardware. More slots help CPU-bound jobs up to the core count
+// and buy nothing (or hurt) once the disk is the bottleneck.
+//
+// Paper expectation: a per-workload optimum; the best slot count differs
+// between CPU-heavy and IO-heavy jobs, so no single default is right.
+
+#include "bench/bench_util.h"
+
+namespace cumulon::bench {
+namespace {
+
+/// CPU-heavy: square multiply, big tiles (flops dominate bytes).
+double CpuHeavyTime(int slots) {
+  auto machine = FindMachine("c1.xlarge");  // 8 cores
+  CUMULON_CHECK(machine.ok());
+  SimWorld world(ClusterConfig{machine.value(), 8, slots});
+  const int64_t dim = 32768, tile = 4096;
+  TiledMatrix a = Square("A", dim, tile);
+  TiledMatrix b = Square("B", dim, tile);
+  world.LoadInput(a);
+  world.LoadInput(b);
+  TiledMatrix c = Square("C", dim, tile);
+  PhysicalPlan plan;
+  CUMULON_CHECK(AddMatMul(a, b, c, MatMulParams{1, 1, 0}, {}, &plan).ok());
+  return world.Run(plan).total_seconds;
+}
+
+/// IO-heavy: element-wise pass over a large matrix (bytes dominate flops).
+double IoHeavyTime(int slots) {
+  auto machine = FindMachine("c1.xlarge");
+  CUMULON_CHECK(machine.ok());
+  SimWorld world(ClusterConfig{machine.value(), 8, slots});
+  const int64_t dim = 65536, tile = 4096;
+  TiledMatrix a = Square("A", dim, tile);
+  world.LoadInput(a);
+  TiledMatrix out = Square("B", dim, tile);
+  PhysicalPlan plan;
+  CUMULON_CHECK(AddEwChain(a, out, {EwStep::Unary(UnaryOp::kSqrt)}, &plan,
+                           /*tiles_per_task=*/4).ok());
+  return world.Run(plan).total_seconds;
+}
+
+void Run() {
+  PrintHeader("E3: slots-per-machine sweep on 8 x c1.xlarge (8 cores)");
+  std::printf("%-8s %16s %16s\n", "slots", "CPU-heavy job", "IO-heavy job");
+  PrintRule();
+  double best_cpu = 1e300, best_io = 1e300;
+  int best_cpu_slots = 0, best_io_slots = 0;
+  for (int slots : {1, 2, 4, 8, 12, 16, 24}) {
+    const double cpu = CpuHeavyTime(slots);
+    const double io = IoHeavyTime(slots);
+    std::printf("%-8d %16s %16s\n", slots, FormatDuration(cpu).c_str(),
+                FormatDuration(io).c_str());
+    if (cpu < best_cpu) {
+      best_cpu = cpu;
+      best_cpu_slots = slots;
+    }
+    if (io < best_io) {
+      best_io = io;
+      best_io_slots = slots;
+    }
+  }
+  PrintRule();
+  std::printf("best: CPU-heavy at %d slots, IO-heavy at %d slots\n",
+              best_cpu_slots, best_io_slots);
+}
+
+}  // namespace
+}  // namespace cumulon::bench
+
+int main() {
+  cumulon::bench::Run();
+  return 0;
+}

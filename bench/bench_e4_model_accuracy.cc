@@ -1,0 +1,104 @@
+// E4 — cost-model validation: how well does the benchmark-calibrated
+// simulator predict *actual* execution time? (The paper validates its
+// predictions against measured Hadoop runs; our "actual" is the real
+// thread-pool engine on this host.)
+//
+// Paper expectation: predictions within a modest relative error across
+// sizes and operators, accurate enough to rank deployment plans.
+
+#include <cmath>
+
+#include "bench/bench_util.h"
+
+namespace cumulon::bench {
+namespace {
+
+struct Case {
+  const char* label;
+  int64_t m, k, n, tile;
+};
+
+void Run() {
+  PrintHeader("E4: predicted vs actual execution time (this host)");
+  CalibrationOptions cal_options;
+  cal_options.tile_dim = 192;
+  auto calibration = Calibrate(cal_options);
+  CUMULON_CHECK(calibration.ok()) << calibration.status();
+  std::printf("calibration: gemm %.2f GFLOP/s, ew %.2f Gelem/s, "
+              "transpose %.2f Gelem/s\n",
+              calibration->gemm_gflops, calibration->ew_gelems,
+              calibration->transpose_gelems);
+  const TileOpCostModel cost = calibration->ToCostModel();
+  const ClusterConfig host{calibration->ToHostProfile(1), 1, 1};
+
+  std::printf("%-28s %12s %12s %9s\n", "multiply", "actual", "predicted",
+              "error");
+  PrintRule();
+  const Case cases[] = {
+      {"256 x 256 x 256 (t=128)", 256, 256, 256, 128},
+      {"512 x 512 x 512 (t=128)", 512, 512, 512, 128},
+      {"512 x 512 x 512 (t=256)", 512, 512, 512, 256},
+      {"768 x 256 x 256 (t=128)", 768, 256, 256, 128},
+      {"256 x 768 x 256 (t=128)", 256, 768, 256, 128},
+  };
+  double worst_error = 0.0;
+  for (const Case& c : cases) {
+    // Real execution over an in-memory store (no IO cost, matching the
+    // host profile's infinite-bandwidth assumption).
+    InMemoryTileStore store;
+    TiledMatrix a{"A", TileLayout::Square(c.m, c.k, c.tile)};
+    TiledMatrix b{"B", TileLayout::Square(c.k, c.n, c.tile)};
+    TiledMatrix out{"C", TileLayout::Square(c.m, c.n, c.tile)};
+    Rng rng(1);
+    CUMULON_CHECK(
+        GenerateMatrix(a, FillKind::kGaussian, 0, &rng, &store).ok());
+    CUMULON_CHECK(
+        GenerateMatrix(b, FillKind::kGaussian, 0, &rng, &store).ok());
+
+    RealEngine real(host, RealEngineOptions{});
+    ExecutorOptions exec_options;
+    exec_options.job_startup_seconds = 0.0;
+    Executor real_exec(&store, &real, &cost, exec_options);
+    PhysicalPlan plan;
+    CUMULON_CHECK(
+        AddMatMul(a, b, out, MatMulParams{1, 1, 0}, {}, &plan).ok());
+    // Best of 3 to shed scheduler noise.
+    double actual = 1e300;
+    for (int rep = 0; rep < 3; ++rep) {
+      auto stats = real_exec.Run(plan);
+      CUMULON_CHECK(stats.ok()) << stats.status();
+      actual = std::min(actual, stats->total_seconds);
+    }
+
+    SimEngineOptions sim_options;
+    sim_options.task_startup_seconds = 0.0;
+    sim_options.replication = 1;
+    SimEngine sim(host, sim_options);
+    InMemoryTileStore meta;
+    ExecutorOptions sim_exec_options;
+    sim_exec_options.real_mode = false;
+    sim_exec_options.job_startup_seconds = 0.0;
+    Executor sim_exec(&meta, &sim, &cost, sim_exec_options);
+    PhysicalPlan sim_plan;
+    CUMULON_CHECK(
+        AddMatMul(a, b, out, MatMulParams{1, 1, 0}, {}, &sim_plan).ok());
+    auto predicted = sim_exec.Run(sim_plan);
+    CUMULON_CHECK(predicted.ok()) << predicted.status();
+
+    const double err =
+        std::abs(predicted->total_seconds - actual) / actual * 100.0;
+    worst_error = std::max(worst_error, err);
+    std::printf("%-28s %12.4fs %12.4fs %8.1f%%\n", c.label, actual,
+                predicted->total_seconds, err);
+  }
+  PrintRule();
+  std::printf("worst relative error: %.1f%%\n", worst_error);
+}
+
+}  // namespace
+}  // namespace cumulon::bench
+
+int main() {
+  cumulon::bench::Run();
+  return 0;
+}

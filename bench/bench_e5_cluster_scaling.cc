@@ -1,0 +1,54 @@
+// E5 — time and dollar cost of a full program (RSVD-1) as cluster size
+// grows: the provisioning trade-off the paper's optimizer navigates.
+//
+// Paper expectation: time falls with diminishing returns; with hourly
+// billing, cost is non-monotone — there is a sweet spot, after which extra
+// machines burn money for little speedup.
+
+#include "bench/bench_util.h"
+
+namespace cumulon::bench {
+namespace {
+
+void Run() {
+  RsvdSpec spec;
+  spec.m = 1 << 17;
+  spec.n = 1 << 14;
+  spec.l = 64;
+  ProgramSpec program_spec;
+  program_spec.program = OptimizeProgram(BuildRsvd1(spec));
+  program_spec.inputs = {
+      {"A", TileLayout::Square(spec.m, spec.n, 2048)},
+      {"Omega", TileLayout::Square(spec.n, spec.l, 2048)},
+  };
+  auto machine = FindMachine("m1.large");
+  CUMULON_CHECK(machine.ok());
+
+  PrintHeader("E5: RSVD-1 (131072 x 16384), m1.large cluster scaling");
+  std::printf("%-10s %12s %14s %14s\n", "machines", "time",
+              "cost (hourly)", "cost (per-sec)");
+  PrintRule();
+  for (int n : {1, 2, 4, 8, 16, 32, 64}) {
+    PredictorOptions options;
+    options.lowering.tile_dim = 2048;
+    options.billing.quantum_seconds = 3600.0;
+    ClusterConfig cluster{machine.value(), n, 2};
+    auto hourly = PredictProgram(program_spec, cluster, options);
+    CUMULON_CHECK(hourly.ok()) << hourly.status();
+    options.billing.quantum_seconds = 1.0;
+    auto per_second = PredictProgram(program_spec, cluster, options);
+    CUMULON_CHECK(per_second.ok()) << per_second.status();
+    std::printf("%-10d %12s %14s %14s\n", n,
+                FormatDuration(hourly->seconds).c_str(),
+                FormatMoney(hourly->dollars).c_str(),
+                FormatMoney(per_second->dollars).c_str());
+  }
+}
+
+}  // namespace
+}  // namespace cumulon::bench
+
+int main() {
+  cumulon::bench::Run();
+  return 0;
+}

@@ -1,0 +1,74 @@
+// E6 — the time/cost trade-off across machine types and cluster sizes:
+// the deployment-plan space and its Pareto frontier, plus the cheapest
+// plan per deadline (the figure a Cumulon user reads before renting).
+//
+// Paper expectation: no single machine type dominates; the frontier mixes
+// types, and the constrained optimum shifts as the deadline relaxes.
+
+#include "bench/bench_util.h"
+
+namespace cumulon::bench {
+namespace {
+
+void Run() {
+  RsvdSpec spec;
+  spec.m = 1 << 17;
+  spec.n = 1 << 14;
+  spec.l = 64;
+  ProgramSpec program_spec;
+  program_spec.program = OptimizeProgram(BuildRsvd1(spec));
+  program_spec.inputs = {
+      {"A", TileLayout::Square(spec.m, spec.n, 2048)},
+      {"Omega", TileLayout::Square(spec.n, spec.l, 2048)},
+  };
+
+  PredictorOptions options;
+  options.lowering.tile_dim = 2048;
+  SearchSpace space;
+  space.cluster_sizes = {1, 2, 4, 8, 16, 32};
+  space.mm_candidates = {MatMulParams{1, 1, 0}, MatMulParams{2, 2, 0}};
+
+  auto points = EnumeratePlans(program_spec, space, options);
+  CUMULON_CHECK(points.ok()) << points.status();
+
+  PrintHeader("E6: deployment-plan space for RSVD-1");
+  std::printf("evaluated %zu plans across %zu machine types\n",
+              points->size(), MachineCatalog().size());
+
+  std::printf("\nPareto frontier (time ascending):\n");
+  PrintRule();
+  for (const PlanPoint& p : ParetoFrontier(*points)) {
+    std::printf("  %s\n", p.ToString().c_str());
+  }
+
+  std::printf("\ncheapest plan per deadline:\n");
+  PrintRule();
+  for (double minutes : {10.0, 20.0, 30.0, 60.0, 120.0, 240.0}) {
+    auto best = MinCostUnderDeadline(*points, minutes * 60.0);
+    if (best.ok()) {
+      std::printf("  <= %6.0f min: %s\n", minutes, best->ToString().c_str());
+    } else {
+      std::printf("  <= %6.0f min: infeasible\n", minutes);
+    }
+  }
+
+  std::printf("\nfastest plan per budget:\n");
+  PrintRule();
+  for (double dollars : {0.25, 0.5, 1.0, 2.0, 5.0}) {
+    auto best = MinTimeUnderBudget(*points, dollars);
+    if (best.ok()) {
+      std::printf("  <= %s: %s\n", FormatMoney(dollars).c_str(),
+                  best->ToString().c_str());
+    } else {
+      std::printf("  <= %s: infeasible\n", FormatMoney(dollars).c_str());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cumulon::bench
+
+int main() {
+  cumulon::bench::Run();
+  return 0;
+}

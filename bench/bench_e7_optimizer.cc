@@ -1,0 +1,85 @@
+// E7 — optimizer effectiveness: how much better is the plan Cumulon picks
+// than reasonable "default" deployments a user might choose by hand?
+//
+// Paper expectation: large factors — defaults either miss the deadline or
+// overpay by severalfold, because the right machine type / size / splits
+// are workload-dependent.
+
+#include "bench/bench_util.h"
+
+namespace cumulon::bench {
+namespace {
+
+ProgramSpec MakeSpec(const char* which) {
+  ProgramSpec spec;
+  if (std::string(which) == "rsvd") {
+    RsvdSpec rsvd;
+    rsvd.m = 1 << 17;
+    rsvd.n = 1 << 14;
+    rsvd.l = 64;
+    spec.program = OptimizeProgram(BuildRsvd1(rsvd));
+    spec.inputs = {
+        {"A", TileLayout::Square(rsvd.m, rsvd.n, 2048)},
+        {"Omega", TileLayout::Square(rsvd.n, rsvd.l, 2048)},
+    };
+  } else {
+    GnmfSpec gnmf;
+    gnmf.m = 1 << 16;
+    gnmf.n = 1 << 14;
+    gnmf.k = 128;
+    spec.program = OptimizeProgram(BuildGnmfIteration(gnmf));
+    spec.inputs = {
+        {"V", TileLayout::Square(gnmf.m, gnmf.n, 2048)},
+        {"W", TileLayout::Square(gnmf.m, gnmf.k, 2048)},
+        {"H", TileLayout::Square(gnmf.k, gnmf.n, 2048)},
+    };
+  }
+  return spec;
+}
+
+void RunWorkload(const char* which, double deadline_minutes) {
+  ProgramSpec spec = MakeSpec(which);
+  PredictorOptions options;
+  options.lowering.tile_dim = 2048;
+
+  // "Default" deployment: mid-size m1.large cluster, one slot per core,
+  // naive splits — a plausible hand-pick.
+  auto m1large = FindMachine("m1.large");
+  CUMULON_CHECK(m1large.ok());
+  ClusterConfig default_cluster{m1large.value(), 8, m1large->cores};
+  auto default_run = PredictProgram(spec, default_cluster, options);
+  CUMULON_CHECK(default_run.ok()) << default_run.status();
+
+  // Optimizer: search the space, then answer the deadline question.
+  SearchSpace space;
+  space.cluster_sizes = {1, 2, 4, 8, 16, 32};
+  auto points = EnumeratePlans(spec, space, options);
+  CUMULON_CHECK(points.ok()) << points.status();
+  auto optimized = MinCostUnderDeadline(*points, deadline_minutes * 60.0);
+
+  std::printf("%-8s default: %s -> %s, %s\n", which,
+              default_cluster.ToString().c_str(),
+              FormatDuration(default_run->seconds).c_str(),
+              FormatMoney(default_run->dollars).c_str());
+  if (optimized.ok()) {
+    std::printf("%-8s optimal (deadline %.0fm): %s\n", which,
+                deadline_minutes, optimized->ToString().c_str());
+    std::printf("%-8s -> %.2fx cheaper, %.2fx time\n", which,
+                default_run->dollars / optimized->dollars,
+                optimized->seconds / default_run->seconds);
+  } else {
+    std::printf("%-8s no plan meets the %.0f-minute deadline\n", which,
+                deadline_minutes);
+  }
+  PrintRule();
+}
+
+}  // namespace
+}  // namespace cumulon::bench
+
+int main() {
+  cumulon::bench::PrintHeader("E7: optimizer vs default deployments");
+  cumulon::bench::RunWorkload("rsvd", 60.0);
+  cumulon::bench::RunWorkload("gnmf", 60.0);
+  return 0;
+}

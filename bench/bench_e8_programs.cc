@@ -1,0 +1,137 @@
+// E8 — end-to-end statistical programs: Cumulon (fused, chain-optimized)
+// vs an "existing Hadoop system" configuration (unfused element-wise ops,
+// literal multiply order, MR-style multiplies for the dominant products).
+//
+// Paper expectation: program-level speedups of severalfold, compounding
+// the per-operator wins of E1 with fewer jobs and fewer passes.
+
+#include "bench/bench_util.h"
+
+namespace cumulon::bench {
+namespace {
+
+struct Workload {
+  std::string name;
+  ProgramSpec cumulon_spec;   // chain-optimized
+  ProgramSpec baseline_spec;  // literal program
+};
+
+Workload MakeRsvd() {
+  RsvdSpec spec;
+  spec.m = 1 << 16;
+  spec.n = 1 << 13;
+  spec.l = 64;
+  Workload w;
+  w.name = "RSVD-1";
+  Program naive = BuildRsvd1(spec);
+  std::vector<TiledMatrix> inputs = {
+      {"A", TileLayout::Square(spec.m, spec.n, 2048)},
+      {"Omega", TileLayout::Square(spec.n, spec.l, 2048)},
+  };
+  w.cumulon_spec = {OptimizeProgram(naive), inputs};
+  w.baseline_spec = {naive, inputs};
+  return w;
+}
+
+Workload MakeGnmf() {
+  GnmfSpec spec;
+  spec.m = 1 << 15;
+  spec.n = 1 << 14;
+  spec.k = 128;
+  Workload w;
+  w.name = "GNMF";
+  Program program = BuildGnmfIteration(spec);
+  std::vector<TiledMatrix> inputs = {
+      {"V", TileLayout::Square(spec.m, spec.n, 2048)},
+      {"W", TileLayout::Square(spec.m, spec.k, 2048)},
+      {"H", TileLayout::Square(spec.k, spec.n, 2048)},
+  };
+  w.cumulon_spec = {OptimizeProgram(program), inputs};
+  w.baseline_spec = {program, inputs};
+  return w;
+}
+
+Workload MakeLinReg() {
+  LinRegSpec spec;
+  spec.samples = 1 << 17;
+  spec.features = 1 << 13;
+  Workload w;
+  w.name = "LinReg";
+  Program program = BuildLinRegStep(spec);
+  std::vector<TiledMatrix> inputs = {
+      {"X", TileLayout::Square(spec.samples, spec.features, 2048)},
+      {"w", TileLayout::Square(spec.features, 1, 2048)},
+      {"y", TileLayout::Square(spec.samples, 1, 2048)},
+  };
+  w.cumulon_spec = {OptimizeProgram(program), inputs};
+  w.baseline_spec = {program, inputs};
+  return w;
+}
+
+Workload MakePageRank() {
+  PageRankSpec spec;
+  spec.n = 1 << 15;
+  Workload w;
+  w.name = "PageRank";
+  Program program = BuildPageRankIteration(spec);
+  std::vector<TiledMatrix> inputs = {
+      {"M", TileLayout::Square(spec.n, spec.n, 2048)},
+      {"p", TileLayout::Square(spec.n, 1, 2048)},
+  };
+  w.cumulon_spec = {OptimizeProgram(program), inputs};
+  w.baseline_spec = {program, inputs};
+  return w;
+}
+
+Workload MakeLogReg() {
+  LogRegSpec spec;
+  spec.samples = 1 << 17;
+  spec.features = 1 << 13;
+  Workload w;
+  w.name = "LogReg";
+  Program program = BuildLogRegStep(spec);
+  std::vector<TiledMatrix> inputs = {
+      {"X", TileLayout::Square(spec.samples, spec.features, 2048)},
+      {"w", TileLayout::Square(spec.features, 1, 2048)},
+      {"y", TileLayout::Square(spec.samples, 1, 2048)},
+  };
+  w.cumulon_spec = {OptimizeProgram(program), inputs};
+  w.baseline_spec = {program, inputs};
+  return w;
+}
+
+double Predict(const ProgramSpec& spec, bool fused, double job_startup) {
+  PredictorOptions options;
+  options.lowering.tile_dim = 2048;
+  options.lowering.enable_fusion = fused;
+  options.job_startup_seconds = job_startup;
+  auto prediction = PredictProgram(spec, DefaultCluster(16), options);
+  CUMULON_CHECK(prediction.ok()) << prediction.status();
+  return prediction->seconds;
+}
+
+void Run() {
+  PrintHeader("E8: end-to-end programs on 16 x m1.large");
+  std::printf("%-10s %12s %16s %10s\n", "workload", "Cumulon",
+              "unfused+literal", "speedup");
+  PrintRule();
+  for (const Workload& w : {MakeRsvd(), MakeGnmf(), MakeLinReg(),
+                            MakePageRank(), MakeLogReg()}) {
+    // Cumulon: optimized chain + fusion, light job startup.
+    const double cumulon = Predict(w.cumulon_spec, /*fused=*/true, 3.0);
+    // Baseline: literal multiply order, no fusion, heavier MR job startup
+    // (each op is its own MapReduce job in SystemML-era systems).
+    const double baseline = Predict(w.baseline_spec, /*fused=*/false, 10.0);
+    std::printf("%-10s %12s %16s %9.2fx\n", w.name.c_str(),
+                FormatDuration(cumulon).c_str(),
+                FormatDuration(baseline).c_str(), baseline / cumulon);
+  }
+}
+
+}  // namespace
+}  // namespace cumulon::bench
+
+int main() {
+  cumulon::bench::Run();
+  return 0;
+}

@@ -1,0 +1,57 @@
+// E9 — tile (storage block) size: the physical-design parameter of
+// Cumulon's matrix store. Small tiles bloat per-tile overhead and task
+// counts; huge tiles hurt parallelism and memory footprint.
+//
+// Paper expectation: a broad optimum at mid-size tiles; kernel throughput
+// (measured for real below) also peaks once a tile no longer fits cache.
+
+#include "bench/bench_util.h"
+
+namespace cumulon::bench {
+namespace {
+
+void SimulatedJobSweep() {
+  PrintHeader("E9a: simulated multiply time vs tile size (16 x m1.large)");
+  std::printf("%-12s %8s %10s %12s\n", "tile", "tasks", "job time",
+              "bytes read");
+  PrintRule();
+  const int64_t dim = 32768;
+  for (int64_t tile : {512, 1024, 2048, 4096, 8192}) {
+    SimWorld world(DefaultCluster(16));
+    TiledMatrix a = Square("A", dim, tile);
+    TiledMatrix b = Square("B", dim, tile);
+    world.LoadInput(a);
+    world.LoadInput(b);
+    TiledMatrix c = Square("C", dim, tile);
+    PhysicalPlan plan;
+    CUMULON_CHECK(AddMatMul(a, b, c, MatMulParams{1, 1, 0}, {}, &plan).ok());
+    PlanStats stats = world.Run(plan);
+    std::printf("%-12lld %8d %10s %12s\n", static_cast<long long>(tile),
+                stats.total_tasks, FormatDuration(stats.total_seconds).c_str(),
+                FormatBytes(stats.bytes_read).c_str());
+  }
+}
+
+void RealKernelSweep() {
+  PrintHeader("E9b: real per-tile GEMM throughput vs tile size (this host)");
+  std::printf("%-12s %14s\n", "tile", "GFLOP/s");
+  PrintRule();
+  for (int64_t tile : {32, 64, 128, 256, 384}) {
+    CalibrationOptions options;
+    options.tile_dim = tile;
+    options.repetitions = 3;
+    auto result = Calibrate(options);
+    CUMULON_CHECK(result.ok()) << result.status();
+    std::printf("%-12lld %14.2f\n", static_cast<long long>(tile),
+                result->gemm_gflops);
+  }
+}
+
+}  // namespace
+}  // namespace cumulon::bench
+
+int main() {
+  cumulon::bench::SimulatedJobSweep();
+  cumulon::bench::RealKernelSweep();
+  return 0;
+}

@@ -1,0 +1,99 @@
+#ifndef CUMULON_BENCH_BENCH_UTIL_H_
+#define CUMULON_BENCH_BENCH_UTIL_H_
+
+// Shared plumbing for the experiment harnesses. Each bench binary
+// regenerates one table/figure class from the paper's evaluation (see
+// DESIGN.md's experiment index and EXPERIMENTS.md for results).
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cumulon/cumulon.h"
+
+namespace cumulon::bench {
+
+/// A simulated cluster + DFS whose inputs exist as metadata only — the
+/// setting for all simulation-mode experiments.
+class SimWorld {
+ public:
+  SimWorld(const ClusterConfig& cluster, int replication = 3,
+           uint64_t seed = 1)
+      : cluster_(cluster) {
+    DfsOptions dfs_options;
+    dfs_options.num_nodes = cluster.num_machines;
+    dfs_options.replication = replication;
+    dfs_options.seed = seed;
+    dfs_ = std::make_unique<SimDfs>(dfs_options);
+    store_ = std::make_unique<DfsTileStore>(dfs_.get());
+    SimEngineOptions sim_options;
+    sim_options.replication = replication;
+    engine_ = std::make_unique<SimEngine>(cluster, sim_options);
+  }
+
+  /// Registers every tile of `m` in the DFS (random placement).
+  void LoadInput(const TiledMatrix& m) {
+    const TileLayout& layout = m.layout;
+    for (int64_t r = 0; r < layout.grid_rows(); ++r) {
+      for (int64_t c = 0; c < layout.grid_cols(); ++c) {
+        const int64_t bytes =
+            16 + layout.TileRowsAt(r) * layout.TileColsAt(c) * 8;
+        Status st = store_->PutMeta(m.name, TileId{r, c}, bytes, -1);
+        CUMULON_CHECK(st.ok()) << st;
+      }
+    }
+  }
+
+  /// Runs a plan in simulation mode and returns its stats.
+  PlanStats Run(const PhysicalPlan& plan, double job_startup_seconds = 3.0) {
+    ExecutorOptions options;
+    options.real_mode = false;
+    options.job_startup_seconds = job_startup_seconds;
+    Executor executor(store_.get(), engine_.get(), &cost_, options);
+    auto stats = executor.Run(plan);
+    CUMULON_CHECK(stats.ok()) << stats.status();
+    return std::move(stats).value();
+  }
+
+  SimDfs* dfs() { return dfs_.get(); }
+  DfsTileStore* store() { return store_.get(); }
+  SimEngine* engine() { return engine_.get(); }
+  const ClusterConfig& cluster() const { return cluster_; }
+  const TileOpCostModel& cost() const { return cost_; }
+
+ private:
+  ClusterConfig cluster_;
+  TileOpCostModel cost_;
+  std::unique_ptr<SimDfs> dfs_;
+  std::unique_ptr<DfsTileStore> store_;
+  std::unique_ptr<SimEngine> engine_;
+};
+
+/// Default mid-size cluster used by several experiments: 16 x m1.large
+/// with 2 slots each.
+inline ClusterConfig DefaultCluster(int num_machines = 16) {
+  auto machine = FindMachine("m1.large");
+  CUMULON_CHECK(machine.ok());
+  return ClusterConfig{machine.value(), num_machines, 2};
+}
+
+/// Square-matrix helper.
+inline TiledMatrix Square(const std::string& name, int64_t dim,
+                          int64_t tile) {
+  return TiledMatrix{name, TileLayout::Square(dim, dim, tile)};
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void PrintRule() {
+  std::printf("-------------------------------------------------------------"
+              "----------\n");
+}
+
+}  // namespace cumulon::bench
+
+#endif  // CUMULON_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,76 @@
+// Deployment planner: the user-facing workflow of the paper's optimizer.
+// Given a program and a time OR money constraint, search the space of
+// {machine type x cluster size x slots x multiply splits} and report the
+// Pareto trade-off curve plus the constrained optimum.
+//
+// Usage:
+//   deployment_planner [deadline_minutes] [budget_dollars]
+// Defaults: 60 minutes, $2.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "cumulon/cumulon.h"
+
+namespace {
+
+using namespace cumulon;  // NOLINT: example code
+
+int RunPlanner(double deadline_minutes, double budget_dollars) {
+  RsvdSpec spec;
+  spec.m = 1 << 16;
+  spec.n = 1 << 13;
+  spec.l = 64;
+  ProgramSpec program_spec;
+  program_spec.program = OptimizeProgram(BuildRsvd1(spec));
+  program_spec.inputs = {
+      {"A", TileLayout::Square(spec.m, spec.n, 2048)},
+      {"Omega", TileLayout::Square(spec.n, spec.l, 2048)},
+  };
+  std::printf("Program:\n%s",
+              program_spec.program.DebugString().c_str());
+  std::printf("A is %lld x %lld (%s)\n\n", static_cast<long long>(spec.m),
+              static_cast<long long>(spec.n),
+              FormatBytes(program_spec.inputs[0].layout.TotalBytes()).c_str());
+
+  PredictorOptions options;
+  options.lowering.tile_dim = 2048;
+  SearchSpace space;
+  space.cluster_sizes = {1, 2, 4, 8, 16, 32};
+
+  auto points = EnumeratePlans(program_spec, space, options);
+  CUMULON_CHECK(points.ok()) << points.status();
+  std::printf("Evaluated %zu deployment plans.\n\n", points->size());
+
+  std::printf("Time/cost Pareto frontier:\n");
+  for (const PlanPoint& p : ParetoFrontier(*points)) {
+    std::printf("  %s\n", p.ToString().c_str());
+  }
+
+  std::printf("\nCheapest plan finishing within %.0f minutes:\n",
+              deadline_minutes);
+  auto by_deadline = MinCostUnderDeadline(*points, deadline_minutes * 60.0);
+  if (by_deadline.ok()) {
+    std::printf("  %s\n", by_deadline->ToString().c_str());
+  } else {
+    std::printf("  none: %s\n", by_deadline.status().ToString().c_str());
+  }
+
+  std::printf("\nFastest plan costing at most %s:\n",
+              FormatMoney(budget_dollars).c_str());
+  auto by_budget = MinTimeUnderBudget(*points, budget_dollars);
+  if (by_budget.ok()) {
+    std::printf("  %s\n", by_budget->ToString().c_str());
+  } else {
+    std::printf("  none: %s\n", by_budget.status().ToString().c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double deadline = argc > 1 ? std::atof(argv[1]) : 60.0;
+  const double budget = argc > 2 ? std::atof(argv[2]) : 2.0;
+  return RunPlanner(deadline, budget);
+}

@@ -1,0 +1,47 @@
+#include "cloud/machine.h"
+
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace cumulon {
+
+const std::vector<MachineProfile>& MachineCatalog() {
+  // Shaped after the 2013 EC2 menu: the m1 family scales cores & price
+  // linearly; the c1 ("high-CPU") family gives more compute per dollar but
+  // the same disk, so IO-bound jobs favor m1 and CPU-bound jobs favor c1 —
+  // exactly the trade-off the paper's provisioning optimizer explores.
+  static const std::vector<MachineProfile>* catalog =
+      new std::vector<MachineProfile>{
+          // Network is roughly half of disk bandwidth, as in 2013-era
+          // shared-Gbit clusters: remote reads visibly cost more than
+          // local ones, which is what makes locality-aware scheduling and
+          // replication worth modeling (experiments E11/A2).
+          {"m1.small", 1, 1.0, 80.0, 40.0, 0.06, 1700.0},
+          {"m1.medium", 1, 2.0, 100.0, 50.0, 0.12, 3750.0},
+          {"m1.large", 2, 2.0, 120.0, 60.0, 0.24, 7500.0},
+          {"m1.xlarge", 4, 2.0, 160.0, 80.0, 0.48, 15000.0},
+          {"c1.medium", 2, 2.5, 100.0, 50.0, 0.145, 1700.0},
+          {"c1.xlarge", 8, 2.5, 160.0, 80.0, 0.58, 7000.0},
+      };
+  return *catalog;
+}
+
+Result<MachineProfile> FindMachine(const std::string& name) {
+  for (const MachineProfile& m : MachineCatalog()) {
+    if (m.name == name) return m;
+  }
+  return Status::NotFound(StrCat("unknown machine type: ", name));
+}
+
+double ClusterDollarCost(const MachineProfile& machine, int num_machines,
+                         double seconds, const BillingPolicy& billing) {
+  double billed = std::max(seconds, billing.minimum_seconds);
+  if (billing.quantum_seconds > 0.0) {
+    billed = std::ceil(billed / billing.quantum_seconds) *
+             billing.quantum_seconds;
+  }
+  return billed / 3600.0 * machine.price_per_hour * num_machines;
+}
+
+}  // namespace cumulon

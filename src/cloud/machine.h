@@ -1,0 +1,52 @@
+#ifndef CUMULON_CLOUD_MACHINE_H_
+#define CUMULON_CLOUD_MACHINE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace cumulon {
+
+/// Performance and price profile of one cloud machine type. The catalog
+/// below is shaped like the 2013-era Amazon EC2 instance menu the paper
+/// provisions from (m1.small .. c1.xlarge); only the *relative* speeds and
+/// prices matter for the optimizer's choices, so the absolute numbers are
+/// synthetic but keep EC2's ordering and rough ratios.
+struct MachineProfile {
+  std::string name;
+  int cores = 1;              // hardware threads usable by task slots
+  double cpu_gflops = 1.0;    // per-core dense-FP throughput
+  double disk_mbps = 100.0;   // sequential disk bandwidth, whole machine
+  double net_mbps = 120.0;    // network bandwidth, whole machine
+  double price_per_hour = 0.1;  // $/hour while provisioned
+  double memory_mb = 4096.0;    // RAM shared by the machine's task slots
+
+  double memory_bytes() const { return memory_mb * 1e6; }
+
+  double disk_bytes_per_sec() const { return disk_mbps * 1e6; }
+  double net_bytes_per_sec() const { return net_mbps * 1e6; }
+};
+
+/// All machine types available for provisioning.
+const std::vector<MachineProfile>& MachineCatalog();
+
+/// Looks a profile up by name ("c1.medium", ...).
+Result<MachineProfile> FindMachine(const std::string& name);
+
+/// How provisioned time is rounded for billing. The 2013 EC2 default was a
+/// one-hour quantum; per-second billing is the modern comparison point
+/// (experiment E12).
+struct BillingPolicy {
+  double quantum_seconds = 3600.0;  // round usage up to a multiple of this
+  double minimum_seconds = 0.0;     // charge at least this much
+};
+
+/// Dollar cost of running `num_machines` machines of type `machine` for
+/// `seconds` under `billing`.
+double ClusterDollarCost(const MachineProfile& machine, int num_machines,
+                         double seconds, const BillingPolicy& billing);
+
+}  // namespace cumulon
+
+#endif  // CUMULON_CLOUD_MACHINE_H_

@@ -1,0 +1,12 @@
+#include "cluster/cluster_config.h"
+
+#include "common/strings.h"
+
+namespace cumulon {
+
+std::string ClusterConfig::ToString() const {
+  return StrCat(num_machines, "x", machine.name, " (", slots_per_machine,
+                " slots/machine)");
+}
+
+}  // namespace cumulon

@@ -1,0 +1,26 @@
+#ifndef CUMULON_CLUSTER_CLUSTER_CONFIG_H_
+#define CUMULON_CLUSTER_CLUSTER_CONFIG_H_
+
+#include <string>
+
+#include "cloud/machine.h"
+
+namespace cumulon {
+
+/// A provisioned cluster: which machine type, how many of them, and how
+/// many task slots each machine exposes. All three are decision variables
+/// of Cumulon's deployment optimizer (the paper's "hardware provisioning
+/// and configuration settings").
+struct ClusterConfig {
+  MachineProfile machine;
+  int num_machines = 1;
+  int slots_per_machine = 2;
+
+  int total_slots() const { return num_machines * slots_per_machine; }
+
+  std::string ToString() const;
+};
+
+}  // namespace cumulon
+
+#endif  // CUMULON_CLUSTER_CLUSTER_CONFIG_H_

@@ -1,0 +1,27 @@
+#ifndef CUMULON_CLUSTER_ENGINE_H_
+#define CUMULON_CLUSTER_ENGINE_H_
+
+#include "cluster/cluster_config.h"
+#include "cluster/task.h"
+#include "common/result.h"
+
+namespace cumulon {
+
+/// Runs jobs on a (real or simulated) cluster. Implementations:
+///  - SimEngine: discrete-event simulation with a virtual clock; durations
+///    come from TaskCost + the machine profile (the paper's simulation
+///    technique, also used as the optimizer's time predictor).
+///  - RealEngine: executes task closures on a thread pool and measures
+///    wall-clock time (used for correctness tests and model validation).
+class Engine {
+ public:
+  virtual ~Engine() = default;
+
+  virtual Result<JobStats> RunJob(const JobSpec& job) = 0;
+
+  virtual const ClusterConfig& config() const = 0;
+};
+
+}  // namespace cumulon
+
+#endif  // CUMULON_CLUSTER_ENGINE_H_

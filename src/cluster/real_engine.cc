@@ -1,0 +1,77 @@
+#include "cluster/real_engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "common/strings.h"
+
+namespace cumulon {
+
+RealEngine::RealEngine(const ClusterConfig& config,
+                       const RealEngineOptions& options)
+    : config_(config), options_(options) {
+  int threads = options_.max_threads > 0
+                    ? std::min(options_.max_threads, config_.total_slots())
+                    : config_.total_slots();
+  threads = std::max(threads, 1);
+  pool_ = std::make_unique<ThreadPool>(threads);
+}
+
+Result<JobStats> RealEngine::RunJob(const JobSpec& job) {
+  JobStats stats;
+  stats.num_tasks = static_cast<int>(job.tasks.size());
+  stats.waves = stats.num_tasks == 0
+                    ? 0
+                    : (stats.num_tasks + config_.total_slots() - 1) /
+                          config_.total_slots();
+  stats.task_runs.resize(job.tasks.size());
+
+  std::mutex err_mu;
+  Status first_error;
+  Stopwatch job_clock;
+
+  for (size_t i = 0; i < job.tasks.size(); ++i) {
+    const Task& task = job.tasks[i];
+    const int machine = static_cast<int>(i) % config_.num_machines;
+    TaskRunInfo* run = &stats.task_runs[i];
+    run->machine = machine;
+    stats.bytes_read += task.cost.bytes_read;
+    stats.bytes_written += task.cost.bytes_written;
+    stats.shuffle_bytes += task.cost.shuffle_bytes;
+    pool_->Submit([&, run, machine]() {
+      Stopwatch task_clock;
+      run->start_seconds = job_clock.ElapsedSeconds();
+      if (task.work) {
+        Status st;
+        const int attempts = std::max(options_.max_attempts, 1);
+        for (int attempt = 0; attempt < attempts; ++attempt) {
+          st = task.work(machine);
+          if (st.ok()) break;
+        }
+        if (!st.ok()) {
+          std::lock_guard<std::mutex> lock(err_mu);
+          if (first_error.ok()) {
+            first_error = Status(
+                st.code(), StrCat("task '", task.name, "' failed after ",
+                                  attempts, " attempt(s): ", st.message()));
+          }
+        }
+      }
+      run->duration_seconds = task_clock.ElapsedSeconds();
+    });
+  }
+  pool_->WaitIdle();
+
+  if (!first_error.ok()) return first_error;
+
+  stats.duration_seconds = job_clock.ElapsedSeconds();
+  for (const TaskRunInfo& run : stats.task_runs) {
+    stats.total_task_seconds += run.duration_seconds;
+  }
+  return stats;
+}
+
+}  // namespace cumulon

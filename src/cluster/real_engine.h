@@ -1,0 +1,41 @@
+#ifndef CUMULON_CLUSTER_REAL_ENGINE_H_
+#define CUMULON_CLUSTER_REAL_ENGINE_H_
+
+#include <memory>
+
+#include "cluster/engine.h"
+#include "common/thread_pool.h"
+
+namespace cumulon {
+
+struct RealEngineOptions {
+  /// Caps the worker-thread count regardless of the configured slots, so
+  /// large simulated clusters can still be "really" executed on a small
+  /// host. 0 = use config.total_slots().
+  int max_threads = 0;
+
+  /// Hadoop-style task retry: a failing task is re-attempted up to this
+  /// many times before its error fails the job.
+  int max_attempts = 1;
+};
+
+/// Executes task closures for real on a thread pool and measures wall-clock
+/// time. Tasks are assigned to virtual machines round-robin (so the DFS
+/// locality accounting still sees a spread of reader/writer nodes).
+class RealEngine : public Engine {
+ public:
+  RealEngine(const ClusterConfig& config, const RealEngineOptions& options);
+
+  Result<JobStats> RunJob(const JobSpec& job) override;
+
+  const ClusterConfig& config() const override { return config_; }
+
+ private:
+  ClusterConfig config_;
+  RealEngineOptions options_;
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace cumulon
+
+#endif  // CUMULON_CLUSTER_REAL_ENGINE_H_

@@ -1,0 +1,181 @@
+#include "cluster/sim_engine.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace cumulon {
+
+SimEngine::SimEngine(const ClusterConfig& config,
+                     const SimEngineOptions& options)
+    : config_(config), options_(options), rng_(options.seed) {
+  CUMULON_CHECK_GT(config_.num_machines, 0);
+  CUMULON_CHECK_GT(config_.slots_per_machine, 0);
+}
+
+double SimEngine::TaskDuration(const TaskCost& cost, bool local_read) const {
+  const MachineProfile& m = config_.machine;
+  const int s = config_.slots_per_machine;
+
+  // Slots oversubscribing cores share them.
+  const double cpu_slowdown =
+      std::max(1.0, static_cast<double>(s) / m.cores);
+  const double cpu =
+      cost.cpu_seconds_ref / m.cpu_gflops * cpu_slowdown;
+
+  // All slots of a machine share its disk and NIC; we charge each task the
+  // worst-case 1/s share, which is what a fully loaded wave experiences.
+  const double disk_bw = m.disk_bytes_per_sec() / s;
+  const double net_bw = m.net_bytes_per_sec() / s;
+
+  double local_bytes, remote_bytes;
+  if (local_read) {
+    local_bytes = static_cast<double>(cost.bytes_read);
+    remote_bytes = 0.0;
+  } else {
+    local_bytes = options_.nonlocal_local_fraction * cost.bytes_read;
+    remote_bytes = cost.bytes_read - local_bytes;
+  }
+  // Shuffle traffic always crosses the network; spills hit the local disk
+  // exactly once (MapReduce-baseline cost fields).
+  remote_bytes += static_cast<double>(cost.shuffle_bytes);
+  const double read_time = local_bytes / disk_bw + remote_bytes / net_bw;
+
+  // First replica to local disk, the rest pipelined over the network.
+  const double extra_replicas =
+      static_cast<double>(std::max(0, options_.replication - 1));
+  const double write_time = cost.bytes_written / disk_bw +
+                            extra_replicas * cost.bytes_written / net_bw +
+                            cost.local_spill_bytes / disk_bw;
+
+  return options_.task_startup_seconds + cpu + read_time + write_time;
+}
+
+Result<JobStats> SimEngine::RunJob(const JobSpec& job) {
+  const int machines = config_.num_machines;
+  const int slots = config_.slots_per_machine;
+
+  // free_at[machine][slot] = virtual time the slot becomes available.
+  std::vector<std::vector<double>> free_at(
+      machines, std::vector<double>(slots, 0.0));
+
+  JobStats stats;
+  stats.num_tasks = static_cast<int>(job.tasks.size());
+  stats.waves = stats.num_tasks == 0
+                    ? 0
+                    : (stats.num_tasks + config_.total_slots() - 1) /
+                          config_.total_slots();
+  stats.task_runs.reserve(job.tasks.size());
+
+  auto earliest_slot = [&](int machine) {
+    int best = 0;
+    for (int i = 1; i < slots; ++i) {
+      if (free_at[machine][i] < free_at[machine][best]) best = i;
+    }
+    return best;
+  };
+
+  for (const Task& task : job.tasks) {
+    // Globally earliest slot.
+    int best_machine = 0;
+    int best_slot = earliest_slot(0);
+    for (int mch = 1; mch < machines; ++mch) {
+      const int sl = earliest_slot(mch);
+      if (free_at[mch][sl] < free_at[best_machine][best_slot]) {
+        best_machine = mch;
+        best_slot = sl;
+      }
+    }
+
+    // Delay scheduling: prefer a machine holding the task's input if one
+    // frees up soon enough.
+    int chosen_machine = best_machine;
+    int chosen_slot = best_slot;
+    bool local = true;
+    if (!task.preferred_machines.empty()) {
+      local = false;
+      if (options_.locality_aware) {
+        int pref_machine = -1, pref_slot = -1;
+        double pref_time = std::numeric_limits<double>::infinity();
+        for (int mch : task.preferred_machines) {
+          if (mch < 0 || mch >= machines) continue;
+          const int sl = earliest_slot(mch);
+          if (free_at[mch][sl] < pref_time) {
+            pref_time = free_at[mch][sl];
+            pref_machine = mch;
+            pref_slot = sl;
+          }
+        }
+        if (pref_machine >= 0 &&
+            pref_time <= free_at[best_machine][best_slot] +
+                             options_.locality_delay_seconds) {
+          chosen_machine = pref_machine;
+          chosen_slot = pref_slot;
+          local = true;
+        }
+      }
+      if (!local) {
+        // The scheduler may still have gotten lucky.
+        local = std::find(task.preferred_machines.begin(),
+                          task.preferred_machines.end(),
+                          chosen_machine) != task.preferred_machines.end();
+      }
+    }
+
+    const double base_duration = TaskDuration(task.cost, local);
+    double duration = base_duration;
+    if (options_.noise_sigma > 0.0) {
+      // Lognormal with mean 1: mu = -sigma^2/2.
+      const double sigma = options_.noise_sigma;
+      duration *= rng_.NextLogNormal(-0.5 * sigma * sigma, sigma);
+      if (options_.speculative_execution) {
+        // Backup attempt launched after the task overruns its expectation;
+        // the first finisher wins.
+        const double backup = base_duration + options_.task_startup_seconds +
+                              base_duration *
+                                  rng_.NextLogNormal(-0.5 * sigma * sigma,
+                                                     sigma);
+        duration = std::min(duration, backup);
+      }
+    }
+
+    // Failed attempts waste their whole duration and rerun.
+    if (options_.task_failure_probability > 0.0) {
+      double total = 0.0;
+      int attempt = 1;
+      while (rng_.NextDouble() < options_.task_failure_probability) {
+        total += duration;
+        if (++attempt > options_.max_task_attempts) {
+          return Status::Internal(
+              StrCat("task '", task.name, "' failed ",
+                     options_.max_task_attempts, " attempts"));
+        }
+      }
+      duration += total;
+    }
+
+    const double start = free_at[chosen_machine][chosen_slot];
+    free_at[chosen_machine][chosen_slot] = start + duration;
+
+    stats.total_task_seconds += duration;
+    stats.bytes_read += task.cost.bytes_read;
+    stats.bytes_written += task.cost.bytes_written;
+    stats.shuffle_bytes += task.cost.shuffle_bytes;
+    if (!local) ++stats.num_non_local_tasks;
+    stats.task_runs.push_back(
+        TaskRunInfo{chosen_machine, start, duration, local});
+  }
+
+  double makespan = 0.0;
+  for (const auto& machine_slots : free_at) {
+    for (double t : machine_slots) makespan = std::max(makespan, t);
+  }
+  stats.duration_seconds = makespan;
+  return stats;
+}
+
+}  // namespace cumulon

@@ -1,0 +1,86 @@
+#ifndef CUMULON_CLUSTER_SIM_ENGINE_H_
+#define CUMULON_CLUSTER_SIM_ENGINE_H_
+
+#include "cluster/engine.h"
+#include "common/rng.h"
+
+namespace cumulon {
+
+/// Knobs of the cluster simulation. The defaults mirror a 2013 Hadoop
+/// deployment: ~1 s task launch overhead, 3-way replication, delay
+/// scheduling for locality, and moderate task-duration noise.
+struct SimEngineOptions {
+  /// Fixed per-task overhead (JVM launch, heartbeat scheduling latency).
+  double task_startup_seconds = 1.0;
+
+  /// Lognormal sigma of multiplicative task-duration noise; 0 disables
+  /// noise, which is what the cost model's predictor uses.
+  double noise_sigma = 0.0;
+
+  /// Replication factor of task output writes (first copy to local disk,
+  /// the rest over the network), matching the DFS configuration.
+  int replication = 3;
+
+  /// Place tasks on machines holding their input replicas when one is
+  /// available within `locality_delay_seconds` of the globally earliest
+  /// slot (Hadoop-style delay scheduling).
+  bool locality_aware = true;
+  double locality_delay_seconds = 3.0;
+
+  /// Fraction of a non-local task's reads that still hit the local disk
+  /// (e.g. cached side inputs); 0 = all remote.
+  double nonlocal_local_fraction = 0.0;
+
+  /// Hadoop-style speculative execution: when a task runs long, a backup
+  /// attempt is launched and the earlier finisher wins. Modeled as
+  /// completion = min(noisy duration,
+  ///                  expected duration + startup + second noisy duration):
+  /// the backup starts once the task has overrun its expected duration.
+  /// Only meaningful with noise_sigma > 0.
+  bool speculative_execution = false;
+
+  /// Probability that one task attempt fails (lost node, bad disk). A
+  /// failed attempt wastes its full duration and is retried; after
+  /// `max_task_attempts` consecutive failures the job fails, as in
+  /// Hadoop.
+  double task_failure_probability = 0.0;
+  int max_task_attempts = 4;
+
+  uint64_t seed = 7;
+};
+
+/// Discrete-event simulator of slot-scheduled execution. Task durations
+/// are derived from TaskCost and the cluster's machine profile:
+///
+///   duration = startup
+///            + cpu_seconds_ref / machine.cpu_gflops * max(1, slots/cores)
+///            + local_bytes  / (disk_bw / slots)
+///            + remote_bytes / (net_bw  / slots)
+///            + write time (disk for the first copy, net for the rest)
+///
+/// i.e. slots on the same machine contend for cores, disk and NIC — which
+/// is what makes slots-per-machine a real optimization knob (experiment
+/// E3). Scheduling is greedy list scheduling over all slots with optional
+/// locality preference. A virtual clock advances; nothing executes.
+class SimEngine : public Engine {
+ public:
+  SimEngine(const ClusterConfig& config, const SimEngineOptions& options);
+
+  Result<JobStats> RunJob(const JobSpec& job) override;
+
+  const ClusterConfig& config() const override { return config_; }
+  const SimEngineOptions& options() const { return options_; }
+
+  /// Duration of a single task on a machine of this cluster, given whether
+  /// its reads are local. Exposed for the cost model and tests.
+  double TaskDuration(const TaskCost& cost, bool local_read) const;
+
+ private:
+  ClusterConfig config_;
+  SimEngineOptions options_;
+  Rng rng_;
+};
+
+}  // namespace cumulon
+
+#endif  // CUMULON_CLUSTER_SIM_ENGINE_H_

@@ -1,0 +1,71 @@
+#ifndef CUMULON_CLUSTER_TASK_H_
+#define CUMULON_CLUSTER_TASK_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace cumulon {
+
+/// Declared resource demands of one task, used by the simulator / cost
+/// model to derive its duration on a given machine.
+///
+/// cpu_seconds_ref is normalized to the *reference machine* (1.0 effective
+/// GFLOP/s per core); the engine divides by the target machine's
+/// cpu_gflops. The cost model produces these numbers from its calibrated
+/// per-tile operation models.
+struct TaskCost {
+  double cpu_seconds_ref = 0.0;
+  int64_t bytes_read = 0;     // DFS reads; local disk when placement matches
+  int64_t bytes_written = 0;  // DFS writes; replicated per engine options
+
+  // MapReduce-baseline extras (zero for Cumulon's map-only jobs):
+  int64_t shuffle_bytes = 0;      // always read over the network
+  int64_t local_spill_bytes = 0;  // map-output spill: one local-disk copy
+};
+
+/// One schedulable unit of a job: a closure for real execution plus the
+/// declared cost for simulation. `work` receives the machine index the task
+/// was placed on (so tile reads/writes carry correct locality) and may be
+/// empty for simulation-only plans.
+struct Task {
+  std::string name;
+  std::function<Status(int machine)> work;
+  TaskCost cost;
+  std::vector<int> preferred_machines;  // replica holders of its inputs
+};
+
+/// A Cumulon job: a named bag of independent tasks (map-only; the paper's
+/// execution model deliberately has no shuffle barrier inside a job).
+struct JobSpec {
+  std::string name;
+  std::vector<Task> tasks;
+};
+
+/// Where and when one task ran.
+struct TaskRunInfo {
+  int machine = -1;
+  double start_seconds = 0.0;
+  double duration_seconds = 0.0;
+  bool local = true;  // were its preferred machines honored?
+};
+
+/// Outcome of running a job on an engine.
+struct JobStats {
+  double duration_seconds = 0.0;      // makespan
+  double total_task_seconds = 0.0;    // sum of task durations
+  int num_tasks = 0;
+  int waves = 0;                      // ceil(tasks / total slots)
+  int64_t bytes_read = 0;
+  int64_t bytes_written = 0;
+  int64_t shuffle_bytes = 0;
+  int num_non_local_tasks = 0;
+  std::vector<TaskRunInfo> task_runs;
+};
+
+}  // namespace cumulon
+
+#endif  // CUMULON_CLUSTER_TASK_H_

@@ -1,0 +1,92 @@
+#ifndef CUMULON_COMMON_LOGGING_H_
+#define CUMULON_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace cumulon {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Minimum level that is actually emitted; default kInfo. Not thread-safe to
+/// mutate concurrently with logging (set it once at startup / test setup).
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+/// Stream-style log line; flushes to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Like LogMessage but aborts the process on destruction. Used by CHECK.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line, const char* condition);
+  [[noreturn]] ~FatalLogMessage();
+
+  FatalLogMessage(const FatalLogMessage&) = delete;
+  FatalLogMessage& operator=(const FatalLogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Swallows a streamed expression when a log statement is compiled out.
+struct NullStream {
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+}  // namespace cumulon
+
+#define CUMULON_LOG(level)                                                    \
+  if (::cumulon::LogLevel::k##level < ::cumulon::GetLogLevel()) {             \
+  } else                                                                      \
+    ::cumulon::internal::LogMessage(::cumulon::LogLevel::k##level, __FILE__,  \
+                                    __LINE__)                                 \
+        .stream()
+
+/// Aborts with a message when `cond` is false. For programmer errors and
+/// invariant violations, not for recoverable conditions (use Status there).
+#define CUMULON_CHECK(cond)                                             \
+  if (cond) {                                                           \
+  } else                                                                \
+    ::cumulon::internal::FatalLogMessage(__FILE__, __LINE__, #cond).stream()
+
+#define CUMULON_CHECK_EQ(a, b) CUMULON_CHECK((a) == (b))
+#define CUMULON_CHECK_NE(a, b) CUMULON_CHECK((a) != (b))
+#define CUMULON_CHECK_LT(a, b) CUMULON_CHECK((a) < (b))
+#define CUMULON_CHECK_LE(a, b) CUMULON_CHECK((a) <= (b))
+#define CUMULON_CHECK_GT(a, b) CUMULON_CHECK((a) > (b))
+#define CUMULON_CHECK_GE(a, b) CUMULON_CHECK((a) >= (b))
+
+#ifdef NDEBUG
+#define CUMULON_DCHECK(cond) \
+  if (true) {                \
+  } else                     \
+    ::cumulon::internal::NullStream()
+#else
+#define CUMULON_DCHECK(cond) CUMULON_CHECK(cond)
+#endif
+
+#endif  // CUMULON_COMMON_LOGGING_H_

@@ -1,0 +1,67 @@
+#ifndef CUMULON_COMMON_RESULT_H_
+#define CUMULON_COMMON_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/status.h"
+
+namespace cumulon {
+
+/// Holds either a value of type T or an error Status. The usual accessor
+/// contract applies: callers must check ok() (or status()) before calling
+/// value(); violating that is a programmer error and aborts via CHECK.
+template <typename T>
+class Result {
+ public:
+  /// Implicit conversions from T and Status keep call sites terse, matching
+  /// the absl::StatusOr idiom.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    CUMULON_CHECK(!status_.ok()) << "Result constructed from OK status";
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    CUMULON_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    CUMULON_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    CUMULON_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;  // OK iff value_ holds a value.
+  std::optional<T> value_;
+};
+
+}  // namespace cumulon
+
+/// Assigns the value of a Result expression to `lhs`, or propagates its
+/// error Status. `lhs` may declare a new variable.
+#define CUMULON_ASSIGN_OR_RETURN(lhs, expr)                    \
+  CUMULON_ASSIGN_OR_RETURN_IMPL_(                              \
+      CUMULON_RESULT_CONCAT_(_result_tmp_, __LINE__), lhs, expr)
+
+#define CUMULON_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                   \
+  if (!tmp.ok()) return tmp.status();                  \
+  lhs = std::move(tmp).value()
+
+#define CUMULON_RESULT_CONCAT_INNER_(a, b) a##b
+#define CUMULON_RESULT_CONCAT_(a, b) CUMULON_RESULT_CONCAT_INNER_(a, b)
+
+#endif  // CUMULON_COMMON_RESULT_H_

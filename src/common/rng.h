@@ -1,0 +1,49 @@
+#ifndef CUMULON_COMMON_RNG_H_
+#define CUMULON_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace cumulon {
+
+/// Deterministic, fast pseudo-random number generator (xoshiro256**).
+/// All randomness in the system (data generation, replica placement,
+/// simulated task-time noise) flows through explicitly seeded Rng instances
+/// so that experiments are reproducible run to run.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Uniform over all 64-bit values.
+  uint64_t NextUint64();
+
+  /// Uniform in [0, bound). bound must be > 0.
+  uint64_t NextUint64(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform double in [lo, hi).
+  double NextDouble(double lo, double hi);
+
+  /// Standard normal via Box–Muller.
+  double NextGaussian();
+
+  /// Lognormal with the given underlying mu/sigma. Useful for simulated
+  /// task-duration noise (heavy right tail, like real cluster stragglers).
+  double NextLogNormal(double mu, double sigma);
+
+  /// Forks an independent stream; deterministic given this Rng's state.
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+  bool have_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace cumulon
+
+#endif  // CUMULON_COMMON_RNG_H_

@@ -1,0 +1,28 @@
+#ifndef CUMULON_COMMON_STOPWATCH_H_
+#define CUMULON_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace cumulon {
+
+/// Wall-clock stopwatch used by the real execution engine and the cost-model
+/// calibration benchmarks.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace cumulon
+
+#endif  // CUMULON_COMMON_STOPWATCH_H_

@@ -1,0 +1,52 @@
+#include "common/strings.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace cumulon {
+
+std::string FormatBytes(int64_t bytes) {
+  const char* units[] = {"B", "KiB", "MiB", "GiB", "TiB", "PiB"};
+  double v = static_cast<double>(bytes);
+  int u = 0;
+  while (std::abs(v) >= 1024.0 && u < 5) {
+    v /= 1024.0;
+    ++u;
+  }
+  char buf[64];
+  if (u == 0) {
+    std::snprintf(buf, sizeof(buf), "%lld B", static_cast<long long>(bytes));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f %s", v, units[u]);
+  }
+  return buf;
+}
+
+std::string FormatDuration(double seconds) {
+  char buf[64];
+  if (seconds < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.0fms", seconds * 1000.0);
+  } else if (seconds < 120.0) {
+    std::snprintf(buf, sizeof(buf), "%.1fs", seconds);
+  } else if (seconds < 3600.0) {
+    std::snprintf(buf, sizeof(buf), "%dm%02ds", static_cast<int>(seconds) / 60,
+                  static_cast<int>(seconds) % 60);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%dh%02dm",
+                  static_cast<int>(seconds) / 3600,
+                  (static_cast<int>(seconds) % 3600) / 60);
+  }
+  return buf;
+}
+
+std::string FormatMoney(double dollars) {
+  char buf[64];
+  if (dollars < 1.0) {
+    std::snprintf(buf, sizeof(buf), "$%.4f", dollars);
+  } else {
+    std::snprintf(buf, sizeof(buf), "$%.2f", dollars);
+  }
+  return buf;
+}
+
+}  // namespace cumulon

@@ -1,0 +1,29 @@
+#ifndef CUMULON_COMMON_STRINGS_H_
+#define CUMULON_COMMON_STRINGS_H_
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+namespace cumulon {
+
+/// Concatenates any streamable arguments into a std::string.
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+
+/// "1.5 GiB", "312.0 MiB", ... for human-readable byte counts.
+std::string FormatBytes(int64_t bytes);
+
+/// "2h03m", "41.2s", "850ms" for human-readable durations.
+std::string FormatDuration(double seconds);
+
+/// "$1.23" with four significant decimals below a dollar.
+std::string FormatMoney(double dollars);
+
+}  // namespace cumulon
+
+#endif  // CUMULON_COMMON_STRINGS_H_

@@ -1,0 +1,45 @@
+#ifndef CUMULON_COMMON_THREAD_POOL_H_
+#define CUMULON_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cumulon {
+
+/// Fixed-size worker pool used by the real execution engine. Tasks are
+/// plain std::function<void()>; completion is observed via WaitIdle().
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Never blocks.
+  void Submit(std::function<void()> fn);
+
+  /// Blocks until the queue is empty and all workers are idle.
+  void WaitIdle();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // signaled when work arrives / shutdown
+  std::condition_variable idle_cv_;   // signaled when a task finishes
+  std::deque<std::function<void()>> queue_;
+  int active_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace cumulon
+
+#endif  // CUMULON_COMMON_THREAD_POOL_H_

@@ -1,0 +1,63 @@
+#ifndef CUMULON_COST_COST_MODEL_H_
+#define CUMULON_COST_COST_MODEL_H_
+
+#include <cstdint>
+
+namespace cumulon {
+
+/// Per-tile-operation time models, expressed in seconds on the *reference
+/// machine*, which by definition sustains 1.0 effective GFLOP/s of dense
+/// GEMM per core. Element-wise and transpose throughputs are ratios
+/// relative to that, because those ratios are hardware properties the
+/// paper's benchmarking step measures; Calibrate() (calibration.h) fits
+/// them on the host.
+///
+/// MachineProfile::cpu_gflops then scales reference seconds to any machine
+/// type: seconds_on_m = seconds_ref / m.cpu_gflops.
+struct TileOpCostModel {
+  /// Effective element-wise throughput of the reference machine, in
+  /// billions of elements/second (one read+op+write stream).
+  double ew_gelems_per_sec = 0.25;
+
+  /// Effective transpose throughput (strided access is slower than
+  /// streaming), billions of elements/second.
+  double transpose_gelems_per_sec = 0.15;
+
+  /// Fixed CPU cost per tile-level kernel invocation (dispatch, pointer
+  /// setup). Dominates only for very small tiles.
+  double per_tile_overhead_seconds = 2e-5;
+
+  /// C(m,n) += A(m,k) * B(k,n): 2mnk flops at 1 GFLOP/s.
+  double GemmSeconds(int64_t m, int64_t n, int64_t k) const {
+    return per_tile_overhead_seconds + 2.0 * m * n * k / 1e9;
+  }
+
+  /// One element-wise pass over n elements.
+  double EwSeconds(int64_t n) const {
+    return per_tile_overhead_seconds + n / (ew_gelems_per_sec * 1e9);
+  }
+
+  /// Transposing an n-element tile.
+  double TransposeSeconds(int64_t n) const {
+    return per_tile_overhead_seconds + n / (transpose_gelems_per_sec * 1e9);
+  }
+
+  /// Accumulating (acc += x) over n elements; same cost family as
+  /// element-wise.
+  double AccumulateSeconds(int64_t n) const { return EwSeconds(n); }
+
+  /// Fraction of dense-GEMM flop throughput the CSR SpMM kernel sustains
+  /// (irregular access costs it roughly half on typical hardware).
+  double spmm_efficiency = 0.5;
+
+  /// C += S * D with S sparse (nnz nonzeros) and D dense with n columns:
+  /// 2 * nnz * n flops at reduced efficiency.
+  double SpmmSeconds(int64_t nnz, int64_t n) const {
+    return per_tile_overhead_seconds +
+           2.0 * nnz * n / (spmm_efficiency * 1e9);
+  }
+};
+
+}  // namespace cumulon
+
+#endif  // CUMULON_COST_COST_MODEL_H_

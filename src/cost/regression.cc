@@ -1,0 +1,215 @@
+#include "cost/regression.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "common/strings.h"
+#include "matrix/tile.h"
+#include "matrix/tile_ops.h"
+
+namespace cumulon {
+
+double LinearFit::Predict(const std::vector<double>& features) const {
+  CUMULON_CHECK_EQ(features.size() + 1, coefficients.size());
+  double y = coefficients[0];
+  for (size_t i = 0; i < features.size(); ++i) {
+    y += coefficients[i + 1] * features[i];
+  }
+  return y;
+}
+
+namespace {
+
+/// Solves the square system a * x = b in place by Gaussian elimination
+/// with partial pivoting. Returns false if (numerically) singular.
+bool SolveInPlace(std::vector<std::vector<double>>* a,
+                  std::vector<double>* b) {
+  const int n = static_cast<int>(b->size());
+  for (int col = 0; col < n; ++col) {
+    int pivot = col;
+    for (int row = col + 1; row < n; ++row) {
+      if (std::abs((*a)[row][col]) > std::abs((*a)[pivot][col])) pivot = row;
+    }
+    if (std::abs((*a)[pivot][col]) < 1e-12) return false;
+    std::swap((*a)[col], (*a)[pivot]);
+    std::swap((*b)[col], (*b)[pivot]);
+    for (int row = col + 1; row < n; ++row) {
+      const double factor = (*a)[row][col] / (*a)[col][col];
+      for (int k = col; k < n; ++k) (*a)[row][k] -= factor * (*a)[col][k];
+      (*b)[row] -= factor * (*b)[col];
+    }
+  }
+  for (int col = n - 1; col >= 0; --col) {
+    for (int row = 0; row < col; ++row) {
+      (*b)[row] -= (*a)[row][col] / (*a)[col][col] * (*b)[col];
+      (*a)[row][col] = 0.0;
+    }
+    (*b)[col] /= (*a)[col][col];
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<LinearFit> FitLeastSquares(
+    const std::vector<std::vector<double>>& features,
+    const std::vector<double>& targets) {
+  if (features.size() != targets.size()) {
+    return Status::InvalidArgument("features/targets size mismatch");
+  }
+  if (features.empty()) {
+    return Status::InvalidArgument("no observations");
+  }
+  const size_t k = features[0].size() + 1;  // + intercept
+  if (features.size() < k) {
+    return Status::InvalidArgument(
+        StrCat("need at least ", k, " observations for ", k, " parameters"));
+  }
+  for (const auto& row : features) {
+    if (row.size() + 1 != k) {
+      return Status::InvalidArgument("ragged feature rows");
+    }
+  }
+
+  // Normal equations: (X^T X) beta = X^T y with X = [1 | features].
+  std::vector<std::vector<double>> xtx(k, std::vector<double>(k, 0.0));
+  std::vector<double> xty(k, 0.0);
+  for (size_t obs = 0; obs < features.size(); ++obs) {
+    std::vector<double> x(k);
+    x[0] = 1.0;
+    for (size_t i = 1; i < k; ++i) x[i] = features[obs][i - 1];
+    for (size_t i = 0; i < k; ++i) {
+      xty[i] += x[i] * targets[obs];
+      for (size_t j = 0; j < k; ++j) xtx[i][j] += x[i] * x[j];
+    }
+  }
+  if (!SolveInPlace(&xtx, &xty)) {
+    return Status::FailedPrecondition(
+        "singular normal equations (collinear features)");
+  }
+
+  LinearFit fit;
+  fit.coefficients = std::move(xty);
+
+  // R^2 against the mean model.
+  double mean = 0.0;
+  for (double y : targets) mean += y;
+  mean /= targets.size();
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (size_t obs = 0; obs < features.size(); ++obs) {
+    const double predicted = fit.Predict(features[obs]);
+    ss_res += (targets[obs] - predicted) * (targets[obs] - predicted);
+    ss_tot += (targets[obs] - mean) * (targets[obs] - mean);
+  }
+  fit.r_squared = ss_tot == 0.0 ? 1.0 : 1.0 - ss_res / ss_tot;
+  return fit;
+}
+
+namespace {
+
+double BestOfN(int reps, const std::function<void()>& body) {
+  double best = 1e300;
+  for (int rep = 0; rep < reps; ++rep) {
+    Stopwatch sw;
+    body();
+    best = std::min(best, sw.ElapsedSeconds());
+  }
+  return best;
+}
+
+}  // namespace
+
+double RegressionCalibration::gemm_gflops() const {
+  return 1.0 / (gemm.coefficients[1] * 1e9);
+}
+double RegressionCalibration::ew_gelems() const {
+  return 1.0 / (elementwise.coefficients[1] * 1e9);
+}
+double RegressionCalibration::transpose_gelems() const {
+  return 1.0 / (transpose.coefficients[1] * 1e9);
+}
+
+TileOpCostModel RegressionCalibration::ToCostModel() const {
+  TileOpCostModel model;
+  const double host_gflops = gemm_gflops();
+  model.ew_gelems_per_sec = ew_gelems() / host_gflops;
+  model.transpose_gelems_per_sec = transpose_gelems() / host_gflops;
+  // Host-seconds intercepts scale to reference seconds by the host speed.
+  const double overhead_host =
+      std::max({gemm.coefficients[0], elementwise.coefficients[0], 0.0});
+  model.per_tile_overhead_seconds = overhead_host * host_gflops;
+  return model;
+}
+
+Result<RegressionCalibration> CalibrateByRegression(
+    const RegressionCalibrationOptions& options) {
+  if (options.gemm_dims.size() < 2 || options.ew_dims.size() < 2 ||
+      options.repetitions < 1) {
+    return Status::InvalidArgument(
+        "regression calibration needs >=2 sizes per kernel and reps>=1");
+  }
+  Rng rng(77);
+  RegressionCalibration result;
+
+  {
+    std::vector<std::vector<double>> features;
+    std::vector<double> targets;
+    for (int64_t d : options.gemm_dims) {
+      Tile a(d, d), b(d, d), c(d, d);
+      FillGaussian(&a, &rng);
+      FillGaussian(&b, &rng);
+      // Repeat the kernel enough to rise above timer noise at small d.
+      const int inner = static_cast<int>(std::max<int64_t>(
+          1, (options.gemm_dims.back() * options.gemm_dims.back() *
+              options.gemm_dims.back()) /
+                 (d * d * d)));
+      const double t = BestOfN(options.repetitions, [&] {
+        for (int i = 0; i < inner; ++i) {
+          Status st = Gemm(a, b, 1.0, 0.0, &c);
+          CUMULON_CHECK(st.ok()) << st;
+        }
+      });
+      features.push_back({2.0 * d * d * d});
+      targets.push_back(t / inner);
+    }
+    CUMULON_ASSIGN_OR_RETURN(result.gemm,
+                             FitLeastSquares(features, targets));
+  }
+
+  auto fit_elementwise = [&](bool transpose_kernel) -> Result<LinearFit> {
+    std::vector<std::vector<double>> features;
+    std::vector<double> targets;
+    for (int64_t d : options.ew_dims) {
+      Tile a(d, d), c(d, d);
+      FillGaussian(&a, &rng);
+      const int64_t max_d = options.ew_dims.back();
+      const int inner = static_cast<int>(
+          std::max<int64_t>(4, (max_d * max_d) / (d * d) * 4));
+      const double t = BestOfN(options.repetitions, [&] {
+        for (int i = 0; i < inner; ++i) {
+          Status st = transpose_kernel
+                          ? TransposeTile(a, &c)
+                          : EwUnary(UnaryOp::kScale, a, 1.5, &c);
+          CUMULON_CHECK(st.ok()) << st;
+        }
+      });
+      features.push_back({static_cast<double>(d) * d});
+      targets.push_back(t / inner);
+    }
+    return FitLeastSquares(features, targets);
+  };
+  CUMULON_ASSIGN_OR_RETURN(result.elementwise, fit_elementwise(false));
+  CUMULON_ASSIGN_OR_RETURN(result.transpose, fit_elementwise(true));
+
+  if (result.gemm.coefficients[1] <= 0.0 ||
+      result.elementwise.coefficients[1] <= 0.0 ||
+      result.transpose.coefficients[1] <= 0.0) {
+    return Status::Internal("regression produced a non-positive slope");
+  }
+  return result;
+}
+
+}  // namespace cumulon

@@ -1,0 +1,62 @@
+#ifndef CUMULON_COST_REGRESSION_H_
+#define CUMULON_COST_REGRESSION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "cost/cost_model.h"
+
+namespace cumulon {
+
+/// An ordinary-least-squares fit y ~ b0 + b1*x1 + ... + bk*xk.
+struct LinearFit {
+  std::vector<double> coefficients;  // [intercept, b1, ..., bk]
+  double r_squared = 0.0;
+
+  double Predict(const std::vector<double>& features) const;
+};
+
+/// Fits by normal equations (the feature matrices here are tiny). Each row
+/// of `features` is one observation (without the constant term, which is
+/// added internally). Fails on mismatched sizes, too few observations, or
+/// a singular system (collinear features).
+Result<LinearFit> FitLeastSquares(
+    const std::vector<std::vector<double>>& features,
+    const std::vector<double>& targets);
+
+/// The paper's benchmarking+modeling step in full: run the tile kernels
+/// over a sweep of sizes and fit linear time models
+///     t_gemm ~ b0 + b1 * flops
+///     t_ew   ~ b0 + b1 * elements
+///     t_tr   ~ b0 + b1 * elements
+/// The intercepts capture per-invocation overhead; the slopes capture
+/// throughput. Unlike the single-point Calibrate() probe, this exposes
+/// model quality (R^2) and a principled per-tile overhead estimate.
+struct RegressionCalibrationOptions {
+  std::vector<int64_t> gemm_dims = {48, 64, 96, 128, 160};
+  std::vector<int64_t> ew_dims = {64, 128, 256, 384, 512};
+  int repetitions = 3;  // best-of-n per point
+};
+
+struct RegressionCalibration {
+  LinearFit gemm;         // host seconds ~ flops
+  LinearFit elementwise;  // host seconds ~ elements
+  LinearFit transpose;    // host seconds ~ elements
+
+  /// Host throughputs implied by the slopes.
+  double gemm_gflops() const;
+  double ew_gelems() const;
+  double transpose_gelems() const;
+
+  /// Reference-normalized cost model (see TileOpCostModel): ratios from
+  /// the slopes, per-tile overhead from the intercepts.
+  TileOpCostModel ToCostModel() const;
+};
+
+Result<RegressionCalibration> CalibrateByRegression(
+    const RegressionCalibrationOptions& options);
+
+}  // namespace cumulon
+
+#endif  // CUMULON_COST_REGRESSION_H_

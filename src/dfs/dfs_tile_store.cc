@@ -1,0 +1,78 @@
+#include "dfs/dfs_tile_store.h"
+
+#include "common/strings.h"
+#include "matrix/tile_io.h"
+
+namespace cumulon {
+
+namespace {
+uint64_t TileChecksum(const Tile& tile) {
+  return Fnv1a(reinterpret_cast<const uint8_t*>(tile.data()),
+               tile.size() * sizeof(double));
+}
+}  // namespace
+
+std::string DfsTileStore::TilePath(const std::string& matrix, TileId id) {
+  return StrCat("/matrix/", matrix, "/t_", id.row, "_", id.col);
+}
+
+Status DfsTileStore::Put(const std::string& matrix, TileId id,
+                         std::shared_ptr<const Tile> tile, int writer_node) {
+  const int64_t bytes = tile->SizeBytes();
+  const std::string path = TilePath(matrix, id);
+  if (verify_checksums_) {
+    std::lock_guard<std::mutex> lock(checksum_mu_);
+    checksums_[path] = TileChecksum(*tile);
+  }
+  return dfs_->Write(path, bytes, writer_node, std::move(tile));
+}
+
+Result<std::shared_ptr<const Tile>> DfsTileStore::Get(
+    const std::string& matrix, TileId id, int reader_node) {
+  const std::string path = TilePath(matrix, id);
+  CUMULON_ASSIGN_OR_RETURN(std::shared_ptr<const void> payload,
+                           dfs_->Read(path, reader_node));
+  if (payload == nullptr) {
+    return Status::Internal(
+        StrCat("tile ", id, " of '", matrix, "' has no payload (metadata-only",
+               " write read back through DfsTileStore)"));
+  }
+  auto tile = std::static_pointer_cast<const Tile>(payload);
+  if (verify_checksums_) {
+    uint64_t expected = 0;
+    bool have_expected = false;
+    {
+      std::lock_guard<std::mutex> lock(checksum_mu_);
+      auto it = checksums_.find(path);
+      if (it != checksums_.end()) {
+        expected = it->second;
+        have_expected = true;
+      }
+    }
+    if (have_expected && TileChecksum(*tile) != expected) {
+      return Status::Internal(
+          StrCat("checksum mismatch reading tile ", id, " of '", matrix,
+                 "' (corrupted block)"));
+    }
+  }
+  return tile;
+}
+
+Status DfsTileStore::DeleteMatrix(const std::string& matrix) {
+  dfs_->DeletePrefix(StrCat("/matrix/", matrix, "/"));
+  return Status::OK();
+}
+
+Status DfsTileStore::PutMeta(const std::string& matrix, TileId id,
+                             int64_t bytes, int writer_node) {
+  return dfs_->Write(TilePath(matrix, id), bytes, writer_node, nullptr);
+}
+
+std::vector<int> DfsTileStore::PreferredNodes(const std::string& matrix,
+                                              TileId id) {
+  auto nodes = dfs_->NodesHosting(TilePath(matrix, id));
+  if (!nodes.ok()) return {};
+  return std::move(nodes).value();
+}
+
+}  // namespace cumulon

@@ -1,0 +1,52 @@
+#ifndef CUMULON_DFS_DFS_TILE_STORE_H_
+#define CUMULON_DFS_DFS_TILE_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "dfs/sim_dfs.h"
+#include "matrix/tile_store.h"
+
+namespace cumulon {
+
+/// TileStore backed by the simulated DFS. Tile payloads round-trip through
+/// SimDfs so both the bytes-moved accounting and the actual data share one
+/// code path. Path scheme: /matrix/<name>/t_<row>_<col>.
+///
+/// With `verify_checksums` the store records an FNV-1a checksum of each
+/// tile at write time and re-verifies it on every read (HDFS's block
+/// checksumming), turning silent corruption into a loud Internal error.
+class DfsTileStore : public TileStore {
+ public:
+  /// Does not take ownership of `dfs`, which must outlive this store.
+  explicit DfsTileStore(SimDfs* dfs, bool verify_checksums = false)
+      : dfs_(dfs), verify_checksums_(verify_checksums) {}
+
+  Status Put(const std::string& matrix, TileId id,
+             std::shared_ptr<const Tile> tile, int writer_node) override;
+  Result<std::shared_ptr<const Tile>> Get(const std::string& matrix,
+                                          TileId id, int reader_node) override;
+  Status DeleteMatrix(const std::string& matrix) override;
+  std::vector<int> PreferredNodes(const std::string& matrix,
+                                  TileId id) override;
+  Status PutMeta(const std::string& matrix, TileId id, int64_t bytes,
+                 int writer_node) override;
+
+  static std::string TilePath(const std::string& matrix, TileId id);
+
+  SimDfs* dfs() const { return dfs_; }
+
+ private:
+  SimDfs* dfs_;
+  bool verify_checksums_;
+  std::mutex checksum_mu_;
+  std::map<std::string, uint64_t> checksums_;
+};
+
+}  // namespace cumulon
+
+#endif  // CUMULON_DFS_DFS_TILE_STORE_H_

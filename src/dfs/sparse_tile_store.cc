@@ -1,0 +1,42 @@
+#include "dfs/sparse_tile_store.h"
+
+#include "common/strings.h"
+
+namespace cumulon {
+
+std::string SparseTileStore::TilePath(const std::string& matrix, TileId id) {
+  return StrCat("/sparse/", matrix, "/t_", id.row, "_", id.col);
+}
+
+Status SparseTileStore::Put(const std::string& matrix, TileId id,
+                            std::shared_ptr<const SparseTile> tile,
+                            int writer_node) {
+  const int64_t bytes = tile->SizeBytes();
+  return dfs_->Write(TilePath(matrix, id), bytes, writer_node,
+                     std::move(tile));
+}
+
+Result<std::shared_ptr<const SparseTile>> SparseTileStore::Get(
+    const std::string& matrix, TileId id, int reader_node) {
+  CUMULON_ASSIGN_OR_RETURN(std::shared_ptr<const void> payload,
+                           dfs_->Read(TilePath(matrix, id), reader_node));
+  if (payload == nullptr) {
+    return Status::Internal(
+        StrCat("sparse tile ", id, " of '", matrix, "' has no payload"));
+  }
+  return std::static_pointer_cast<const SparseTile>(payload);
+}
+
+Status SparseTileStore::DeleteMatrix(const std::string& matrix) {
+  dfs_->DeletePrefix(StrCat("/sparse/", matrix, "/"));
+  return Status::OK();
+}
+
+std::vector<int> SparseTileStore::PreferredNodes(const std::string& matrix,
+                                                 TileId id) {
+  auto nodes = dfs_->NodesHosting(TilePath(matrix, id));
+  if (!nodes.ok()) return {};
+  return std::move(nodes).value();
+}
+
+}  // namespace cumulon

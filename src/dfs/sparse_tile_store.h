@@ -1,0 +1,40 @@
+#ifndef CUMULON_DFS_SPARSE_TILE_STORE_H_
+#define CUMULON_DFS_SPARSE_TILE_STORE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dfs/sim_dfs.h"
+#include "matrix/layout.h"
+#include "matrix/sparse_tile.h"
+
+namespace cumulon {
+
+/// CSR-tile storage over the simulated DFS, the sparse sibling of
+/// DfsTileStore. Bytes written/read reflect CSR footprints (16 bytes per
+/// nonzero plus row offsets), which is where sparse storage wins.
+/// Path scheme: /sparse/<name>/t_<row>_<col>.
+class SparseTileStore {
+ public:
+  /// Does not take ownership of `dfs`, which must outlive this store.
+  explicit SparseTileStore(SimDfs* dfs) : dfs_(dfs) {}
+
+  Status Put(const std::string& matrix, TileId id,
+             std::shared_ptr<const SparseTile> tile, int writer_node);
+  Result<std::shared_ptr<const SparseTile>> Get(const std::string& matrix,
+                                                TileId id, int reader_node);
+  Status DeleteMatrix(const std::string& matrix);
+  std::vector<int> PreferredNodes(const std::string& matrix, TileId id);
+
+  static std::string TilePath(const std::string& matrix, TileId id);
+
+  SimDfs* dfs() const { return dfs_; }
+
+ private:
+  SimDfs* dfs_;
+};
+
+}  // namespace cumulon
+
+#endif  // CUMULON_DFS_SPARSE_TILE_STORE_H_

@@ -1,0 +1,151 @@
+#include "exec/executor.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace cumulon {
+
+Executor::Executor(TileStore* store, Engine* engine,
+                   const TileOpCostModel* cost, const ExecutorOptions& options)
+    : store_(store), engine_(engine), cost_(cost), options_(options) {
+  CUMULON_CHECK(store_ != nullptr);
+  CUMULON_CHECK(engine_ != nullptr);
+  CUMULON_CHECK(cost_ != nullptr);
+}
+
+std::vector<int> Executor::JobLevels(const PhysicalPlan& plan) {
+  // Producer of each matrix name. Names are unique per plan (lowering
+  // versions reassigned targets), so one writer per matrix.
+  std::map<std::string, size_t> producer;
+  for (size_t j = 0; j < plan.jobs.size(); ++j) {
+    for (const std::string& out : plan.jobs[j]->OutputMatrices()) {
+      producer.emplace(out, j);
+    }
+  }
+  std::vector<int> levels(plan.jobs.size(), 0);
+  for (size_t j = 0; j < plan.jobs.size(); ++j) {
+    int level = 0;
+    for (const std::string& in : plan.jobs[j]->InputMatrices()) {
+      auto it = producer.find(in);
+      // Plans are emitted in dependency order, so a producer later in the
+      // list (a later version writer) is not a dependency of this job.
+      if (it != producer.end() && it->second < j) {
+        level = std::max(level, levels[it->second] + 1);
+      }
+    }
+    levels[j] = level;
+  }
+  return levels;
+}
+
+Status Executor::DropTemporaries(const PhysicalPlan& plan) {
+  if (!options_.drop_temporaries) return Status::OK();
+  for (const std::string& temp : plan.temporaries) {
+    CUMULON_RETURN_IF_ERROR(store_->DeleteMatrix(temp));
+  }
+  return Status::OK();
+}
+
+Result<PlanStats> Executor::Run(const PhysicalPlan& plan) {
+  return options_.parallelize_independent_jobs ? RunLeveled(plan)
+                                               : RunSequential(plan);
+}
+
+Result<PlanStats> Executor::RunSequential(const PhysicalPlan& plan) {
+  BuildContext ctx;
+  ctx.store = store_;
+  ctx.cost = cost_;
+  ctx.attach_work = options_.real_mode;
+  ctx.query_locality = options_.query_locality;
+
+  PlanStats totals;
+  for (const auto& job : plan.jobs) {
+    CUMULON_ASSIGN_OR_RETURN(BuiltJob built, job->Build(ctx));
+    CUMULON_ASSIGN_OR_RETURN(JobStats stats, engine_->RunJob(built.spec));
+
+    if (!options_.real_mode) {
+      // Register output tile placement so later jobs get correct locality.
+      CUMULON_CHECK_EQ(built.task_outputs.size(), stats.task_runs.size());
+      for (size_t t = 0; t < built.task_outputs.size(); ++t) {
+        const int machine = stats.task_runs[t].machine;
+        for (const TileOutput& out : built.task_outputs[t]) {
+          CUMULON_RETURN_IF_ERROR(
+              store_->PutMeta(out.matrix, out.id, out.bytes, machine));
+        }
+      }
+    }
+
+    totals.total_seconds += stats.duration_seconds +
+                            options_.job_startup_seconds;
+    totals.bytes_read += stats.bytes_read;
+    totals.bytes_written += stats.bytes_written;
+    totals.total_tasks += stats.num_tasks;
+    totals.non_local_tasks += stats.num_non_local_tasks;
+    totals.jobs.push_back(JobRecord{job->name(), std::move(stats)});
+  }
+
+  CUMULON_RETURN_IF_ERROR(DropTemporaries(plan));
+  return totals;
+}
+
+Result<PlanStats> Executor::RunLeveled(const PhysicalPlan& plan) {
+  BuildContext ctx;
+  ctx.store = store_;
+  ctx.cost = cost_;
+  ctx.attach_work = options_.real_mode;
+  ctx.query_locality = options_.query_locality;
+
+  const std::vector<int> levels = JobLevels(plan);
+  const int max_level =
+      levels.empty() ? -1 : *std::max_element(levels.begin(), levels.end());
+
+  PlanStats totals;
+  for (int level = 0; level <= max_level; ++level) {
+    // Merge this level's independent jobs into one scheduling round: their
+    // tasks share the cluster's slots, which is how concurrently submitted
+    // Hadoop jobs behave.
+    JobSpec merged;
+    std::vector<std::vector<TileOutput>> merged_outputs;
+    std::string level_name;
+    for (size_t j = 0; j < plan.jobs.size(); ++j) {
+      if (levels[j] != level) continue;
+      CUMULON_ASSIGN_OR_RETURN(BuiltJob built, plan.jobs[j]->Build(ctx));
+      for (auto& task : built.spec.tasks) {
+        merged.tasks.push_back(std::move(task));
+      }
+      for (auto& outs : built.task_outputs) {
+        merged_outputs.push_back(std::move(outs));
+      }
+      if (!level_name.empty()) level_name += "+";
+      level_name += plan.jobs[j]->name();
+    }
+    merged.name = StrCat("level", level, "(", level_name, ")");
+
+    CUMULON_ASSIGN_OR_RETURN(JobStats stats, engine_->RunJob(merged));
+    if (!options_.real_mode) {
+      CUMULON_CHECK_EQ(merged_outputs.size(), stats.task_runs.size());
+      for (size_t t = 0; t < merged_outputs.size(); ++t) {
+        const int machine = stats.task_runs[t].machine;
+        for (const TileOutput& out : merged_outputs[t]) {
+          CUMULON_RETURN_IF_ERROR(
+              store_->PutMeta(out.matrix, out.id, out.bytes, machine));
+        }
+      }
+    }
+    totals.total_seconds += stats.duration_seconds +
+                            options_.job_startup_seconds;
+    totals.bytes_read += stats.bytes_read;
+    totals.bytes_written += stats.bytes_written;
+    totals.total_tasks += stats.num_tasks;
+    totals.non_local_tasks += stats.num_non_local_tasks;
+    totals.jobs.push_back(JobRecord{merged.name, std::move(stats)});
+  }
+
+  CUMULON_RETURN_IF_ERROR(DropTemporaries(plan));
+  return totals;
+}
+
+}  // namespace cumulon

@@ -1,0 +1,85 @@
+#ifndef CUMULON_EXEC_EXECUTOR_H_
+#define CUMULON_EXEC_EXECUTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "cluster/engine.h"
+#include "common/result.h"
+#include "cost/cost_model.h"
+#include "exec/physical_plan.h"
+#include "matrix/tile_store.h"
+
+namespace cumulon {
+
+struct ExecutorOptions {
+  /// true: attach work closures and actually compute tiles (RealEngine).
+  /// false: simulation only; output tile metadata is registered in the
+  /// store so downstream jobs still see placement.
+  bool real_mode = true;
+
+  /// Per-job scheduling/setup overhead added to the plan total (Hadoop job
+  /// submission latency). Applied in both modes for comparability.
+  double job_startup_seconds = 3.0;
+
+  /// Ask the store where input tiles live and prefer those machines.
+  bool query_locality = true;
+
+  /// Delete `plan.temporaries` matrices after a successful run.
+  bool drop_temporaries = true;
+
+  /// Schedule the plan as a DAG: jobs with no data dependency run
+  /// concurrently, sharing the cluster's slots (their tasks interleave in
+  /// one scheduling round per dependency level). Off = one job at a time,
+  /// like stock Hadoop's job queue (ablation A3 measures the difference).
+  bool parallelize_independent_jobs = false;
+};
+
+struct JobRecord {
+  std::string name;
+  JobStats stats;
+};
+
+/// Aggregate outcome of running a plan.
+struct PlanStats {
+  std::vector<JobRecord> jobs;
+  double total_seconds = 0.0;  // job durations + per-job startup
+  int64_t bytes_read = 0;
+  int64_t bytes_written = 0;
+  int total_tasks = 0;
+  int non_local_tasks = 0;
+};
+
+/// Drives a PhysicalPlan through an Engine, job by job. The same executor
+/// serves both real execution (validation, small scales) and simulated
+/// execution (cluster-scale what-if runs and the optimizer's predictor),
+/// selected by ExecutorOptions::real_mode and the Engine implementation.
+class Executor {
+ public:
+  /// All pointers are borrowed and must outlive the executor.
+  Executor(TileStore* store, Engine* engine, const TileOpCostModel* cost,
+           const ExecutorOptions& options);
+
+  Result<PlanStats> Run(const PhysicalPlan& plan);
+
+  const ExecutorOptions& options() const { return options_; }
+
+  /// Dependency level of every job in `plan` (0-based): a job's level is
+  /// one past the deepest producer of any matrix it reads. Exposed for
+  /// tests and plan inspection.
+  static std::vector<int> JobLevels(const PhysicalPlan& plan);
+
+ private:
+  Result<PlanStats> RunSequential(const PhysicalPlan& plan);
+  Result<PlanStats> RunLeveled(const PhysicalPlan& plan);
+  Status DropTemporaries(const PhysicalPlan& plan);
+
+  TileStore* store_;
+  Engine* engine_;
+  const TileOpCostModel* cost_;
+  ExecutorOptions options_;
+};
+
+}  // namespace cumulon
+
+#endif  // CUMULON_EXEC_EXECUTOR_H_

@@ -1,0 +1,51 @@
+#ifndef CUMULON_EXEC_PHYSICAL_PLAN_H_
+#define CUMULON_EXEC_PHYSICAL_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/physical_job.h"
+
+namespace cumulon {
+
+/// An executable plan: jobs run sequentially in order (Cumulon materializes
+/// every job's output in the DFS, so inter-job dependencies are implicit in
+/// the matrix names). `temporaries` lists intermediate matrices the
+/// executor may delete once the plan finishes.
+struct PhysicalPlan {
+  std::vector<std::unique_ptr<PhysicalJob>> jobs;
+  std::vector<std::string> temporaries;
+
+  PhysicalPlan() = default;
+  PhysicalPlan(PhysicalPlan&&) = default;
+  PhysicalPlan& operator=(PhysicalPlan&&) = default;
+
+  std::string DebugString() const;
+};
+
+/// Appends the job(s) computing out = A * B with the fused element-wise
+/// `epilogue`. With split-k parameters this is a MatMulJob producing
+/// partial-product matrices plus a SumJob merging them (the partials are
+/// registered as temporaries); otherwise a single MatMulJob.
+Status AddMatMul(const TiledMatrix& a, const TiledMatrix& b,
+                 const TiledMatrix& out, const MatMulParams& params,
+                 std::vector<EwStep> epilogue, PhysicalPlan* plan);
+
+/// Appends an element-wise chain job out = steps(in).
+Status AddEwChain(const TiledMatrix& in, const TiledMatrix& out,
+                  std::vector<EwStep> steps, PhysicalPlan* plan,
+                  int64_t tiles_per_task = 8);
+
+/// Appends a transpose job out = in^T.
+Status AddTranspose(const TiledMatrix& in, const TiledMatrix& out,
+                    PhysicalPlan* plan, int64_t tiles_per_task = 8);
+
+/// Appends an aggregation job out = agg(in) with a fused epilogue.
+Status AddAggregate(const TiledMatrix& in, const TiledMatrix& out,
+                    AggKind kind, std::vector<EwStep> epilogue,
+                    PhysicalPlan* plan, int64_t stripes_per_task = 1);
+
+}  // namespace cumulon
+
+#endif  // CUMULON_EXEC_PHYSICAL_PLAN_H_

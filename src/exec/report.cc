@@ -1,0 +1,47 @@
+#include "exec/report.h"
+
+#include <cstdio>
+
+#include "common/strings.h"
+
+namespace cumulon {
+
+std::string FormatPlanStats(const PlanStats& stats) {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-28s %7s %6s %12s %12s %10s\n", "job",
+                "tasks", "waves", "read", "written", "time");
+  out += line;
+  for (const JobRecord& record : stats.jobs) {
+    std::snprintf(line, sizeof(line), "%-28s %7d %6d %12s %12s %10s\n",
+                  record.name.c_str(), record.stats.num_tasks,
+                  record.stats.waves,
+                  FormatBytes(record.stats.bytes_read).c_str(),
+                  FormatBytes(record.stats.bytes_written).c_str(),
+                  FormatDuration(record.stats.duration_seconds).c_str());
+    out += line;
+  }
+  std::snprintf(line, sizeof(line),
+                "total: %d tasks (%d non-local), %s read, %s written, %s\n",
+                stats.total_tasks, stats.non_local_tasks,
+                FormatBytes(stats.bytes_read).c_str(),
+                FormatBytes(stats.bytes_written).c_str(),
+                FormatDuration(stats.total_seconds).c_str());
+  out += line;
+  return out;
+}
+
+std::string PlanStatsCsv(const PlanStats& stats) {
+  std::string out = "job,task,machine,start,duration,local\n";
+  for (const JobRecord& record : stats.jobs) {
+    for (size_t t = 0; t < record.stats.task_runs.size(); ++t) {
+      const TaskRunInfo& run = record.stats.task_runs[t];
+      out += StrCat(record.name, ",", t, ",", run.machine, ",",
+                    run.start_seconds, ",", run.duration_seconds, ",",
+                    run.local ? 1 : 0, "\n");
+    }
+  }
+  return out;
+}
+
+}  // namespace cumulon

@@ -1,0 +1,20 @@
+#ifndef CUMULON_EXEC_REPORT_H_
+#define CUMULON_EXEC_REPORT_H_
+
+#include <string>
+
+#include "exec/executor.h"
+
+namespace cumulon {
+
+/// Human-readable per-job breakdown of a plan run: tasks, waves, bytes,
+/// locality, duration. What examples and benches print after Run().
+std::string FormatPlanStats(const PlanStats& stats);
+
+/// Task-level timeline in CSV ("job,task,machine,start,duration,local")
+/// for external plotting of slot occupancy / stragglers.
+std::string PlanStatsCsv(const PlanStats& stats);
+
+}  // namespace cumulon
+
+#endif  // CUMULON_EXEC_REPORT_H_

@@ -1,0 +1,145 @@
+#include "exec/sparse_matmul_job.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/strings.h"
+
+namespace cumulon {
+
+namespace {
+
+int64_t DenseTileBytes(const TileLayout& layout, int64_t gr, int64_t gc) {
+  return 16 + layout.TileRowsAt(gr) * layout.TileColsAt(gc) * 8;
+}
+
+int64_t CsrTileBytes(const TileLayout& layout, int64_t gr, int64_t gc,
+                     double density) {
+  const int64_t rows = layout.TileRowsAt(gr);
+  const int64_t nnz =
+      static_cast<int64_t>(density * rows * layout.TileColsAt(gc));
+  return 24 + (rows + 1) * 8 + nnz * 16;
+}
+
+}  // namespace
+
+SparseMatMulJob::SparseMatMulJob(std::string name,
+                                 SparseTileStore* sparse_store, TiledMatrix a,
+                                 double density, TiledMatrix b,
+                                 TiledMatrix out, int64_t tiles_per_task)
+    : name_(std::move(name)),
+      sparse_store_(sparse_store),
+      a_(std::move(a)),
+      density_(density),
+      b_(std::move(b)),
+      out_(std::move(out)),
+      tiles_per_task_(std::max<int64_t>(tiles_per_task, 1)) {
+  CUMULON_CHECK(sparse_store_ != nullptr);
+}
+
+std::vector<std::string> SparseMatMulJob::InputMatrices() const {
+  return {a_.name, b_.name};
+}
+
+std::vector<std::string> SparseMatMulJob::OutputMatrices() const {
+  return {out_.name};
+}
+
+std::string SparseMatMulJob::DebugString() const {
+  return StrCat("SparseMatMul[", name_, "] ", out_.name, " = ", a_.name,
+                "(sparse, d=", density_, ") * ", b_.name);
+}
+
+Result<BuiltJob> SparseMatMulJob::Build(const BuildContext& ctx) const {
+  const TileLayout& la = a_.layout;
+  const TileLayout& lb = b_.layout;
+  const TileLayout& lc = out_.layout;
+  if (la.cols() != lb.rows() || !InnerAligned(la, lb)) {
+    return Status::InvalidArgument(
+        StrCat(name_, ": incompatible layouts ", la.ToString(), " * ",
+               lb.ToString()));
+  }
+  if (!RowPartitionsEqual(lc, la) || !ColPartitionsEqual(lc, lb)) {
+    return Status::InvalidArgument(
+        StrCat(name_, ": output layout ", lc.ToString(), " mismatched"));
+  }
+  if (density_ < 0.0 || density_ > 1.0) {
+    return Status::InvalidArgument(
+        StrCat(name_, ": density ", density_, " out of [0,1]"));
+  }
+
+  const int64_t gk = la.grid_cols();
+  BuiltJob built;
+  built.spec.name = name_;
+
+  std::vector<TileId> c_tiles;
+  for (int64_t i = 0; i < lc.grid_rows(); ++i) {
+    for (int64_t j = 0; j < lc.grid_cols(); ++j) {
+      c_tiles.push_back(TileId{i, j});
+    }
+  }
+
+  for (size_t base = 0; base < c_tiles.size();
+       base += static_cast<size_t>(tiles_per_task_)) {
+    const size_t end =
+        std::min(c_tiles.size(), base + static_cast<size_t>(tiles_per_task_));
+    std::vector<TileId> group(c_tiles.begin() + base, c_tiles.begin() + end);
+    Task task;
+    task.name = StrCat(name_, "/t", base);
+    std::vector<TileOutput> outputs;
+
+    for (const TileId& id : group) {
+      const int64_t n = lc.TileColsAt(id.col);
+      for (int64_t k = 0; k < gk; ++k) {
+        task.cost.bytes_read += CsrTileBytes(la, id.row, k, density_);
+        task.cost.bytes_read += DenseTileBytes(lb, k, id.col);
+        const int64_t nnz = static_cast<int64_t>(
+            density_ * la.TileRowsAt(id.row) * la.TileColsAt(k));
+        task.cost.cpu_seconds_ref += ctx.cost->SpmmSeconds(nnz, n);
+      }
+      const int64_t out_bytes = DenseTileBytes(lc, id.row, id.col);
+      task.cost.bytes_written += out_bytes;
+      outputs.push_back(TileOutput{out_.name, id, out_bytes});
+    }
+
+    if (ctx.query_locality) {
+      task.preferred_machines =
+          sparse_store_->PreferredNodes(a_.name, group.front());
+    }
+
+    if (ctx.attach_work) {
+      SparseTileStore* sparse = sparse_store_;
+      TileStore* dense = ctx.store;
+      const TiledMatrix a = a_, b = b_;
+      const TileLayout out_layout = lc;
+      const std::string out_name = out_.name;
+      task.work = [sparse, dense, a, b, out_layout, out_name, group,
+                   gk](int machine) -> Status {
+        for (const TileId& id : group) {
+          Tile acc(out_layout.TileRowsAt(id.row),
+                   out_layout.TileColsAt(id.col));
+          for (int64_t k = 0; k < gk; ++k) {
+            CUMULON_ASSIGN_OR_RETURN(
+                std::shared_ptr<const SparseTile> ts,
+                sparse->Get(a.name, TileId{id.row, k}, machine));
+            CUMULON_ASSIGN_OR_RETURN(
+                std::shared_ptr<const Tile> tb,
+                dense->Get(b.name, TileId{k, id.col}, machine));
+            CUMULON_RETURN_IF_ERROR(
+                SparseTile::SpMM(*ts, *tb, 1.0, 1.0, &acc));
+          }
+          CUMULON_RETURN_IF_ERROR(
+              dense->Put(out_name, id, std::make_shared<Tile>(std::move(acc)),
+                         machine));
+        }
+        return Status::OK();
+      };
+    }
+
+    built.spec.tasks.push_back(std::move(task));
+    built.task_outputs.push_back(std::move(outputs));
+  }
+  return built;
+}
+
+}  // namespace cumulon

@@ -1,0 +1,47 @@
+#ifndef CUMULON_EXEC_SPARSE_MATMUL_JOB_H_
+#define CUMULON_EXEC_SPARSE_MATMUL_JOB_H_
+
+#include <string>
+#include <vector>
+
+#include "dfs/sparse_tile_store.h"
+#include "exec/physical_job.h"
+
+namespace cumulon {
+
+/// C = S * B with S stored as CSR tiles (document-term matrices, one-hot
+/// features) and B, C dense. One task per group of C tiles, folding the
+/// whole k dimension with the SpMM kernel.
+///
+/// Costing uses the matrix's average density estimate: cpu scales with
+/// nnz (2 * nnz * n flops at reduced efficiency) and S's bytes shrink to
+/// the CSR footprint — the two effects experiment E14 quantifies.
+/// Fused epilogues and split-k are not supported for the sparse operator
+/// (DESIGN.md lists them as future work).
+class SparseMatMulJob : public PhysicalJob {
+ public:
+  /// `sparse_store` is borrowed and must outlive the job's execution. `a`
+  /// describes S's shape/tiling; `density` is S's nonzero fraction used
+  /// for simulation-mode costs (real execution reads true nnz).
+  SparseMatMulJob(std::string name, SparseTileStore* sparse_store,
+                  TiledMatrix a, double density, TiledMatrix b,
+                  TiledMatrix out, int64_t tiles_per_task = 1);
+
+  const std::string& name() const override { return name_; }
+  Result<BuiltJob> Build(const BuildContext& ctx) const override;
+  std::vector<std::string> InputMatrices() const override;
+  std::vector<std::string> OutputMatrices() const override;
+  std::string DebugString() const override;
+
+ private:
+  std::string name_;
+  SparseTileStore* sparse_store_;
+  TiledMatrix a_;
+  double density_;
+  TiledMatrix b_, out_;
+  int64_t tiles_per_task_;
+};
+
+}  // namespace cumulon
+
+#endif  // CUMULON_EXEC_SPARSE_MATMUL_JOB_H_

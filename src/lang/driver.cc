@@ -1,0 +1,47 @@
+#include "lang/driver.h"
+
+#include "common/strings.h"
+#include "lang/logical_optimizer.h"
+
+namespace cumulon {
+
+Result<IterativeRunResult> RunIterative(
+    const Program& body, std::map<std::string, TiledMatrix> bindings,
+    Executor* executor, const IterativeRunOptions& options) {
+  if (options.max_iterations < 0) {
+    return Status::InvalidArgument("max_iterations must be >= 0");
+  }
+  IterativeRunResult result;
+  result.bindings = std::move(bindings);
+
+  const Program optimized = OptimizeProgram(body);
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    LoweringOptions lowering = options.lowering;
+    // Distinct temp names per iteration: outputs of iteration i must not
+    // collide with iteration i+1's temporaries before they are rebound.
+    lowering.temp_prefix = StrCat(options.lowering.temp_prefix, "_it", iter);
+    CUMULON_ASSIGN_OR_RETURN(LoweredProgram lowered,
+                             Lower(optimized, result.bindings, lowering));
+    CUMULON_ASSIGN_OR_RETURN(PlanStats stats, executor->Run(lowered.plan));
+    result.total_seconds += stats.total_seconds;
+    for (const auto& [target, matrix] : lowered.outputs) {
+      result.bindings.insert_or_assign(target, matrix);
+    }
+    result.iterations = iter + 1;
+
+    if (options.converged) {
+      IterationState state;
+      state.iteration = iter;
+      state.bindings = &result.bindings;
+      state.stats = &stats;
+      CUMULON_ASSIGN_OR_RETURN(bool done, options.converged(state));
+      if (done) {
+        result.converged = true;
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace cumulon

@@ -1,0 +1,51 @@
+#ifndef CUMULON_LANG_DRIVER_H_
+#define CUMULON_LANG_DRIVER_H_
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "exec/executor.h"
+#include "lang/lowering.h"
+
+namespace cumulon {
+
+/// State handed to the convergence predicate after each iteration. The
+/// predicate typically captures the TileStore and uses LoadDense on a
+/// binding to compute a residual.
+struct IterationState {
+  int iteration = 0;  // 0-based, just finished
+  const std::map<std::string, TiledMatrix>* bindings = nullptr;
+  const PlanStats* stats = nullptr;
+};
+
+struct IterativeRunOptions {
+  LoweringOptions lowering;
+  int max_iterations = 100;
+
+  /// Called after each iteration with the updated bindings; return true to
+  /// stop. Null = run exactly max_iterations.
+  std::function<Result<bool>(const IterationState&)> converged;
+};
+
+/// Outcome of an iterative run.
+struct IterativeRunResult {
+  int iterations = 0;
+  bool converged = false;  // predicate fired (vs max_iterations exhausted)
+  std::map<std::string, TiledMatrix> bindings;  // final matrix bindings
+  double total_seconds = 0.0;
+};
+
+/// Runs `body` repeatedly — the dynamic counterpart of Repeat()'s static
+/// unrolling, for algorithms whose iteration count depends on the data
+/// (the usual shape of the paper's statistical workloads). After each
+/// iteration the body's outputs are rebound for the next one, and the
+/// convergence predicate may inspect them (e.g. compute a residual with
+/// LoadDense) to stop early.
+Result<IterativeRunResult> RunIterative(
+    const Program& body, std::map<std::string, TiledMatrix> bindings,
+    Executor* executor, const IterativeRunOptions& options);
+
+}  // namespace cumulon
+
+#endif  // CUMULON_LANG_DRIVER_H_

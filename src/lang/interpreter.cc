@@ -1,0 +1,86 @@
+#include "lang/interpreter.h"
+
+#include "common/strings.h"
+
+namespace cumulon {
+
+Result<DenseMatrix> EvalExpr(const ExprPtr& expr,
+                             const std::map<std::string, DenseMatrix>& env) {
+  if (expr == nullptr) return Status::InvalidArgument("null expression");
+  switch (expr->kind()) {
+    case ExprKind::kInput: {
+      auto it = env.find(expr->input_name());
+      if (it == env.end()) {
+        return Status::NotFound(
+            StrCat("unbound matrix '", expr->input_name(), "'"));
+      }
+      if (it->second.rows() != expr->rows() ||
+          it->second.cols() != expr->cols()) {
+        return Status::InvalidArgument(
+            StrCat("matrix '", expr->input_name(), "' bound as ",
+                   it->second.rows(), "x", it->second.cols(),
+                   " but referenced as ", expr->rows(), "x", expr->cols()));
+      }
+      return it->second;
+    }
+    case ExprKind::kMatMul: {
+      CUMULON_ASSIGN_OR_RETURN(DenseMatrix left, EvalExpr(expr->left(), env));
+      CUMULON_ASSIGN_OR_RETURN(DenseMatrix right,
+                               EvalExpr(expr->right(), env));
+      return left.Multiply(right);
+    }
+    case ExprKind::kEwBinary: {
+      CUMULON_ASSIGN_OR_RETURN(DenseMatrix left, EvalExpr(expr->left(), env));
+      CUMULON_ASSIGN_OR_RETURN(DenseMatrix right,
+                               EvalExpr(expr->right(), env));
+      if (left.rows() == right.rows() && left.cols() == right.cols()) {
+        return left.Binary(expr->bop(), right);
+      }
+      // Broadcast: one side is a row/column vector.
+      const bool right_is_vector = right.rows() == 1 || right.cols() == 1;
+      const DenseMatrix& full = right_is_vector ? left : right;
+      const DenseMatrix& vec = right_is_vector ? right : left;
+      const bool row_vector = vec.rows() == 1;
+      CUMULON_ASSIGN_OR_RETURN(DenseMatrix value,
+                               full.Broadcast(expr->bop(), vec, row_vector));
+      if (right_is_vector) return value;
+      // Vector was the left operand: recompute with swapped semantics.
+      DenseMatrix swapped(value.rows(), value.cols());
+      for (int64_t r = 0; r < value.rows(); ++r) {
+        for (int64_t c = 0; c < value.cols(); ++c) {
+          const double v = row_vector ? vec.At(0, c) : vec.At(r, 0);
+          swapped.Set(r, c, ApplyBinary(expr->bop(), v, full.At(r, c)));
+        }
+      }
+      return swapped;
+    }
+    case ExprKind::kEwUnary: {
+      CUMULON_ASSIGN_OR_RETURN(DenseMatrix value, EvalExpr(expr->left(), env));
+      return value.Unary(expr->uop(), expr->scalar());
+    }
+    case ExprKind::kTranspose: {
+      CUMULON_ASSIGN_OR_RETURN(DenseMatrix value, EvalExpr(expr->left(), env));
+      return value.Transpose();
+    }
+    case ExprKind::kRowSums: {
+      CUMULON_ASSIGN_OR_RETURN(DenseMatrix value, EvalExpr(expr->left(), env));
+      return value.RowSums();
+    }
+    case ExprKind::kColSums: {
+      CUMULON_ASSIGN_OR_RETURN(DenseMatrix value, EvalExpr(expr->left(), env));
+      return value.ColSums();
+    }
+  }
+  return Status::Internal("unhandled expression kind");
+}
+
+Result<std::map<std::string, DenseMatrix>> EvalProgram(
+    const Program& program, std::map<std::string, DenseMatrix> env) {
+  for (const Assignment& a : program.assignments) {
+    CUMULON_ASSIGN_OR_RETURN(DenseMatrix value, EvalExpr(a.expr, env));
+    env.insert_or_assign(a.target, std::move(value));
+  }
+  return env;
+}
+
+}  // namespace cumulon

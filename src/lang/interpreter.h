@@ -1,0 +1,28 @@
+#ifndef CUMULON_LANG_INTERPRETER_H_
+#define CUMULON_LANG_INTERPRETER_H_
+
+#include <map>
+#include <string>
+
+#include "common/result.h"
+#include "lang/expr.h"
+#include "matrix/dense_matrix.h"
+
+namespace cumulon {
+
+/// Single-node reference semantics for the expression language: evaluates
+/// an expression (or whole program) over dense matrices. This is the
+/// ground truth the distributed engine is tested against — including the
+/// randomized lowering fuzz — and a convenient way for users to sanity-
+/// check a program on a small sample before deploying it.
+Result<DenseMatrix> EvalExpr(const ExprPtr& expr,
+                             const std::map<std::string, DenseMatrix>& env);
+
+/// Runs every assignment in order; assignments update the environment (so
+/// iterative programs chain) and the final bindings are returned.
+Result<std::map<std::string, DenseMatrix>> EvalProgram(
+    const Program& program, std::map<std::string, DenseMatrix> env);
+
+}  // namespace cumulon
+
+#endif  // CUMULON_LANG_INTERPRETER_H_

@@ -1,0 +1,122 @@
+#include "lang/logical_optimizer.h"
+
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace cumulon {
+
+double MatMulFlops(const ExprPtr& expr) {
+  if (expr == nullptr) return 0.0;
+  double flops = 0.0;
+  if (expr->kind() == ExprKind::kMatMul) {
+    flops += 2.0 * static_cast<double>(expr->left()->rows()) *
+             static_cast<double>(expr->left()->cols()) *
+             static_cast<double>(expr->right()->cols());
+  }
+  flops += MatMulFlops(expr->left());
+  flops += MatMulFlops(expr->right());
+  return flops;
+}
+
+namespace {
+
+/// Collects the maximal multiply chain rooted at `expr` into `factors`
+/// (left to right). Non-multiply nodes are chain factors.
+void FlattenChain(const ExprPtr& expr, std::vector<ExprPtr>* factors) {
+  if (expr->kind() == ExprKind::kMatMul) {
+    FlattenChain(expr->left(), factors);
+    FlattenChain(expr->right(), factors);
+  } else {
+    factors->push_back(expr);
+  }
+}
+
+/// Classic matrix-chain-order DP; returns the optimal product tree over
+/// `factors` (each already optimized recursively).
+ExprPtr RebuildChain(const std::vector<ExprPtr>& factors) {
+  const int n = static_cast<int>(factors.size());
+  CUMULON_CHECK_GE(n, 1);
+  if (n == 1) return factors[0];
+
+  // dims[i] = rows of factor i; dims[n] = cols of last factor.
+  std::vector<double> dims(n + 1);
+  for (int i = 0; i < n; ++i) dims[i] = static_cast<double>(factors[i]->rows());
+  dims[n] = static_cast<double>(factors[n - 1]->cols());
+
+  std::vector<std::vector<double>> cost(n, std::vector<double>(n, 0.0));
+  std::vector<std::vector<int>> split(n, std::vector<int>(n, 0));
+  for (int len = 2; len <= n; ++len) {
+    for (int i = 0; i + len - 1 < n; ++i) {
+      const int j = i + len - 1;
+      cost[i][j] = std::numeric_limits<double>::infinity();
+      for (int k = i; k < j; ++k) {
+        const double c =
+            cost[i][k] + cost[k + 1][j] + dims[i] * dims[k + 1] * dims[j + 1];
+        if (c < cost[i][j]) {
+          cost[i][j] = c;
+          split[i][j] = k;
+        }
+      }
+    }
+  }
+
+  // Rebuild the tree following the split table.
+  std::function<ExprPtr(int, int)> build = [&](int i, int j) -> ExprPtr {
+    if (i == j) return factors[i];
+    const int k = split[i][j];
+    auto product = Expr::MatMul(build(i, k), build(k + 1, j));
+    CUMULON_CHECK(product.ok()) << product.status();
+    return std::move(product).value();
+  };
+  return build(0, n - 1);
+}
+
+}  // namespace
+
+ExprPtr OptimizeExpr(const ExprPtr& expr) {
+  if (expr == nullptr) return nullptr;
+  switch (expr->kind()) {
+    case ExprKind::kInput:
+      return expr;
+    case ExprKind::kTranspose: {
+      // X^T^T -> X (optimize below the double transpose).
+      if (expr->left()->kind() == ExprKind::kTranspose) {
+        return OptimizeExpr(expr->left()->left());
+      }
+      return Expr::Transpose(OptimizeExpr(expr->left()));
+    }
+    case ExprKind::kEwUnary:
+      return Expr::EwUnary(expr->uop(), OptimizeExpr(expr->left()),
+                           expr->scalar());
+    case ExprKind::kRowSums:
+      return Expr::RowSums(OptimizeExpr(expr->left()));
+    case ExprKind::kColSums:
+      return Expr::ColSums(OptimizeExpr(expr->left()));
+    case ExprKind::kEwBinary: {
+      auto rewritten = Expr::EwBinary(expr->bop(), OptimizeExpr(expr->left()),
+                                      OptimizeExpr(expr->right()));
+      CUMULON_CHECK(rewritten.ok()) << rewritten.status();
+      return std::move(rewritten).value();
+    }
+    case ExprKind::kMatMul: {
+      std::vector<ExprPtr> factors;
+      FlattenChain(expr, &factors);
+      for (auto& f : factors) f = OptimizeExpr(f);
+      return RebuildChain(factors);
+    }
+  }
+  return expr;
+}
+
+Program OptimizeProgram(const Program& program) {
+  Program out;
+  for (const Assignment& a : program.assignments) {
+    out.Assign(a.target, OptimizeExpr(a.expr));
+  }
+  return out;
+}
+
+}  // namespace cumulon

@@ -1,0 +1,25 @@
+#ifndef CUMULON_LANG_LOGICAL_OPTIMIZER_H_
+#define CUMULON_LANG_LOGICAL_OPTIMIZER_H_
+
+#include "lang/expr.h"
+
+namespace cumulon {
+
+/// Total multiply flops (2mnk per product) an expression tree will execute,
+/// ignoring element-wise work. Drives the chain-reordering decision.
+double MatMulFlops(const ExprPtr& expr);
+
+/// Database-style logical rewrites:
+///  - eliminates double transposes (X^T^T -> X),
+///  - reassociates maximal matrix-product chains with the classic O(n^3)
+///    dynamic program to minimize total flops (a huge win for the skinny
+///    chains in RSVD-like workloads).
+/// Returns a new tree; the input is not modified.
+ExprPtr OptimizeExpr(const ExprPtr& expr);
+
+/// Applies OptimizeExpr to every assignment of a program.
+Program OptimizeProgram(const Program& program);
+
+}  // namespace cumulon
+
+#endif  // CUMULON_LANG_LOGICAL_OPTIMIZER_H_

@@ -1,0 +1,335 @@
+#include "lang/lowering.h"
+
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace cumulon {
+
+namespace {
+
+/// An element-wise step whose binary operand is still an expression; the
+/// operand is lowered to a matrix before the step becomes an exec EwStep.
+struct RawStep {
+  EwStep step;          // other_matrix filled in later for binary steps
+  ExprPtr other;        // binary operand expression (null for unary)
+};
+
+class Lowerer {
+ public:
+  Lowerer(const std::map<std::string, TiledMatrix>& inputs,
+          const LoweringOptions& options)
+      : env_(inputs), options_(options) {}
+
+  Status LowerProgram(const Program& program) {
+    for (const Assignment& a : program.assignments) {
+      CUMULON_RETURN_IF_ERROR(LowerAssignment(a));
+    }
+    return Status::OK();
+  }
+
+  LoweredProgram Take() {
+    LoweredProgram out;
+    out.plan = std::move(plan_);
+    out.outputs = std::move(outputs_);
+    return out;
+  }
+
+ private:
+  MatMulParams ChooseMatMulParams(const TileLayout& a, const TileLayout& b) {
+    if (options_.mm_params) {
+      return options_.mm_params(a.grid_rows(), b.grid_cols(), a.grid_cols());
+    }
+    return MatMulParams{1, 1, 0};
+  }
+
+  std::string FreshTempName() {
+    return StrCat(options_.temp_prefix, "_", temp_counter_++);
+  }
+
+  /// Name for an assignment target. Versioned whenever the bare name is
+  /// already bound (as an input or an earlier assignment), so a matrix
+  /// name always denotes exactly one immutable value — required both for
+  /// CSE key stability and to avoid read/write races within a job.
+  std::string TargetMatrixName(const std::string& target) {
+    const int version = ++target_versions_[target];
+    if (version == 1 && env_.find(target) == env_.end()) return target;
+    return StrCat(target, "@v", version);
+  }
+
+  Status LowerAssignment(const Assignment& a) {
+    const std::string out_name = TargetMatrixName(a.target);
+    CUMULON_ASSIGN_OR_RETURN(TiledMatrix out,
+                             LowerInto(a.expr, out_name));
+    // A superseded version produced by this program (never a caller-owned
+    // input) is garbage once the plan finishes.
+    auto previous = env_.find(a.target);
+    if (previous != env_.end() &&
+        produced_.count(previous->second.name) > 0) {
+      plan_.temporaries.push_back(previous->second.name);
+    }
+    produced_.insert(out.name);
+    env_.insert_or_assign(a.target, out);
+    outputs_.insert_or_assign(a.target, out);
+    return Status::OK();
+  }
+
+  /// Materializes `expr` as a matrix named `out_name` (creating whatever
+  /// jobs that requires).
+  Result<TiledMatrix> LowerInto(const ExprPtr& expr,
+                                const std::string& out_name) {
+    switch (expr->kind()) {
+      case ExprKind::kInput: {
+        // Aliasing an existing matrix: copy via an empty ew chain so the
+        // target name really exists in the store.
+        CUMULON_ASSIGN_OR_RETURN(TiledMatrix in, ResolveInput(expr));
+        TiledMatrix out{out_name, in.layout};
+        CUMULON_RETURN_IF_ERROR(AddEwChain(in, out, {}, &plan_,
+                                           options_.ew_tiles_per_task));
+        return out;
+      }
+      case ExprKind::kTranspose: {
+        CUMULON_ASSIGN_OR_RETURN(TiledMatrix in, LowerValue(expr->left()));
+        TiledMatrix out{out_name, in.layout.Transposed()};
+        CUMULON_RETURN_IF_ERROR(AddTranspose(in, out, &plan_,
+                                             options_.ew_tiles_per_task));
+        return out;
+      }
+      case ExprKind::kMatMul:
+        return LowerMultiply(expr, {}, out_name);
+      case ExprKind::kEwUnary:
+      case ExprKind::kEwBinary:
+        return LowerEwSpine(expr, out_name);
+      case ExprKind::kRowSums:
+      case ExprKind::kColSums: {
+        const AggKind kind = expr->kind() == ExprKind::kRowSums
+                                 ? AggKind::kRowSums
+                                 : AggKind::kColSums;
+        CUMULON_ASSIGN_OR_RETURN(TiledMatrix in, LowerValue(expr->left()));
+        TiledMatrix out{out_name, AggOutputLayout(in.layout, kind)};
+        CUMULON_RETURN_IF_ERROR(AddAggregate(in, out, kind, {}, &plan_));
+        return out;
+      }
+    }
+    return Status::Internal("unhandled expression kind");
+  }
+
+  /// Materializes `expr` as some matrix (fresh temp name unless it is
+  /// already materialized, i.e. an input/earlier target, or an identical
+  /// subexpression was lowered before — CSE).
+  Result<TiledMatrix> LowerValue(const ExprPtr& expr) {
+    if (expr->kind() == ExprKind::kInput) return ResolveInput(expr);
+    std::string key;
+    if (options_.enable_cse) {
+      CUMULON_ASSIGN_OR_RETURN(key, ExprKey(expr));
+      auto hit = cse_.find(key);
+      if (hit != cse_.end()) return hit->second;
+    }
+    CUMULON_ASSIGN_OR_RETURN(TiledMatrix out,
+                             LowerInto(expr, FreshTempName()));
+    plan_.temporaries.push_back(out.name);
+    if (options_.enable_cse) cse_.insert_or_assign(key, out);
+    return out;
+  }
+
+  /// A canonical string for an expression with its inputs resolved to
+  /// concrete matrix names, so two structurally identical subexpressions
+  /// over the same matrix *versions* share one key. Resolution makes keys
+  /// stable across reassignments (an old key keeps naming the old
+  /// version's matrix, which still exists).
+  Result<std::string> ExprKey(const ExprPtr& expr) {
+    switch (expr->kind()) {
+      case ExprKind::kInput: {
+        CUMULON_ASSIGN_OR_RETURN(TiledMatrix m, ResolveInput(expr));
+        return StrCat("@", m.name);
+      }
+      case ExprKind::kMatMul: {
+        CUMULON_ASSIGN_OR_RETURN(std::string l, ExprKey(expr->left()));
+        CUMULON_ASSIGN_OR_RETURN(std::string r, ExprKey(expr->right()));
+        return StrCat("(", l, "*", r, ")");
+      }
+      case ExprKind::kEwBinary: {
+        CUMULON_ASSIGN_OR_RETURN(std::string l, ExprKey(expr->left()));
+        CUMULON_ASSIGN_OR_RETURN(std::string r, ExprKey(expr->right()));
+        return StrCat("(", l, " ", BinaryOpName(expr->bop()), " ", r, ")");
+      }
+      case ExprKind::kEwUnary: {
+        CUMULON_ASSIGN_OR_RETURN(std::string l, ExprKey(expr->left()));
+        return StrCat(UnaryOpName(expr->uop()), "[", expr->scalar(), "](", l,
+                      ")");
+      }
+      case ExprKind::kTranspose: {
+        CUMULON_ASSIGN_OR_RETURN(std::string l, ExprKey(expr->left()));
+        return StrCat("T(", l, ")");
+      }
+      case ExprKind::kRowSums:
+      case ExprKind::kColSums: {
+        CUMULON_ASSIGN_OR_RETURN(std::string l, ExprKey(expr->left()));
+        return StrCat(expr->kind() == ExprKind::kRowSums ? "rsum(" : "csum(",
+                      l, ")");
+      }
+    }
+    return Status::Internal("unhandled expression kind in ExprKey");
+  }
+
+  Result<TiledMatrix> ResolveInput(const ExprPtr& expr) {
+    auto it = env_.find(expr->input_name());
+    if (it == env_.end()) {
+      return Status::NotFound(
+          StrCat("unbound matrix '", expr->input_name(), "'"));
+    }
+    const TiledMatrix& m = it->second;
+    if (m.layout.rows() != expr->rows() || m.layout.cols() != expr->cols()) {
+      return Status::InvalidArgument(
+          StrCat("matrix '", expr->input_name(), "' bound as ",
+                 m.layout.ToString(), " but referenced as ", expr->rows(),
+                 "x", expr->cols()));
+    }
+    return m;
+  }
+
+  /// Lowers a multiply with an already-collected epilogue into `out_name`.
+  Result<TiledMatrix> LowerMultiply(const ExprPtr& mm,
+                                    std::vector<EwStep> epilogue,
+                                    const std::string& out_name) {
+    CUMULON_ASSIGN_OR_RETURN(TiledMatrix a, LowerValue(mm->left()));
+    CUMULON_ASSIGN_OR_RETURN(TiledMatrix b, LowerValue(mm->right()));
+    if (!InnerAligned(a.layout, b.layout)) {
+      return Status::InvalidArgument(
+          StrCat("tile grids misaligned for multiply: ", a.layout.ToString(),
+                 " * ", b.layout.ToString()));
+    }
+    TiledMatrix out{out_name,
+                    TileLayout(a.layout.rows(), b.layout.cols(),
+                               a.layout.tile_rows(), b.layout.tile_cols())};
+    const MatMulParams params = ChooseMatMulParams(a.layout, b.layout);
+    CUMULON_RETURN_IF_ERROR(
+        AddMatMul(a, b, out, params, std::move(epilogue), &plan_));
+    return out;
+  }
+
+  /// Lowers an expression whose root is element-wise: peels the chain of
+  /// ew ops along its spine, fuses it into the producing multiply when
+  /// possible, otherwise emits an EwChainJob.
+  Result<TiledMatrix> LowerEwSpine(const ExprPtr& root,
+                                   const std::string& out_name) {
+    // Peel from the root down: raw[0] is applied first (closest to base).
+    std::vector<RawStep> raw;
+    ExprPtr node = root;
+    while (true) {
+      if (node->kind() == ExprKind::kEwUnary) {
+        RawStep rs;
+        rs.step = EwStep::Unary(node->uop(), node->scalar());
+        raw.insert(raw.begin(), rs);
+        node = node->left();
+      } else if (node->kind() == ExprKind::kEwBinary) {
+        // The spine must be a full-shaped side; when both sides are full,
+        // continue into the one holding a multiply (enables fusion).
+        auto is_full = [&](const ExprPtr& e) {
+          return e->rows() == node->rows() && e->cols() == node->cols();
+        };
+        const bool left_full = is_full(node->left());
+        const bool right_full = is_full(node->right());
+        const bool spine_left =
+            left_full && right_full
+                ? (node->left()->ContainsMatMul() ||
+                   !node->right()->ContainsMatMul())
+                : left_full;
+        RawStep rs;
+        rs.other = spine_left ? node->right() : node->left();
+        EwStep::Operand operand = EwStep::Operand::kFull;
+        if (!is_full(rs.other)) {
+          operand = rs.other->rows() == 1 ? EwStep::Operand::kRowVector
+                                          : EwStep::Operand::kColVector;
+        }
+        rs.step = EwStep::Binary(node->bop(), /*other=*/"",
+                                 /*swapped=*/!spine_left, operand);
+        raw.insert(raw.begin(), rs);
+        node = spine_left ? node->left() : node->right();
+      } else {
+        break;
+      }
+    }
+
+    // Lower the binary operands and finalize the steps.
+    std::vector<EwStep> steps;
+    steps.reserve(raw.size());
+    // Operands paired with their broadcast kind, for layout checks below.
+    std::vector<std::pair<TiledMatrix, EwStep::Operand>> operands;
+    for (RawStep& rs : raw) {
+      if (rs.other != nullptr) {
+        CUMULON_ASSIGN_OR_RETURN(TiledMatrix other, LowerValue(rs.other));
+        rs.step.other_matrix = other.name;
+        operands.emplace_back(std::move(other), rs.step.operand);
+      }
+      steps.push_back(rs.step);
+    }
+
+    // Fusion: the spine base is a multiply -> epilogue of that job.
+    if (options_.enable_fusion && node->kind() == ExprKind::kMatMul) {
+      CUMULON_ASSIGN_OR_RETURN(
+          TiledMatrix out, LowerMultiply(node, std::move(steps), out_name));
+      CUMULON_RETURN_IF_ERROR(CheckOperandLayouts(operands, out.layout));
+      return out;
+    }
+
+    // Unfused: materialize the base, then one element-wise pass.
+    CUMULON_ASSIGN_OR_RETURN(TiledMatrix base, LowerValue(node));
+    TiledMatrix out{out_name, base.layout};
+    CUMULON_RETURN_IF_ERROR(CheckOperandLayouts(operands, out.layout));
+    CUMULON_RETURN_IF_ERROR(AddEwChain(base, out, std::move(steps), &plan_,
+                                       options_.ew_tiles_per_task));
+    return out;
+  }
+
+  Status CheckOperandLayouts(
+      const std::vector<std::pair<TiledMatrix, EwStep::Operand>>& operands,
+      const TileLayout& out_layout) {
+    for (const auto& [m, operand] : operands) {
+      TileLayout expected = out_layout;
+      switch (operand) {
+        case EwStep::Operand::kFull:
+          break;
+        case EwStep::Operand::kRowVector:
+          expected = TileLayout(1, out_layout.cols(), 1,
+                                out_layout.tile_cols());
+          break;
+        case EwStep::Operand::kColVector:
+          expected = TileLayout(out_layout.rows(), 1,
+                                out_layout.tile_rows(), 1);
+          break;
+      }
+      if (!GridsAlign(m.layout, expected)) {
+        return Status::InvalidArgument(
+            StrCat("element-wise operand '", m.name, "' has layout ",
+                   m.layout.ToString(), " but the step expects ",
+                   expected.ToString(),
+                   " (store inputs with a matching tile size)"));
+      }
+    }
+    return Status::OK();
+  }
+
+  std::map<std::string, TiledMatrix> env_;
+  const LoweringOptions& options_;
+  PhysicalPlan plan_;
+  std::map<std::string, TiledMatrix> outputs_;
+  std::map<std::string, int> target_versions_;
+  std::map<std::string, TiledMatrix> cse_;
+  std::set<std::string> produced_;  // matrices created by this program
+  int temp_counter_ = 0;
+};
+
+}  // namespace
+
+Result<LoweredProgram> Lower(const Program& program,
+                             const std::map<std::string, TiledMatrix>& inputs,
+                             const LoweringOptions& options) {
+  Lowerer lowerer(inputs, options);
+  CUMULON_RETURN_IF_ERROR(lowerer.LowerProgram(program));
+  return lowerer.Take();
+}
+
+}  // namespace cumulon

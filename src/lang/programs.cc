@@ -1,0 +1,63 @@
+#include "lang/programs.h"
+
+namespace cumulon {
+
+Program BuildRsvd1(const RsvdSpec& spec) {
+  auto a = Expr::Input("A", spec.m, spec.n);
+  auto omega = Expr::Input("Omega", spec.n, spec.l);
+  Program p;
+  // Written naively as ((A * A^T) * A) * Omega: evaluated literally this
+  // materializes an m x m matrix; the chain optimizer reassociates it to
+  // A * (A^T * (A * Omega)) which never exceeds skinny intermediates.
+  p.Assign("Y", a * T(a) * a * omega);
+  return p;
+}
+
+Program BuildGnmfIteration(const GnmfSpec& spec) {
+  auto v = Expr::Input("V", spec.m, spec.n);
+  auto w = Expr::Input("W", spec.m, spec.k);
+  auto h = Expr::Input("H", spec.k, spec.n);
+  Program p;
+  // H <- H .* (W^T V) ./ (W^T W H)
+  p.Assign("H", EMul(h, EDiv(T(w) * v, T(w) * w * h)));
+  // W <- W .* (V H^T) ./ (W H H^T); references the H updated above.
+  auto h_new = Expr::Input("H", spec.k, spec.n);
+  p.Assign("W", EMul(w, EDiv(v * T(h_new), w * h_new * T(h_new))));
+  return p;
+}
+
+Program BuildLinRegStep(const LinRegSpec& spec) {
+  auto x = Expr::Input("X", spec.samples, spec.features);
+  auto w = Expr::Input("w", spec.features, 1);
+  auto y = Expr::Input("y", spec.samples, 1);
+  Program p;
+  // w <- w - alpha * X^T (X w - y)
+  p.Assign("w", w - Scale(T(x) * (x * w - y), spec.alpha));
+  return p;
+}
+
+Program BuildPageRankIteration(const PageRankSpec& spec) {
+  auto m = Expr::Input("M", spec.n, spec.n);
+  auto rank = Expr::Input("p", spec.n, 1);
+  Program p;
+  // p <- damping * M p + (1 - damping)/n; the scale and teleport terms
+  // fuse into the multiply as element-wise epilogue steps.
+  p.Assign("p", Expr::EwUnary(UnaryOp::kAddScalar,
+                              Scale(m * rank, spec.damping),
+                              (1.0 - spec.damping) / spec.n));
+  return p;
+}
+
+Program BuildLogRegStep(const LogRegSpec& spec) {
+  auto x = Expr::Input("X", spec.samples, spec.features);
+  auto w = Expr::Input("w", spec.features, 1);
+  auto y = Expr::Input("y", spec.samples, 1);
+  Program p;
+  // w <- w + alpha * X^T (y - sigmoid(X w)); the sigmoid and the
+  // subtraction both fuse into the X w multiply.
+  auto residual = y - Expr::EwUnary(UnaryOp::kSigmoid, x * w);
+  p.Assign("w", w + Scale(T(x) * residual, spec.alpha));
+  return p;
+}
+
+}  // namespace cumulon

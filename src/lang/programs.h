@@ -1,0 +1,72 @@
+#ifndef CUMULON_LANG_PROGRAMS_H_
+#define CUMULON_LANG_PROGRAMS_H_
+
+#include <cstdint>
+
+#include "lang/expr.h"
+
+namespace cumulon {
+
+/// Canonical matrix-analytics workloads of the kind the paper's evaluation
+/// uses: a randomized-SVD building block, Gaussian non-negative matrix
+/// factorization, and linear-regression gradient descent. Each builder
+/// returns a straight-line Program; the caller binds the named inputs.
+
+/// RSVD-1 (the paper's running example): one step of the randomized-SVD
+/// power iteration, Y = A * A^T * A * Omega, with A m x n and Omega a
+/// skinny n x l Gaussian sketch. Inputs: "A", "Omega". Output: "Y" (m x l).
+/// The multiply chain is deliberately written left-to-right so the logical
+/// optimizer's chain reordering has something to win.
+struct RsvdSpec {
+  int64_t m = 1 << 14;
+  int64_t n = 1 << 12;
+  int64_t l = 32;
+};
+Program BuildRsvd1(const RsvdSpec& spec);
+
+/// One GNMF multiplicative-update iteration (factorizing V ~ W * H):
+///   H <- H .* (W^T V) ./ (W^T W H)
+///   W <- W .* (V H^T) ./ (W H H^T)
+/// Inputs: "V" (m x n), "W" (m x k), "H" (k x n). Outputs: updated "H", "W".
+struct GnmfSpec {
+  int64_t m = 1 << 13;
+  int64_t n = 1 << 12;
+  int64_t k = 64;
+};
+Program BuildGnmfIteration(const GnmfSpec& spec);
+
+/// One batch-gradient-descent step of least-squares linear regression:
+///   w <- w - alpha * X^T (X w - y)
+/// Inputs: "X" (s x d), "w" (d x 1), "y" (s x 1). Output: updated "w".
+struct LinRegSpec {
+  int64_t samples = 1 << 14;
+  int64_t features = 1 << 10;
+  double alpha = 1e-4;
+};
+Program BuildLinRegStep(const LinRegSpec& spec);
+
+/// One PageRank power iteration with damping:
+///   p <- damping * M p + (1 - damping) / n
+/// Inputs: "M" (n x n column-stochastic link matrix), "p" (n x 1).
+/// Output: updated "p". The teleport term fuses into the multiply job as
+/// an element-wise epilogue.
+struct PageRankSpec {
+  int64_t n = 1 << 14;
+  double damping = 0.85;
+};
+Program BuildPageRankIteration(const PageRankSpec& spec);
+
+/// One batch-gradient-ascent step of logistic regression:
+///   w <- w + alpha * X^T (y - sigmoid(X w))
+/// Inputs: "X" (s x d), "w" (d x 1), "y" (s x 1, in {0,1}). Output:
+/// updated "w". The sigmoid fuses into the X w multiply.
+struct LogRegSpec {
+  int64_t samples = 1 << 14;
+  int64_t features = 1 << 10;
+  double alpha = 1e-3;
+};
+Program BuildLogRegStep(const LogRegSpec& spec);
+
+}  // namespace cumulon
+
+#endif  // CUMULON_LANG_PROGRAMS_H_

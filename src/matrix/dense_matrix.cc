@@ -1,0 +1,143 @@
+#include "matrix/dense_matrix.h"
+
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace cumulon {
+
+DenseMatrix DenseMatrix::Gaussian(int64_t rows, int64_t cols, Rng* rng) {
+  DenseMatrix m(rows, cols);
+  for (auto& v : m.data_) v = rng->NextGaussian();
+  return m;
+}
+
+DenseMatrix DenseMatrix::Uniform(int64_t rows, int64_t cols, Rng* rng,
+                                 double lo, double hi) {
+  DenseMatrix m(rows, cols);
+  for (auto& v : m.data_) v = rng->NextDouble(lo, hi);
+  return m;
+}
+
+DenseMatrix DenseMatrix::Constant(int64_t rows, int64_t cols, double value) {
+  DenseMatrix m(rows, cols);
+  for (auto& v : m.data_) v = value;
+  return m;
+}
+
+DenseMatrix DenseMatrix::Identity(int64_t n) {
+  DenseMatrix m(n, n);
+  for (int64_t i = 0; i < n; ++i) m.Set(i, i, 1.0);
+  return m;
+}
+
+Result<DenseMatrix> DenseMatrix::Multiply(const DenseMatrix& other) const {
+  if (cols_ != other.rows_) {
+    return Status::InvalidArgument(
+        StrCat("multiply shape mismatch: ", rows_, "x", cols_, " * ",
+               other.rows_, "x", other.cols_));
+  }
+  DenseMatrix out(rows_, other.cols_);
+  for (int64_t i = 0; i < rows_; ++i) {
+    for (int64_t k = 0; k < cols_; ++k) {
+      const double a = At(i, k);
+      if (a == 0.0) continue;
+      for (int64_t j = 0; j < other.cols_; ++j) {
+        out.data_[i * out.cols_ + j] += a * other.At(k, j);
+      }
+    }
+  }
+  return out;
+}
+
+Result<DenseMatrix> DenseMatrix::Binary(BinaryOp op,
+                                        const DenseMatrix& other) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_) {
+    return Status::InvalidArgument("binary shape mismatch");
+  }
+  DenseMatrix out(rows_, cols_);
+  for (int64_t i = 0; i < rows_ * cols_; ++i) {
+    out.data_[i] = ApplyBinary(op, data_[i], other.data_[i]);
+  }
+  return out;
+}
+
+DenseMatrix DenseMatrix::Unary(UnaryOp op, double scalar) const {
+  DenseMatrix out(rows_, cols_);
+  for (int64_t i = 0; i < rows_ * cols_; ++i) {
+    out.data_[i] = ApplyUnary(op, data_[i], scalar);
+  }
+  return out;
+}
+
+DenseMatrix DenseMatrix::Transpose() const {
+  DenseMatrix out(cols_, rows_);
+  for (int64_t i = 0; i < rows_; ++i) {
+    for (int64_t j = 0; j < cols_; ++j) {
+      out.Set(j, i, At(i, j));
+    }
+  }
+  return out;
+}
+
+DenseMatrix DenseMatrix::RowSums() const {
+  DenseMatrix out(rows_, 1);
+  for (int64_t r = 0; r < rows_; ++r) {
+    double s = 0.0;
+    for (int64_t c = 0; c < cols_; ++c) s += At(r, c);
+    out.Set(r, 0, s);
+  }
+  return out;
+}
+
+DenseMatrix DenseMatrix::ColSums() const {
+  DenseMatrix out(1, cols_);
+  for (int64_t r = 0; r < rows_; ++r) {
+    for (int64_t c = 0; c < cols_; ++c) {
+      out.Set(0, c, out.At(0, c) + At(r, c));
+    }
+  }
+  return out;
+}
+
+Result<DenseMatrix> DenseMatrix::Broadcast(BinaryOp op,
+                                           const DenseMatrix& vec,
+                                           bool row_vector) const {
+  if (row_vector ? (vec.rows() != 1 || vec.cols() != cols_)
+                 : (vec.cols() != 1 || vec.rows() != rows_)) {
+    return Status::InvalidArgument("broadcast vector shape mismatch");
+  }
+  DenseMatrix out(rows_, cols_);
+  for (int64_t r = 0; r < rows_; ++r) {
+    for (int64_t c = 0; c < cols_; ++c) {
+      const double v = row_vector ? vec.At(0, c) : vec.At(r, 0);
+      out.Set(r, c, ApplyBinary(op, At(r, c), v));
+    }
+  }
+  return out;
+}
+
+double DenseMatrix::Total() const {
+  double s = 0.0;
+  for (double v : data_) s += v;
+  return s;
+}
+
+double DenseMatrix::FrobeniusNorm() const {
+  double s = 0.0;
+  for (double v : data_) s += v * v;
+  return std::sqrt(s);
+}
+
+Result<double> DenseMatrix::MaxAbsDiff(const DenseMatrix& other) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_) {
+    return Status::InvalidArgument("MaxAbsDiff shape mismatch");
+  }
+  double m = 0.0;
+  for (int64_t i = 0; i < rows_ * cols_; ++i) {
+    m = std::max(m, std::abs(data_[i] - other.data_[i]));
+  }
+  return m;
+}
+
+}  // namespace cumulon

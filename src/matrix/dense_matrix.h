@@ -1,0 +1,67 @@
+#ifndef CUMULON_MATRIX_DENSE_MATRIX_H_
+#define CUMULON_MATRIX_DENSE_MATRIX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "matrix/tile_ops.h"
+
+namespace cumulon {
+
+/// Single-node reference matrix, used by tests and examples to verify the
+/// distributed engine's numerics against straightforward implementations.
+/// Not a performance-critical type.
+class DenseMatrix {
+ public:
+  DenseMatrix(int64_t rows, int64_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {
+    CUMULON_CHECK_GT(rows, 0);
+    CUMULON_CHECK_GT(cols, 0);
+  }
+
+  static DenseMatrix Gaussian(int64_t rows, int64_t cols, Rng* rng);
+  static DenseMatrix Uniform(int64_t rows, int64_t cols, Rng* rng,
+                             double lo = 0.0, double hi = 1.0);
+  static DenseMatrix Constant(int64_t rows, int64_t cols, double value);
+  static DenseMatrix Identity(int64_t n);
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+
+  double At(int64_t r, int64_t c) const { return data_[r * cols_ + c]; }
+  void Set(int64_t r, int64_t c, double v) { data_[r * cols_ + c] = v; }
+
+  Result<DenseMatrix> Multiply(const DenseMatrix& other) const;
+  Result<DenseMatrix> Binary(BinaryOp op, const DenseMatrix& other) const;
+  DenseMatrix Unary(UnaryOp op, double scalar = 0.0) const;
+  DenseMatrix Transpose() const;
+
+  /// rows x 1 vector of row sums / 1 x cols vector of column sums.
+  DenseMatrix RowSums() const;
+  DenseMatrix ColSums() const;
+
+  /// Broadcast binary: `vec` is 1 x cols (row_vector) or rows x 1;
+  /// out(r,c) = op(this(r,c), vec(...)).
+  Result<DenseMatrix> Broadcast(BinaryOp op, const DenseMatrix& vec,
+                                bool row_vector) const;
+
+  /// Sum of all entries.
+  double Total() const;
+
+  double FrobeniusNorm() const;
+
+  /// max |this - other| element-wise; error on shape mismatch.
+  Result<double> MaxAbsDiff(const DenseMatrix& other) const;
+
+ private:
+  int64_t rows_;
+  int64_t cols_;
+  std::vector<double> data_;
+};
+
+}  // namespace cumulon
+
+#endif  // CUMULON_MATRIX_DENSE_MATRIX_H_

@@ -1,0 +1,42 @@
+#include "matrix/layout.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace cumulon {
+
+std::string TileLayout::ToString() const {
+  return StrCat(rows_, "x", cols_, " in ", tile_rows_, "x", tile_cols_,
+                " tiles (grid ", grid_rows(), "x", grid_cols(), ")");
+}
+
+bool RowPartitionsEqual(const TileLayout& a, const TileLayout& b) {
+  if (a.rows() != b.rows() || a.grid_rows() != b.grid_rows()) return false;
+  for (int64_t r = 0; r < a.grid_rows(); ++r) {
+    if (a.TileRowsAt(r) != b.TileRowsAt(r)) return false;
+  }
+  return true;
+}
+
+bool ColPartitionsEqual(const TileLayout& a, const TileLayout& b) {
+  if (a.cols() != b.cols() || a.grid_cols() != b.grid_cols()) return false;
+  for (int64_t c = 0; c < a.grid_cols(); ++c) {
+    if (a.TileColsAt(c) != b.TileColsAt(c)) return false;
+  }
+  return true;
+}
+
+bool GridsAlign(const TileLayout& a, const TileLayout& b) {
+  return RowPartitionsEqual(a, b) && ColPartitionsEqual(a, b);
+}
+
+bool InnerAligned(const TileLayout& a, const TileLayout& b) {
+  if (a.cols() != b.rows() || a.grid_cols() != b.grid_rows()) return false;
+  for (int64_t k = 0; k < a.grid_cols(); ++k) {
+    if (a.TileColsAt(k) != b.TileRowsAt(k)) return false;
+  }
+  return true;
+}
+
+}  // namespace cumulon

@@ -1,0 +1,108 @@
+#ifndef CUMULON_MATRIX_LAYOUT_H_
+#define CUMULON_MATRIX_LAYOUT_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+#include "common/logging.h"
+
+namespace cumulon {
+
+/// Position of a tile within a matrix's tile grid.
+struct TileId {
+  int64_t row = 0;  // grid row index
+  int64_t col = 0;  // grid column index
+
+  bool operator==(const TileId& o) const {
+    return row == o.row && col == o.col;
+  }
+  bool operator<(const TileId& o) const {
+    return row != o.row ? row < o.row : col < o.col;
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const TileId& t) {
+  return os << "(" << t.row << "," << t.col << ")";
+}
+
+/// Maps a logical rows x cols matrix onto a grid of tiles of (at most)
+/// tile_rows x tile_cols each. Edge tiles may be smaller.
+class TileLayout {
+ public:
+  TileLayout(int64_t rows, int64_t cols, int64_t tile_rows, int64_t tile_cols)
+      : rows_(rows), cols_(cols), tile_rows_(tile_rows),
+        tile_cols_(tile_cols) {
+    CUMULON_CHECK_GT(rows, 0);
+    CUMULON_CHECK_GT(cols, 0);
+    CUMULON_CHECK_GT(tile_rows, 0);
+    CUMULON_CHECK_GT(tile_cols, 0);
+  }
+
+  /// Square tiles of dimension `tile_dim`.
+  static TileLayout Square(int64_t rows, int64_t cols, int64_t tile_dim) {
+    return TileLayout(rows, cols, tile_dim, tile_dim);
+  }
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  int64_t tile_rows() const { return tile_rows_; }
+  int64_t tile_cols() const { return tile_cols_; }
+
+  int64_t grid_rows() const { return (rows_ + tile_rows_ - 1) / tile_rows_; }
+  int64_t grid_cols() const { return (cols_ + tile_cols_ - 1) / tile_cols_; }
+  int64_t num_tiles() const { return grid_rows() * grid_cols(); }
+
+  /// Number of element rows in grid row `gr` (edge tiles may be short).
+  int64_t TileRowsAt(int64_t gr) const {
+    CUMULON_DCHECK(gr >= 0 && gr < grid_rows());
+    return std::min(tile_rows_, rows_ - gr * tile_rows_);
+  }
+  int64_t TileColsAt(int64_t gc) const {
+    CUMULON_DCHECK(gc >= 0 && gc < grid_cols());
+    return std::min(tile_cols_, cols_ - gc * tile_cols_);
+  }
+
+  /// Total logical elements and serialized bytes of the whole matrix.
+  int64_t num_elements() const { return rows_ * cols_; }
+  int64_t TotalBytes() const { return 16 * num_tiles() + num_elements() * 8; }
+
+  /// The layout of this matrix transposed (tile grid transposes too).
+  TileLayout Transposed() const {
+    return TileLayout(cols_, rows_, tile_cols_, tile_rows_);
+  }
+
+  bool operator==(const TileLayout& o) const {
+    return rows_ == o.rows_ && cols_ == o.cols_ &&
+           tile_rows_ == o.tile_rows_ && tile_cols_ == o.tile_cols_;
+  }
+
+  std::string ToString() const;
+
+ private:
+  int64_t rows_;
+  int64_t cols_;
+  int64_t tile_rows_;
+  int64_t tile_cols_;
+};
+
+/// True if the two layouts split the same number of rows into identical
+/// row partitions (same grid rows, same per-cell heights). Nominal
+/// tile_rows may differ when edge clipping makes them equivalent (e.g. a
+/// 1 x n matrix with tile_rows 8 vs 1).
+bool RowPartitionsEqual(const TileLayout& a, const TileLayout& b);
+bool ColPartitionsEqual(const TileLayout& a, const TileLayout& b);
+
+/// True if the layouts partition identical dimensions into identical
+/// grids: every tile has the same shape. This — not nominal tile-size
+/// equality — is what the engine's per-tile operators require.
+bool GridsAlign(const TileLayout& a, const TileLayout& b);
+
+/// Multiply inner alignment: a's column partition equals b's row
+/// partition, so tile (i,k) of A multiplies tile (k,j) of B.
+bool InnerAligned(const TileLayout& a, const TileLayout& b);
+
+}  // namespace cumulon
+
+#endif  // CUMULON_MATRIX_LAYOUT_H_

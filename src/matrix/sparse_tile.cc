@@ -1,0 +1,98 @@
+#include "matrix/sparse_tile.h"
+
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace cumulon {
+
+SparseTile::SparseTile(int64_t rows, int64_t cols)
+    : rows_(rows), cols_(cols), row_ptr_(rows + 1, 0) {
+  CUMULON_CHECK_GT(rows, 0);
+  CUMULON_CHECK_GT(cols, 0);
+}
+
+SparseTile SparseTile::FromDense(const Tile& dense, double zero_tolerance) {
+  SparseTile out(dense.rows(), dense.cols());
+  const double* d = dense.data();
+  for (int64_t r = 0; r < dense.rows(); ++r) {
+    for (int64_t c = 0; c < dense.cols(); ++c) {
+      const double v = d[r * dense.cols() + c];
+      if (std::abs(v) > zero_tolerance) {
+        out.col_idx_.push_back(c);
+        out.values_.push_back(v);
+      }
+    }
+    out.row_ptr_[r + 1] = static_cast<int64_t>(out.values_.size());
+  }
+  return out;
+}
+
+SparseTile SparseTile::Random(int64_t rows, int64_t cols, double density,
+                              Rng* rng) {
+  SparseTile out(rows, cols);
+  for (int64_t r = 0; r < rows; ++r) {
+    for (int64_t c = 0; c < cols; ++c) {
+      if (rng->NextDouble() < density) {
+        out.col_idx_.push_back(c);
+        out.values_.push_back(rng->NextGaussian());
+      }
+    }
+    out.row_ptr_[r + 1] = static_cast<int64_t>(out.values_.size());
+  }
+  return out;
+}
+
+Tile SparseTile::ToDense() const {
+  Tile out(rows_, cols_);
+  for (int64_t r = 0; r < rows_; ++r) {
+    for (int64_t i = row_ptr_[r]; i < row_ptr_[r + 1]; ++i) {
+      out.Set(r, col_idx_[i], values_[i]);
+    }
+  }
+  return out;
+}
+
+Status SparseTile::SpMM(const SparseTile& s, const Tile& d, double alpha,
+                        double beta, Tile* c) {
+  if (s.cols() != d.rows() || s.rows() != c->rows() ||
+      d.cols() != c->cols()) {
+    return Status::InvalidArgument(
+        StrCat("spmm shape mismatch: S ", s.rows(), "x", s.cols(), ", D ",
+               d.rows(), "x", d.cols(), ", C ", c->rows(), "x", c->cols()));
+  }
+  const int64_t n = d.cols();
+  double* cd = c->mutable_data();
+  if (beta != 1.0) {
+    for (int64_t i = 0; i < c->size(); ++i) cd[i] *= beta;
+  }
+  const double* dd = d.data();
+  for (int64_t r = 0; r < s.rows_; ++r) {
+    double* crow = cd + r * n;
+    for (int64_t i = s.row_ptr_[r]; i < s.row_ptr_[r + 1]; ++i) {
+      const double av = alpha * s.values_[i];
+      const double* drow = dd + s.col_idx_[i] * n;
+      for (int64_t j = 0; j < n; ++j) {
+        crow[j] += av * drow[j];
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status SparseTile::RowSumsInto(Tile* acc) const {
+  if (acc->rows() != rows_ || acc->cols() != 1) {
+    return Status::InvalidArgument("RowSumsInto needs a rows x 1 accumulator");
+  }
+  double* a = acc->mutable_data();
+  for (int64_t r = 0; r < rows_; ++r) {
+    double sum = 0.0;
+    for (int64_t i = row_ptr_[r]; i < row_ptr_[r + 1]; ++i) {
+      sum += values_[i];
+    }
+    a[r] += sum;
+  }
+  return Status::OK();
+}
+
+}  // namespace cumulon

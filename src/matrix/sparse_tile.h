@@ -1,0 +1,72 @@
+#ifndef CUMULON_MATRIX_SPARSE_TILE_H_
+#define CUMULON_MATRIX_SPARSE_TILE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "matrix/tile.h"
+
+namespace cumulon {
+
+/// A CSR (compressed sparse row) tile. Statistical workloads frequently
+/// have sparse inputs (document-term matrices for NMF, one-hot features
+/// for regression); storing and multiplying them densely wastes space and
+/// flops roughly in proportion to 1/density. This is the kernel-level
+/// counterpart of the dense Tile; plan-level integration (sparse-aware
+/// operators and cost models in the optimizer) is listed as future work
+/// in DESIGN.md, matching the paper's dense-first focus.
+class SparseTile {
+ public:
+  /// Empty rows x cols tile (no nonzeros).
+  SparseTile(int64_t rows, int64_t cols);
+
+  /// Compresses a dense tile; entries with |v| <= zero_tolerance drop.
+  static SparseTile FromDense(const Tile& dense, double zero_tolerance = 0.0);
+
+  /// Random tile with approximately `density` fraction of N(0,1) nonzeros.
+  static SparseTile Random(int64_t rows, int64_t cols, double density,
+                           Rng* rng);
+
+  Tile ToDense() const;
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  int64_t nnz() const { return static_cast<int64_t>(values_.size()); }
+  double density() const {
+    return static_cast<double>(nnz()) / (rows_ * cols_);
+  }
+
+  /// Serialized CSR footprint: header + row offsets + (col, value) pairs.
+  int64_t SizeBytes() const {
+    return 24 + (rows_ + 1) * 8 + nnz() * 16;
+  }
+
+  const std::vector<int64_t>& row_ptr() const { return row_ptr_; }
+  const std::vector<int64_t>& col_idx() const { return col_idx_; }
+  const std::vector<double>& values() const { return values_; }
+
+  /// C = alpha * S * D + beta * C (sparse-dense matrix multiply).
+  /// S is rows x k (this), D is k x n, C is rows x n.
+  static Status SpMM(const SparseTile& s, const Tile& d, double alpha,
+                     double beta, Tile* c);
+
+  /// acc[r] += sum of row r's nonzeros.
+  Status RowSumsInto(Tile* acc) const;
+
+  /// 2 * nnz * n: the flops SpMM against an n-column dense tile executes
+  /// (vs 2 * rows * cols * n for the dense kernel).
+  double SpmmFlops(int64_t n_cols) const { return 2.0 * nnz() * n_cols; }
+
+ private:
+  int64_t rows_;
+  int64_t cols_;
+  std::vector<int64_t> row_ptr_;  // size rows_ + 1
+  std::vector<int64_t> col_idx_;  // size nnz
+  std::vector<double> values_;    // size nnz
+};
+
+}  // namespace cumulon
+
+#endif  // CUMULON_MATRIX_SPARSE_TILE_H_

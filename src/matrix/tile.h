@@ -1,0 +1,58 @@
+#ifndef CUMULON_MATRIX_TILE_H_
+#define CUMULON_MATRIX_TILE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace cumulon {
+
+/// A dense row-major sub-matrix of doubles. Tiles are the physical unit of
+/// storage and computation in Cumulon: matrices are carved into a grid of
+/// tiles, tiles are the values read from and written to the DFS, and all
+/// physical operators are expressed as per-tile kernels (see tile_ops.h).
+class Tile {
+ public:
+  /// Creates a zero-filled rows x cols tile.
+  Tile(int64_t rows, int64_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {
+    CUMULON_CHECK_GT(rows, 0);
+    CUMULON_CHECK_GT(cols, 0);
+  }
+
+  Tile(const Tile&) = default;
+  Tile& operator=(const Tile&) = default;
+  Tile(Tile&&) = default;
+  Tile& operator=(Tile&&) = default;
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  int64_t size() const { return rows_ * cols_; }
+
+  /// Serialized footprint in the DFS: header + payload.
+  int64_t SizeBytes() const {
+    return static_cast<int64_t>(sizeof(int64_t)) * 2 + size() * 8;
+  }
+
+  double At(int64_t r, int64_t c) const {
+    CUMULON_DCHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  void Set(int64_t r, int64_t c, double v) {
+    CUMULON_DCHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    data_[r * cols_ + c] = v;
+  }
+
+  const double* data() const { return data_.data(); }
+  double* mutable_data() { return data_.data(); }
+
+ private:
+  int64_t rows_;
+  int64_t cols_;
+  std::vector<double> data_;
+};
+
+}  // namespace cumulon
+
+#endif  // CUMULON_MATRIX_TILE_H_

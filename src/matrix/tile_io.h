@@ -1,0 +1,27 @@
+#ifndef CUMULON_MATRIX_TILE_IO_H_
+#define CUMULON_MATRIX_TILE_IO_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "matrix/tile.h"
+
+namespace cumulon {
+
+/// On-the-wire tile format, matching Tile::SizeBytes() plus an integrity
+/// footer:
+///   int64 rows | int64 cols | rows*cols little-endian doubles | u64 fnv1a
+/// The checksum lets the storage layer detect corrupted blocks (a real
+/// concern for a DFS; HDFS checksums blocks the same way).
+std::vector<uint8_t> SerializeTile(const Tile& tile);
+
+/// Parses a serialized tile, validating the header, length, and checksum.
+Result<Tile> DeserializeTile(const std::vector<uint8_t>& bytes);
+
+/// FNV-1a over a byte range; exposed for tests.
+uint64_t Fnv1a(const uint8_t* data, size_t size);
+
+}  // namespace cumulon
+
+#endif  // CUMULON_MATRIX_TILE_IO_H_

@@ -1,0 +1,88 @@
+#ifndef CUMULON_MATRIX_TILE_OPS_H_
+#define CUMULON_MATRIX_TILE_OPS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "matrix/tile.h"
+
+namespace cumulon {
+
+/// Element-wise binary operators supported by the engine. Kept as an enum
+/// (rather than arbitrary std::function) so plans are serializable, costable
+/// and the kernels stay branch-free inner loops.
+enum class BinaryOp { kAdd, kSub, kMul, kDiv, kMax, kMin };
+
+/// Element-wise unary operators. kScale/kAddScalar/kPow take a scalar
+/// parameter; the rest ignore it.
+enum class UnaryOp {
+  kScale,      // x * s
+  kAddScalar,  // x + s
+  kPow,        // x ^ s
+  kExp,
+  kLog,
+  kAbs,
+  kSqrt,
+  kSigmoid,    // 1 / (1 + e^-x)
+  kRecip,      // 1 / x
+};
+
+const char* BinaryOpName(BinaryOp op);
+const char* UnaryOpName(UnaryOp op);
+
+/// Applies one scalar binary op. Exposed for the reference implementation.
+double ApplyBinary(BinaryOp op, double a, double b);
+double ApplyUnary(UnaryOp op, double x, double scalar);
+
+/// C = alpha * A * B + beta * C (cache-blocked dense GEMM).
+/// Shape requirements: A is m x k, B is k x n, C is m x n.
+Status Gemm(const Tile& a, const Tile& b, double alpha, double beta, Tile* c);
+
+/// out[i] = ApplyBinary(op, a[i], b[i]). Shapes must match.
+Status EwBinary(BinaryOp op, const Tile& a, const Tile& b, Tile* out);
+
+/// Broadcast variant: `vec` is a 1 x cols row vector (row_vector = true,
+/// applied to every row of `a`) or a rows x 1 column vector (applied to
+/// every column). out(r,c) = op(a(r,c), vec(...)); `swapped` flips the
+/// operand order. Used for centering/normalizing against aggregates.
+Status EwBroadcast(BinaryOp op, const Tile& a, const Tile& vec,
+                   bool row_vector, bool swapped, Tile* out);
+
+/// out[i] = ApplyUnary(op, a[i], scalar).
+Status EwUnary(UnaryOp op, const Tile& a, double scalar, Tile* out);
+
+/// out = a^T.
+Status TransposeTile(const Tile& a, Tile* out);
+
+/// acc += x (element-wise). Shapes must match. Used to merge split-k
+/// partial products.
+Status AccumulateInto(const Tile& x, Tile* acc);
+
+/// Sum of all elements.
+double TileSum(const Tile& t);
+
+/// acc[r] += sum_c t(r, c): folds a tile into a rows x 1 accumulator.
+Status RowSumsInto(const Tile& t, Tile* acc);
+
+/// acc[c] += sum_r t(r, c): folds a tile into a 1 x cols accumulator.
+Status ColSumsInto(const Tile& t, Tile* acc);
+
+/// Frobenius norm.
+double FrobeniusNorm(const Tile& t);
+
+/// max_i |a[i] - b[i]|; returns an error if shapes differ.
+Result<double> MaxAbsDiff(const Tile& a, const Tile& b);
+
+/// Fills with a constant.
+void FillTile(Tile* t, double value);
+
+/// Fills with iid N(0,1) / U(0,1) draws from `rng`.
+void FillGaussian(Tile* t, Rng* rng);
+void FillUniform(Tile* t, Rng* rng, double lo = 0.0, double hi = 1.0);
+
+}  // namespace cumulon
+
+#endif  // CUMULON_MATRIX_TILE_OPS_H_

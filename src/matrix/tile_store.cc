@@ -1,0 +1,40 @@
+#include "matrix/tile_store.h"
+
+#include "common/strings.h"
+
+namespace cumulon {
+
+Status InMemoryTileStore::Put(const std::string& matrix, TileId id,
+                              std::shared_ptr<const Tile> tile,
+                              int /*writer_node*/) {
+  std::lock_guard<std::mutex> lock(mu_);
+  tiles_[{matrix, id}] = std::move(tile);
+  return Status::OK();
+}
+
+Result<std::shared_ptr<const Tile>> InMemoryTileStore::Get(
+    const std::string& matrix, TileId id, int /*reader_node*/) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tiles_.find({matrix, id});
+  if (it == tiles_.end()) {
+    return Status::NotFound(
+        StrCat("tile ", id, " of matrix '", matrix, "' not found"));
+  }
+  return it->second;
+}
+
+Status InMemoryTileStore::DeleteMatrix(const std::string& matrix) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tiles_.lower_bound({matrix, TileId{0, 0}});
+  while (it != tiles_.end() && it->first.first == matrix) {
+    it = tiles_.erase(it);
+  }
+  return Status::OK();
+}
+
+int64_t InMemoryTileStore::NumTiles() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(tiles_.size());
+}
+
+}  // namespace cumulon

@@ -1,0 +1,85 @@
+#ifndef CUMULON_MATRIX_TILE_STORE_H_
+#define CUMULON_MATRIX_TILE_STORE_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "matrix/layout.h"
+#include "matrix/tile.h"
+
+namespace cumulon {
+
+/// Storage abstraction the execution engine reads/writes tiles through.
+/// Production deployments back this with the (simulated) DFS
+/// (dfs::DfsTileStore); tests may use the in-memory implementation below.
+///
+/// Implementations must be thread-safe: tasks on the real engine call
+/// Get/Put concurrently.
+class TileStore {
+ public:
+  virtual ~TileStore() = default;
+
+  /// Stores tile `id` of matrix `matrix`. Overwrites any existing tile.
+  /// `writer_node` identifies which cluster node produced the tile (used by
+  /// DFS-backed stores for replica placement / locality accounting);
+  /// -1 means "client" / unknown.
+  virtual Status Put(const std::string& matrix, TileId id,
+                     std::shared_ptr<const Tile> tile, int writer_node) = 0;
+
+  /// Fetches tile `id` of matrix `matrix`. `reader_node` is the node doing
+  /// the read, for locality accounting.
+  virtual Result<std::shared_ptr<const Tile>> Get(const std::string& matrix,
+                                                  TileId id,
+                                                  int reader_node) = 0;
+
+  /// Drops all tiles of `matrix` (used to free intermediates).
+  virtual Status DeleteMatrix(const std::string& matrix) = 0;
+
+  /// Cluster nodes that host a replica of the tile, for locality-aware task
+  /// placement. Default: no preference (non-DFS stores).
+  virtual std::vector<int> PreferredNodes(const std::string& matrix,
+                                          TileId id) {
+    (void)matrix;
+    (void)id;
+    return {};
+  }
+
+  /// Records that tile `id` of `matrix` exists with the given serialized
+  /// size, without providing data. Simulation-mode runs use this so
+  /// downstream jobs still see correct placement/locality. Default: no-op.
+  virtual Status PutMeta(const std::string& matrix, TileId id, int64_t bytes,
+                         int writer_node) {
+    (void)matrix;
+    (void)id;
+    (void)bytes;
+    (void)writer_node;
+    return Status::OK();
+  }
+};
+
+/// Simple thread-safe map-backed store with no locality modeling.
+class InMemoryTileStore : public TileStore {
+ public:
+  Status Put(const std::string& matrix, TileId id,
+             std::shared_ptr<const Tile> tile, int writer_node) override;
+  Result<std::shared_ptr<const Tile>> Get(const std::string& matrix,
+                                          TileId id, int reader_node) override;
+  Status DeleteMatrix(const std::string& matrix) override;
+
+  /// Number of tiles currently stored (across all matrices).
+  int64_t NumTiles() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::pair<std::string, TileId>, std::shared_ptr<const Tile>> tiles_;
+};
+
+}  // namespace cumulon
+
+#endif  // CUMULON_MATRIX_TILE_STORE_H_

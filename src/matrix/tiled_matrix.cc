@@ -1,0 +1,100 @@
+#include "matrix/tiled_matrix.h"
+
+#include <memory>
+
+#include "common/strings.h"
+
+namespace cumulon {
+
+Status StoreDense(const DenseMatrix& dense, const TiledMatrix& target,
+                  TileStore* store) {
+  const TileLayout& L = target.layout;
+  if (dense.rows() != L.rows() || dense.cols() != L.cols()) {
+    return Status::InvalidArgument(
+        StrCat("StoreDense: dense is ", dense.rows(), "x", dense.cols(),
+               " but layout is ", L.ToString()));
+  }
+  for (int64_t gr = 0; gr < L.grid_rows(); ++gr) {
+    for (int64_t gc = 0; gc < L.grid_cols(); ++gc) {
+      auto tile = std::make_shared<Tile>(L.TileRowsAt(gr), L.TileColsAt(gc));
+      const int64_t r0 = gr * L.tile_rows();
+      const int64_t c0 = gc * L.tile_cols();
+      for (int64_t r = 0; r < tile->rows(); ++r) {
+        for (int64_t c = 0; c < tile->cols(); ++c) {
+          tile->Set(r, c, dense.At(r0 + r, c0 + c));
+        }
+      }
+      CUMULON_RETURN_IF_ERROR(
+          store->Put(target.name, TileId{gr, gc}, std::move(tile), -1));
+    }
+  }
+  return Status::OK();
+}
+
+Result<DenseMatrix> LoadDense(const TiledMatrix& m, TileStore* store) {
+  const TileLayout& L = m.layout;
+  DenseMatrix out(L.rows(), L.cols());
+  for (int64_t gr = 0; gr < L.grid_rows(); ++gr) {
+    for (int64_t gc = 0; gc < L.grid_cols(); ++gc) {
+      CUMULON_ASSIGN_OR_RETURN(std::shared_ptr<const Tile> tile,
+                               store->Get(m.name, TileId{gr, gc}, -1));
+      const int64_t r0 = gr * L.tile_rows();
+      const int64_t c0 = gc * L.tile_cols();
+      for (int64_t r = 0; r < tile->rows(); ++r) {
+        for (int64_t c = 0; c < tile->cols(); ++c) {
+          out.Set(r0 + r, c0 + c, tile->At(r, c));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Status GenerateMatrix(const TiledMatrix& m, FillKind kind, double constant,
+                      Rng* rng, TileStore* store) {
+  const TileLayout& L = m.layout;
+  if (kind != FillKind::kConstant && rng == nullptr) {
+    return Status::InvalidArgument("GenerateMatrix: random fill needs an Rng");
+  }
+  for (int64_t gr = 0; gr < L.grid_rows(); ++gr) {
+    for (int64_t gc = 0; gc < L.grid_cols(); ++gc) {
+      auto tile = std::make_shared<Tile>(L.TileRowsAt(gr), L.TileColsAt(gc));
+      switch (kind) {
+        case FillKind::kGaussian:
+          FillGaussian(tile.get(), rng);
+          break;
+        case FillKind::kUniform:
+          FillUniform(tile.get(), rng);
+          break;
+        case FillKind::kConstant:
+          FillTile(tile.get(), constant);
+          break;
+      }
+      CUMULON_RETURN_IF_ERROR(
+          store->Put(m.name, TileId{gr, gc}, std::move(tile), -1));
+    }
+  }
+  return Status::OK();
+}
+
+Result<double> TiledMaxAbsDiff(const TiledMatrix& a, const TiledMatrix& b,
+                               TileStore* store) {
+  if (!(a.layout == b.layout)) {
+    return Status::InvalidArgument("TiledMaxAbsDiff: layout mismatch");
+  }
+  double worst = 0.0;
+  const TileLayout& L = a.layout;
+  for (int64_t gr = 0; gr < L.grid_rows(); ++gr) {
+    for (int64_t gc = 0; gc < L.grid_cols(); ++gc) {
+      CUMULON_ASSIGN_OR_RETURN(std::shared_ptr<const Tile> ta,
+                               store->Get(a.name, TileId{gr, gc}, -1));
+      CUMULON_ASSIGN_OR_RETURN(std::shared_ptr<const Tile> tb,
+                               store->Get(b.name, TileId{gr, gc}, -1));
+      CUMULON_ASSIGN_OR_RETURN(double d, MaxAbsDiff(*ta, *tb));
+      worst = std::max(worst, d);
+    }
+  }
+  return worst;
+}
+
+}  // namespace cumulon

@@ -1,0 +1,57 @@
+#ifndef CUMULON_OPT_PREDICTOR_H_
+#define CUMULON_OPT_PREDICTOR_H_
+
+#include <vector>
+
+#include "cloud/machine.h"
+#include "cluster/cluster_config.h"
+#include "cluster/sim_engine.h"
+#include "common/result.h"
+#include "cost/cost_model.h"
+#include "exec/executor.h"
+#include "lang/lowering.h"
+
+namespace cumulon {
+
+/// A program plus the shapes of its input matrices — everything the
+/// optimizer needs to cost it without touching data.
+struct ProgramSpec {
+  Program program;
+  std::vector<TiledMatrix> inputs;
+};
+
+/// Predicted execution of a program on a candidate deployment.
+struct PredictionResult {
+  double seconds = 0.0;
+  double dollars = 0.0;
+  PlanStats stats;
+};
+
+/// Everything about *how* to run, minus the cluster itself.
+struct PredictorOptions {
+  TileOpCostModel cost;
+  LoweringOptions lowering;
+  SimEngineOptions sim;
+  double job_startup_seconds = 3.0;
+  BillingPolicy billing;
+  int dfs_replication = 3;
+  uint64_t seed = 11;
+
+  /// Tune each multiply's split parameters for the candidate cluster (via
+  /// opt/job_tuner.h) instead of using lowering.mm_params / the default.
+  /// Overrides lowering.mm_params when set.
+  bool tune_mm_per_job = false;
+};
+
+/// Predicts the wall time and dollar cost of running `spec` on `cluster`:
+/// registers the inputs' tile placement in a fresh simulated DFS, lowers
+/// the program, and simulates its jobs — the paper's
+/// benchmark-model-simulate pipeline as one call. Deterministic for a
+/// fixed seed.
+Result<PredictionResult> PredictProgram(const ProgramSpec& spec,
+                                        const ClusterConfig& cluster,
+                                        const PredictorOptions& options);
+
+}  // namespace cumulon
+
+#endif  // CUMULON_OPT_PREDICTOR_H_

@@ -1,0 +1,59 @@
+#ifndef CUMULON_OPT_SEARCH_H_
+#define CUMULON_OPT_SEARCH_H_
+
+#include <string>
+#include <vector>
+
+#include "opt/predictor.h"
+
+namespace cumulon {
+
+/// The deployment-plan space the optimizer searches: machine type x
+/// cluster size x slots per machine x multiply split parameters. Empty
+/// vectors select sensible defaults (the whole machine catalog, powers of
+/// two up to 64 machines, slots around the core count, a small split
+/// portfolio).
+struct SearchSpace {
+  std::vector<std::string> machine_types;
+  std::vector<int> cluster_sizes;
+  std::vector<int> slots_per_machine;  // empty: {cores, 2*cores} per type
+  std::vector<MatMulParams> mm_candidates;
+
+  /// Tune every multiply's splits per candidate cluster via the job tuner
+  /// (opt/job_tuner.h) instead of trying each global mm_candidates entry —
+  /// finer-grained plans and one prediction per cluster configuration.
+  bool use_job_tuner = false;
+};
+
+/// One evaluated deployment plan.
+struct PlanPoint {
+  ClusterConfig cluster;
+  MatMulParams mm;
+  double seconds = 0.0;
+  double dollars = 0.0;
+
+  std::string ToString() const;
+};
+
+/// Evaluates the full search space, keeping for each cluster configuration
+/// the best multiply parameters (by predicted time). Results are sorted by
+/// predicted time.
+Result<std::vector<PlanPoint>> EnumeratePlans(const ProgramSpec& spec,
+                                              const SearchSpace& space,
+                                              const PredictorOptions& options);
+
+/// The time/cost-undominated subset, sorted by time ascending (so cost is
+/// descending). This is the trade-off curve the paper shows users.
+std::vector<PlanPoint> ParetoFrontier(const std::vector<PlanPoint>& points);
+
+/// Cheapest plan finishing within `deadline_seconds`; NotFound if none.
+Result<PlanPoint> MinCostUnderDeadline(const std::vector<PlanPoint>& points,
+                                       double deadline_seconds);
+
+/// Fastest plan costing at most `budget_dollars`; NotFound if none.
+Result<PlanPoint> MinTimeUnderBudget(const std::vector<PlanPoint>& points,
+                                     double budget_dollars);
+
+}  // namespace cumulon
+
+#endif  // CUMULON_OPT_SEARCH_H_

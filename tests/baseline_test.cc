@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include "baseline/mr_matmul.h"
+#include "cluster/real_engine.h"
+#include "cluster/sim_engine.h"
+#include "common/rng.h"
+#include "cost/cost_model.h"
+#include "dfs/dfs_tile_store.h"
+#include "dfs/sim_dfs.h"
+#include "exec/executor.h"
+#include "exec/physical_plan.h"
+#include "matrix/dense_matrix.h"
+#include "matrix/tiled_matrix.h"
+
+namespace cumulon {
+namespace {
+
+class BaselineRealTest : public ::testing::TestWithParam<MrStrategy> {
+ protected:
+  BaselineRealTest()
+      : engine_(ClusterConfig{MachineProfile{}, 2, 2}, RealEngineOptions{}) {}
+
+  Rng rng_{23};
+  InMemoryTileStore store_;
+  TileOpCostModel cost_;
+  RealEngine engine_;
+};
+
+TEST_P(BaselineRealTest, ComputesCorrectProduct) {
+  const MrStrategy strategy = GetParam();
+  TiledMatrix a{"A", TileLayout::Square(40, 24, 8)};
+  TiledMatrix b{"B", TileLayout::Square(24, 32, 8)};
+  TiledMatrix c{"C", TileLayout::Square(40, 32, 8)};
+  DenseMatrix da = DenseMatrix::Gaussian(40, 24, &rng_);
+  DenseMatrix db = DenseMatrix::Gaussian(24, 32, &rng_);
+  ASSERT_TRUE(StoreDense(da, a, &store_).ok());
+  ASSERT_TRUE(StoreDense(db, b, &store_).ok());
+
+  MrOptions options;
+  auto stats = RunMrMultiply(strategy, a, b, c, &store_, &engine_, cost_,
+                             options);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_GT(stats->num_tasks, 0);
+
+  auto loaded = LoadDense(c, &store_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  auto expected = da.Multiply(db);
+  ASSERT_TRUE(expected.ok());
+  auto diff = expected->MaxAbsDiff(*loaded);
+  ASSERT_TRUE(diff.ok());
+  EXPECT_LT(diff.value(), 1e-9);
+}
+
+TEST_P(BaselineRealTest, RejectsShapeMismatch) {
+  TiledMatrix a{"A", TileLayout::Square(8, 8, 8)};
+  TiledMatrix b{"B", TileLayout::Square(9, 8, 8)};
+  TiledMatrix c{"C", TileLayout::Square(8, 8, 8)};
+  MrOptions options;
+  EXPECT_FALSE(RunMrMultiply(GetParam(), a, b, c, &store_, &engine_, cost_,
+                             options).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Strategies, BaselineRealTest,
+                         ::testing::Values(MrStrategy::kRmm,
+                                           MrStrategy::kCpmm));
+
+TEST(BaselineRealTest2, CpmmCleansUpPartials) {
+  Rng rng(29);
+  InMemoryTileStore store;
+  TileOpCostModel cost;
+  RealEngine engine(ClusterConfig{MachineProfile{}, 1, 2},
+                    RealEngineOptions{});
+  TiledMatrix a{"A", TileLayout::Square(16, 16, 8)};
+  TiledMatrix b{"B", TileLayout::Square(16, 16, 8)};
+  TiledMatrix c{"C", TileLayout::Square(16, 16, 8)};
+  DenseMatrix da = DenseMatrix::Gaussian(16, 16, &rng);
+  DenseMatrix db = DenseMatrix::Gaussian(16, 16, &rng);
+  ASSERT_TRUE(StoreDense(da, a, &store).ok());
+  ASSERT_TRUE(StoreDense(db, b, &store).ok());
+  ASSERT_TRUE(RunMrMultiply(MrStrategy::kCpmm, a, b, c, &store, &engine, cost,
+                            MrOptions{}).ok());
+  EXPECT_FALSE(store.Get("C#cpmm_0", TileId{0, 0}, -1).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Simulated comparison: the headline E1 shape in miniature
+// ---------------------------------------------------------------------------
+
+struct SimHarness {
+  SimHarness()
+      : dfs(DfsOptions{8, 3, 4 << 20, 1}),
+        store(&dfs),
+        cluster{MachineProfile{"m", 2, 2.0, 100, 100, 0.2}, 8, 2},
+        engine(cluster, SimEngineOptions{}) {}
+
+  Status LoadInput(const TiledMatrix& m) {
+    for (int64_t r = 0; r < m.layout.grid_rows(); ++r) {
+      for (int64_t c = 0; c < m.layout.grid_cols(); ++c) {
+        const int64_t bytes = 16 +
+                              m.layout.TileRowsAt(r) * m.layout.TileColsAt(c) *
+                                  8;
+        CUMULON_RETURN_IF_ERROR(store.PutMeta(m.name, TileId{r, c}, bytes, -1));
+      }
+    }
+    return Status::OK();
+  }
+
+  SimDfs dfs;
+  DfsTileStore store;
+  ClusterConfig cluster;
+  SimEngine engine;
+  TileOpCostModel cost;
+};
+
+TEST(BaselineSimTest, MrStrategiesMoveMoreDataThanCumulon) {
+  SimHarness h;
+  TiledMatrix a{"A", TileLayout::Square(8192, 8192, 1024)};
+  TiledMatrix b{"B", TileLayout::Square(8192, 8192, 1024)};
+  ASSERT_TRUE(h.LoadInput(a).ok());
+  ASSERT_TRUE(h.LoadInput(b).ok());
+
+  // Cumulon map-only multiply.
+  TiledMatrix c1{"C1", TileLayout::Square(8192, 8192, 1024)};
+  PhysicalPlan plan;
+  ASSERT_TRUE(AddMatMul(a, b, c1, MatMulParams{2, 2, 0}, {}, &plan).ok());
+  ExecutorOptions exec_options;
+  exec_options.real_mode = false;
+  Executor executor(&h.store, &h.engine, &h.cost, exec_options);
+  auto cumulon = executor.Run(plan);
+  ASSERT_TRUE(cumulon.ok()) << cumulon.status();
+
+  MrOptions mr;
+  mr.real_mode = false;
+  TiledMatrix c2{"C2", TileLayout::Square(8192, 8192, 1024)};
+  auto rmm = RunMrMultiply(MrStrategy::kRmm, a, b, c2, &h.store, &h.engine,
+                           h.cost, mr);
+  ASSERT_TRUE(rmm.ok()) << rmm.status();
+  TiledMatrix c3{"C3", TileLayout::Square(8192, 8192, 1024)};
+  auto cpmm = RunMrMultiply(MrStrategy::kCpmm, a, b, c3, &h.store, &h.engine,
+                            h.cost, mr);
+  ASSERT_TRUE(cpmm.ok()) << cpmm.status();
+
+  // Both baselines shuffle data; Cumulon shuffles none.
+  EXPECT_GT(rmm->shuffle_bytes, 0);
+  EXPECT_GT(cpmm->shuffle_bytes, 0);
+  // And the paper's headline: Cumulon is faster than both on this shape.
+  EXPECT_LT(cumulon->total_seconds, rmm->total_seconds);
+  EXPECT_LT(cumulon->total_seconds, cpmm->total_seconds);
+}
+
+TEST(BaselineSimTest, RmmShuffleGrowsWithOutputGrid) {
+  SimHarness h;
+  // Same input volume, wider output grid -> more replication for RMM.
+  TiledMatrix a1{"A1", TileLayout::Square(4096, 4096, 1024)};
+  TiledMatrix b1{"B1", TileLayout::Square(4096, 4096, 1024)};
+  TiledMatrix a2{"A2", TileLayout::Square(4096, 1024, 1024)};
+  TiledMatrix b2{"B2", TileLayout::Square(1024, 16384, 1024)};
+  for (const auto& m : {a1, b1, a2, b2}) ASSERT_TRUE(h.LoadInput(m).ok());
+
+  MrOptions mr;
+  mr.real_mode = false;
+  TiledMatrix c1{"C1", TileLayout::Square(4096, 4096, 1024)};
+  TiledMatrix c2{"C2", TileLayout::Square(4096, 16384, 1024)};
+  auto square = RunMrMultiply(MrStrategy::kRmm, a1, b1, c1, &h.store,
+                              &h.engine, h.cost, mr);
+  auto wide = RunMrMultiply(MrStrategy::kRmm, a2, b2, c2, &h.store, &h.engine,
+                            h.cost, mr);
+  ASSERT_TRUE(square.ok() && wide.ok());
+  // The wide multiply replicates A across 16 output columns.
+  EXPECT_GT(wide->shuffle_bytes, square->shuffle_bytes / 2);
+}
+
+TEST(BaselineSimTest, CpmmWritesPartialsProportionalToK) {
+  SimHarness h;
+  TiledMatrix a{"A", TileLayout::Square(2048, 8192, 1024)};  // gk = 8
+  TiledMatrix b{"B", TileLayout::Square(8192, 2048, 1024)};
+  ASSERT_TRUE(h.LoadInput(a).ok());
+  ASSERT_TRUE(h.LoadInput(b).ok());
+  MrOptions mr;
+  mr.real_mode = false;
+  TiledMatrix c{"C", TileLayout::Square(2048, 2048, 1024)};
+  auto stats = RunMrMultiply(MrStrategy::kCpmm, a, b, c, &h.store, &h.engine,
+                             h.cost, mr);
+  ASSERT_TRUE(stats.ok());
+  // 8 partial copies of C written in job 1 (plus the final C).
+  const int64_t c_bytes = 2048 * 2048 * 8;
+  EXPECT_GT(stats->bytes_written, 8 * c_bytes);
+}
+
+TEST(BaselineSimTest, StrategyNamesAreStable) {
+  EXPECT_STREQ(MrStrategyName(MrStrategy::kRmm), "RMM");
+  EXPECT_STREQ(MrStrategyName(MrStrategy::kCpmm), "CPMM");
+}
+
+}  // namespace
+}  // namespace cumulon

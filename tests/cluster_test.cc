@@ -1,0 +1,351 @@
+#include <atomic>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster_config.h"
+#include "cluster/real_engine.h"
+#include "cluster/sim_engine.h"
+
+namespace cumulon {
+namespace {
+
+MachineProfile TestMachine() {
+  MachineProfile m;
+  m.name = "test";
+  m.cores = 2;
+  m.cpu_gflops = 2.0;
+  m.disk_mbps = 100.0;  // 1e8 bytes/s
+  m.net_mbps = 50.0;    // 5e7 bytes/s
+  m.price_per_hour = 0.1;
+  return m;
+}
+
+SimEngineOptions NoOverheadOptions() {
+  SimEngineOptions o;
+  o.task_startup_seconds = 0.0;
+  o.noise_sigma = 0.0;
+  o.replication = 1;
+  return o;
+}
+
+Task MakeTask(double cpu_ref, int64_t read = 0, int64_t write = 0) {
+  Task t;
+  t.cost.cpu_seconds_ref = cpu_ref;
+  t.cost.bytes_read = read;
+  t.cost.bytes_written = write;
+  return t;
+}
+
+TEST(ClusterConfigTest, TotalSlotsAndToString) {
+  ClusterConfig c{TestMachine(), 4, 3};
+  EXPECT_EQ(c.total_slots(), 12);
+  EXPECT_EQ(c.ToString(), "4xtest (3 slots/machine)");
+}
+
+// ---------------------------------------------------------------------------
+// SimEngine task-duration model
+// ---------------------------------------------------------------------------
+
+TEST(SimEngineTest, CpuOnlyTaskScalesWithMachineSpeed) {
+  ClusterConfig c{TestMachine(), 1, 1};
+  SimEngine engine(c, NoOverheadOptions());
+  // 4 reference-seconds on a 2 GFLOP/s machine with 1 slot on 2 cores.
+  TaskCost cost;
+  cost.cpu_seconds_ref = 4.0;
+  EXPECT_DOUBLE_EQ(engine.TaskDuration(cost, true), 2.0);
+}
+
+TEST(SimEngineTest, SlotOversubscriptionSlowsCpu) {
+  ClusterConfig c{TestMachine(), 1, 4};  // 4 slots on 2 cores
+  SimEngine engine(c, NoOverheadOptions());
+  TaskCost cost;
+  cost.cpu_seconds_ref = 4.0;
+  // 4/2 gflops * slowdown 4/2 = 4 seconds.
+  EXPECT_DOUBLE_EQ(engine.TaskDuration(cost, true), 4.0);
+}
+
+TEST(SimEngineTest, LocalReadUsesDiskBandwidthShare) {
+  ClusterConfig c{TestMachine(), 1, 2};
+  SimEngine engine(c, NoOverheadOptions());
+  TaskCost cost;
+  cost.bytes_read = 100'000'000;  // 1e8 bytes over 1e8/2 B/s = 2s
+  EXPECT_NEAR(engine.TaskDuration(cost, true), 2.0, 1e-9);
+}
+
+TEST(SimEngineTest, RemoteReadUsesNetworkBandwidth) {
+  ClusterConfig c{TestMachine(), 2, 2};
+  SimEngine engine(c, NoOverheadOptions());
+  TaskCost cost;
+  cost.bytes_read = 50'000'000;  // 5e7 over 5e7/2 B/s = 2s
+  EXPECT_NEAR(engine.TaskDuration(cost, false), 2.0, 1e-9);
+}
+
+TEST(SimEngineTest, WriteReplicationAddsNetworkTime) {
+  SimEngineOptions o = NoOverheadOptions();
+  o.replication = 3;
+  ClusterConfig c{TestMachine(), 2, 1};
+  SimEngine engine(c, o);
+  TaskCost cost;
+  cost.bytes_written = 50'000'000;
+  // Disk: 5e7/1e8 = 0.5s; network for two extra replicas: 2*5e7/5e7 = 2s.
+  EXPECT_NEAR(engine.TaskDuration(cost, true), 2.5, 1e-9);
+}
+
+TEST(SimEngineTest, ShuffleBytesAlwaysPayNetwork) {
+  ClusterConfig c{TestMachine(), 2, 1};
+  SimEngine engine(c, NoOverheadOptions());
+  TaskCost cost;
+  cost.shuffle_bytes = 50'000'000;
+  EXPECT_NEAR(engine.TaskDuration(cost, true), 1.0, 1e-9);
+}
+
+TEST(SimEngineTest, SpillBytesPayLocalDisk) {
+  ClusterConfig c{TestMachine(), 2, 1};
+  SimEngine engine(c, NoOverheadOptions());
+  TaskCost cost;
+  cost.local_spill_bytes = 100'000'000;
+  EXPECT_NEAR(engine.TaskDuration(cost, true), 1.0, 1e-9);
+}
+
+TEST(SimEngineTest, StartupOverheadAdds) {
+  SimEngineOptions o = NoOverheadOptions();
+  o.task_startup_seconds = 1.5;
+  ClusterConfig c{TestMachine(), 1, 1};
+  SimEngine engine(c, o);
+  EXPECT_DOUBLE_EQ(engine.TaskDuration(TaskCost{}, true), 1.5);
+}
+
+// ---------------------------------------------------------------------------
+// SimEngine scheduling
+// ---------------------------------------------------------------------------
+
+TEST(SimEngineTest, PerfectlyParallelTasksFormWaves) {
+  ClusterConfig c{TestMachine(), 2, 2};  // 4 slots
+  SimEngine engine(c, NoOverheadOptions());
+  JobSpec job;
+  job.name = "waves";
+  for (int i = 0; i < 8; ++i) job.tasks.push_back(MakeTask(4.0));
+  auto stats = engine.RunJob(job);
+  ASSERT_TRUE(stats.ok());
+  // Each task: 4/2 gflops * slowdown 1 = 2s; 8 tasks on 4 slots = 2 waves.
+  EXPECT_EQ(stats->waves, 2);
+  EXPECT_NEAR(stats->duration_seconds, 4.0, 1e-9);
+  EXPECT_EQ(stats->num_tasks, 8);
+  EXPECT_NEAR(stats->total_task_seconds, 16.0, 1e-9);
+}
+
+TEST(SimEngineTest, PartialLastWave) {
+  ClusterConfig c{TestMachine(), 2, 2};
+  SimEngine engine(c, NoOverheadOptions());
+  JobSpec job;
+  for (int i = 0; i < 5; ++i) job.tasks.push_back(MakeTask(4.0));
+  auto stats = engine.RunJob(job);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_NEAR(stats->duration_seconds, 4.0, 1e-9);  // 2 waves of 2s
+}
+
+TEST(SimEngineTest, EmptyJobIsInstant) {
+  ClusterConfig c{TestMachine(), 1, 1};
+  SimEngine engine(c, NoOverheadOptions());
+  auto stats = engine.RunJob(JobSpec{});
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->duration_seconds, 0.0);
+  EXPECT_EQ(stats->waves, 0);
+}
+
+TEST(SimEngineTest, MoreMachinesNeverSlower) {
+  JobSpec job;
+  for (int i = 0; i < 32; ++i) job.tasks.push_back(MakeTask(2.0, 1'000'000));
+  double prev = 1e100;
+  for (int n : {1, 2, 4, 8}) {
+    ClusterConfig c{TestMachine(), n, 2};
+    SimEngine engine(c, NoOverheadOptions());
+    auto stats = engine.RunJob(job);
+    ASSERT_TRUE(stats.ok());
+    EXPECT_LE(stats->duration_seconds, prev + 1e-9);
+    prev = stats->duration_seconds;
+  }
+}
+
+TEST(SimEngineTest, LocalityPreferenceHonoredWhenFree) {
+  SimEngineOptions o = NoOverheadOptions();
+  o.locality_aware = true;
+  ClusterConfig c{TestMachine(), 4, 1};
+  SimEngine engine(c, o);
+  JobSpec job;
+  Task t = MakeTask(1.0, 1'000'000);
+  t.preferred_machines = {2};
+  job.tasks.push_back(t);
+  auto stats = engine.RunJob(job);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->task_runs[0].machine, 2);
+  EXPECT_TRUE(stats->task_runs[0].local);
+  EXPECT_EQ(stats->num_non_local_tasks, 0);
+}
+
+TEST(SimEngineTest, LocalityIgnoredWhenDisabled) {
+  SimEngineOptions o = NoOverheadOptions();
+  o.locality_aware = false;
+  ClusterConfig c{TestMachine(), 4, 1};
+  SimEngine engine(c, o);
+  JobSpec job;
+  // All tasks prefer machine 3; without delay scheduling most must run
+  // elsewhere (remote).
+  for (int i = 0; i < 8; ++i) {
+    Task t = MakeTask(1.0, 1'000'000);
+    t.preferred_machines = {3};
+    job.tasks.push_back(t);
+  }
+  auto stats = engine.RunJob(job);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GT(stats->num_non_local_tasks, 0);
+}
+
+TEST(SimEngineTest, DelaySchedulingTradesWaitForLocality) {
+  SimEngineOptions o = NoOverheadOptions();
+  o.locality_aware = true;
+  o.locality_delay_seconds = 100.0;  // wait as long as it takes
+  ClusterConfig c{TestMachine(), 4, 1};
+  SimEngine engine(c, o);
+  JobSpec job;
+  for (int i = 0; i < 8; ++i) {
+    Task t = MakeTask(1.0, 1'000'000);
+    t.preferred_machines = {3};
+    job.tasks.push_back(t);
+  }
+  auto stats = engine.RunJob(job);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->num_non_local_tasks, 0);
+  for (const TaskRunInfo& run : stats->task_runs) {
+    EXPECT_EQ(run.machine, 3);
+  }
+}
+
+TEST(SimEngineTest, NoiseIsDeterministicPerSeed) {
+  SimEngineOptions o = NoOverheadOptions();
+  o.noise_sigma = 0.3;
+  o.seed = 5;
+  ClusterConfig c{TestMachine(), 2, 2};
+  JobSpec job;
+  for (int i = 0; i < 16; ++i) job.tasks.push_back(MakeTask(1.0));
+  SimEngine e1(c, o), e2(c, o);
+  auto s1 = e1.RunJob(job), s2 = e2.RunJob(job);
+  ASSERT_TRUE(s1.ok() && s2.ok());
+  EXPECT_DOUBLE_EQ(s1->duration_seconds, s2->duration_seconds);
+}
+
+TEST(SimEngineTest, NoiseChangesDurations) {
+  SimEngineOptions o = NoOverheadOptions();
+  o.noise_sigma = 0.3;
+  ClusterConfig c{TestMachine(), 2, 2};
+  JobSpec job;
+  for (int i = 0; i < 16; ++i) job.tasks.push_back(MakeTask(1.0));
+  SimEngine noisy(c, o);
+  SimEngine clean(c, NoOverheadOptions());
+  auto sn = noisy.RunJob(job), sc = clean.RunJob(job);
+  ASSERT_TRUE(sn.ok() && sc.ok());
+  EXPECT_NE(sn->duration_seconds, sc->duration_seconds);
+}
+
+/// Slots sweep on an IO-bound job: with machine-shared disk, throughput
+/// cannot improve by adding slots beyond saturation.
+class SlotSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SlotSweepTest, IoBoundJobGainsNothingFromExtraSlots) {
+  const int slots = GetParam();
+  ClusterConfig c{TestMachine(), 1, slots};
+  SimEngine engine(c, NoOverheadOptions());
+  JobSpec job;
+  for (int i = 0; i < 16; ++i) {
+    job.tasks.push_back(MakeTask(0.0, 100'000'000));
+  }
+  auto stats = engine.RunJob(job);
+  ASSERT_TRUE(stats.ok());
+  // Total data / machine disk bandwidth = 16 s regardless of slot count.
+  EXPECT_NEAR(stats->duration_seconds, 16.0, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Slots, SlotSweepTest, ::testing::Values(1, 2, 4, 8));
+
+// ---------------------------------------------------------------------------
+// RealEngine
+// ---------------------------------------------------------------------------
+
+TEST(RealEngineTest, RunsAllTasksAndMeasuresTime) {
+  ClusterConfig c{TestMachine(), 2, 2};
+  RealEngine engine(c, RealEngineOptions{});
+  std::atomic<int> ran{0};
+  JobSpec job;
+  for (int i = 0; i < 10; ++i) {
+    Task t;
+    t.work = [&ran](int) {
+      ran.fetch_add(1);
+      return Status::OK();
+    };
+    job.tasks.push_back(std::move(t));
+  }
+  auto stats = engine.RunJob(job);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(ran.load(), 10);
+  EXPECT_EQ(stats->num_tasks, 10);
+  EXPECT_GE(stats->duration_seconds, 0.0);
+}
+
+TEST(RealEngineTest, AssignsMachinesRoundRobin) {
+  ClusterConfig c{TestMachine(), 3, 1};
+  RealEngine engine(c, RealEngineOptions{});
+  JobSpec job;
+  job.tasks.resize(6);
+  auto stats = engine.RunJob(job);
+  ASSERT_TRUE(stats.ok());
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(stats->task_runs[i].machine, i % 3);
+  }
+}
+
+TEST(RealEngineTest, PropagatesFirstTaskError) {
+  ClusterConfig c{TestMachine(), 1, 2};
+  RealEngine engine(c, RealEngineOptions{});
+  JobSpec job;
+  Task bad;
+  bad.name = "bad";
+  bad.work = [](int) { return Status::Internal("boom"); };
+  job.tasks.push_back(std::move(bad));
+  auto stats = engine.RunJob(job);
+  ASSERT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status().code(), StatusCode::kInternal);
+  EXPECT_NE(stats.status().message().find("bad"), std::string::npos);
+}
+
+TEST(RealEngineTest, MaxThreadsCapsPool) {
+  ClusterConfig c{TestMachine(), 16, 8};  // 128 slots
+  RealEngineOptions o;
+  o.max_threads = 2;
+  RealEngine engine(c, o);
+  std::atomic<int> ran{0};
+  JobSpec job;
+  for (int i = 0; i < 20; ++i) {
+    Task t;
+    t.work = [&ran](int) {
+      ran.fetch_add(1);
+      return Status::OK();
+    };
+    job.tasks.push_back(std::move(t));
+  }
+  ASSERT_TRUE(engine.RunJob(job).ok());
+  EXPECT_EQ(ran.load(), 20);
+}
+
+TEST(RealEngineTest, TasksWithoutWorkAreNoOps) {
+  ClusterConfig c{TestMachine(), 1, 1};
+  RealEngine engine(c, RealEngineOptions{});
+  JobSpec job;
+  job.tasks.resize(3);
+  auto stats = engine.RunJob(job);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->num_tasks, 3);
+}
+
+}  // namespace
+}  // namespace cumulon

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "dfs/sim_dfs.h"
+
+namespace cumulon {
+namespace {
+
+DfsOptions ClusterOf(int nodes, int replication) {
+  DfsOptions o;
+  o.num_nodes = nodes;
+  o.replication = replication;
+  o.block_size = 1024;
+  return o;
+}
+
+TEST(DfsFailureTest, KillNodeRemovesItsReplicas) {
+  SimDfs dfs(ClusterOf(4, 2));
+  ASSERT_TRUE(dfs.Write("/f", 3000, 1, nullptr).ok());
+  EXPECT_TRUE(dfs.IsNodeLive(1));
+  const int64_t lost = dfs.KillNode(1);
+  EXPECT_EQ(lost, 3);  // first replica of all 3 blocks lived on node 1
+  EXPECT_FALSE(dfs.IsNodeLive(1));
+  EXPECT_EQ(dfs.NumLiveNodes(), 3);
+  // Still readable through the surviving replicas.
+  EXPECT_TRUE(dfs.Read("/f", 0).ok());
+}
+
+TEST(DfsFailureTest, KillingSameNodeTwiceIsIdempotent) {
+  SimDfs dfs(ClusterOf(4, 2));
+  ASSERT_TRUE(dfs.Write("/f", 100, 0, nullptr).ok());
+  dfs.KillNode(0);
+  EXPECT_EQ(dfs.KillNode(0), 0);
+}
+
+TEST(DfsFailureTest, LosingAllReplicasMakesFileUnreadable) {
+  SimDfs dfs(ClusterOf(4, 1));  // single replica
+  ASSERT_TRUE(dfs.Write("/f", 100, 2, nullptr).ok());
+  dfs.KillNode(2);
+  auto read = dfs.Read("/f", 0);
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(DfsFailureTest, ReReplicateRestoresRedundancy) {
+  SimDfs dfs(ClusterOf(6, 3));
+  ASSERT_TRUE(dfs.Write("/f", 5000, 0, nullptr).ok());
+  dfs.KillNode(0);
+  const int64_t copied = dfs.ReReplicate();
+  EXPECT_GT(copied, 0);
+  auto info = dfs.Stat("/f");
+  ASSERT_TRUE(info.ok());
+  for (const BlockInfo& block : info->blocks) {
+    EXPECT_EQ(block.replicas.size(), 3u);
+    for (int r : block.replicas) EXPECT_TRUE(dfs.IsNodeLive(r));
+  }
+}
+
+TEST(DfsFailureTest, ReReplicateIsNoOpWhenHealthy) {
+  SimDfs dfs(ClusterOf(5, 2));
+  ASSERT_TRUE(dfs.Write("/f", 4000, 0, nullptr).ok());
+  EXPECT_EQ(dfs.ReReplicate(), 0);
+}
+
+TEST(DfsFailureTest, ReReplicationTrafficMatchesLostBytes) {
+  SimDfs dfs(ClusterOf(8, 2));
+  ASSERT_TRUE(dfs.Write("/big", 8 * 1024, 3, nullptr).ok());  // 8 blocks
+  const int64_t lost_blocks = dfs.KillNode(3);
+  const int64_t copied = dfs.ReReplicate();
+  EXPECT_EQ(copied, lost_blocks * 1024);
+}
+
+TEST(DfsFailureTest, ReReplicateCannotResurrectLostBlocks) {
+  SimDfs dfs(ClusterOf(4, 1));
+  ASSERT_TRUE(dfs.Write("/f", 100, 1, nullptr).ok());
+  dfs.KillNode(1);
+  EXPECT_EQ(dfs.ReReplicate(), 0);
+  EXPECT_FALSE(dfs.Read("/f", 0).ok());
+}
+
+TEST(DfsFailureTest, WritesAfterFailureAvoidDeadNodes) {
+  SimDfs dfs(ClusterOf(3, 3));
+  dfs.KillNode(2);
+  ASSERT_TRUE(dfs.Write("/f", 100, 0, nullptr).ok());
+  auto info = dfs.Stat("/f");
+  ASSERT_TRUE(info.ok());
+  // Replication capped at the 2 live nodes, dead node never chosen.
+  for (const BlockInfo& block : info->blocks) {
+    EXPECT_EQ(block.replicas.size(), 2u);
+    for (int r : block.replicas) EXPECT_NE(r, 2);
+  }
+}
+
+TEST(DfsFailureTest, CapacityDegradesGracefullyToOneNode) {
+  SimDfs dfs(ClusterOf(3, 2));
+  dfs.KillNode(0);
+  dfs.KillNode(1);
+  EXPECT_EQ(dfs.NumLiveNodes(), 1);
+  ASSERT_TRUE(dfs.Write("/f", 100, 2, nullptr).ok());
+  EXPECT_TRUE(dfs.Read("/f", 2).ok());
+}
+
+}  // namespace
+}  // namespace cumulon

@@ -1,0 +1,149 @@
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "cluster/real_engine.h"
+#include "common/rng.h"
+#include "cost/cost_model.h"
+#include "exec/executor.h"
+#include "lang/driver.h"
+#include "lang/programs.h"
+#include "matrix/dense_matrix.h"
+#include "matrix/tiled_matrix.h"
+
+namespace cumulon {
+namespace {
+
+class DriverTest : public ::testing::Test {
+ protected:
+  DriverTest()
+      : engine_(ClusterConfig{MachineProfile{}, 2, 2}, RealEngineOptions{}),
+        executor_(&store_, &engine_, &cost_, ExecutorOptions{}) {}
+
+  Rng rng_{121};
+  InMemoryTileStore store_;
+  TileOpCostModel cost_;
+  RealEngine engine_;
+  Executor executor_;
+};
+
+TEST_F(DriverTest, RunsExactlyMaxIterationsWithoutPredicate) {
+  TiledMatrix x{"x", TileLayout::Square(8, 8, 8)};
+  DenseMatrix dx = DenseMatrix::Constant(8, 8, 1.0);
+  ASSERT_TRUE(StoreDense(dx, x, &store_).ok());
+
+  Program body;
+  body.Assign("x", Scale(Expr::Input("x", 8, 8), 2.0));
+  IterativeRunOptions options;
+  options.lowering.tile_dim = 8;
+  options.max_iterations = 5;
+  auto run = RunIterative(body, {{"x", x}}, &executor_, options);
+  ASSERT_TRUE(run.ok()) << run.status();
+  EXPECT_EQ(run->iterations, 5);
+  EXPECT_FALSE(run->converged);
+
+  auto result = LoadDense(run->bindings.at("x"), &store_);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->At(3, 3), 32.0);  // 2^5
+}
+
+TEST_F(DriverTest, PredicateStopsEarly) {
+  TiledMatrix x{"x", TileLayout::Square(8, 8, 8)};
+  ASSERT_TRUE(
+      StoreDense(DenseMatrix::Constant(8, 8, 1.0), x, &store_).ok());
+
+  Program body;
+  body.Assign("x", Scale(Expr::Input("x", 8, 8), 2.0));
+  IterativeRunOptions options;
+  options.lowering.tile_dim = 8;
+  options.max_iterations = 100;
+  InMemoryTileStore* store = &store_;
+  options.converged = [store](const IterationState& state) -> Result<bool> {
+    CUMULON_ASSIGN_OR_RETURN(DenseMatrix x_now,
+                             LoadDense(state.bindings->at("x"), store));
+    return x_now.At(0, 0) >= 8.0;  // stop once the value reaches 8
+  };
+  auto run = RunIterative(body, {{"x", x}}, &executor_, options);
+  ASSERT_TRUE(run.ok()) << run.status();
+  EXPECT_EQ(run->iterations, 3);  // 2, 4, 8
+  EXPECT_TRUE(run->converged);
+}
+
+TEST_F(DriverTest, GnmfConvergesByResidualThreshold) {
+  GnmfSpec spec;
+  spec.m = 16;
+  spec.n = 12;
+  spec.k = 4;
+  std::map<std::string, TiledMatrix> bindings;
+  DenseMatrix dv(spec.m, spec.n);
+  for (auto [name, rows, cols] :
+       {std::tuple<const char*, int64_t, int64_t>{"V", spec.m, spec.n},
+        {"W", spec.m, spec.k},
+        {"H", spec.k, spec.n}}) {
+    DenseMatrix dense = DenseMatrix::Uniform(rows, cols, &rng_, 0.1, 1.0);
+    if (std::string(name) == "V") dv = dense;
+    TiledMatrix matrix{name, TileLayout::Square(rows, cols, 8)};
+    ASSERT_TRUE(StoreDense(dense, matrix, &store_).ok());
+    bindings.insert_or_assign(name, matrix);
+  }
+
+  IterativeRunOptions options;
+  options.lowering.tile_dim = 8;
+  options.max_iterations = 200;
+  InMemoryTileStore* store = &store_;
+  double previous = 1e300;
+  options.converged = [&, store](const IterationState& state) -> Result<bool> {
+    CUMULON_ASSIGN_OR_RETURN(DenseMatrix w,
+                             LoadDense(state.bindings->at("W"), store));
+    CUMULON_ASSIGN_OR_RETURN(DenseMatrix h,
+                             LoadDense(state.bindings->at("H"), store));
+    CUMULON_ASSIGN_OR_RETURN(DenseMatrix wh, w.Multiply(h));
+    CUMULON_ASSIGN_OR_RETURN(DenseMatrix diff, dv.Binary(BinaryOp::kSub, wh));
+    const double error = diff.FrobeniusNorm();
+    // Multiplicative updates never increase the objective.
+    EXPECT_LE(error, previous + 1e-9);
+    const bool done = previous - error < 0.005 * error;  // <0.5% improvement
+    previous = error;
+    return done;
+  };
+  auto run = RunIterative(BuildGnmfIteration(spec), bindings, &executor_,
+                          options);
+  ASSERT_TRUE(run.ok()) << run.status();
+  EXPECT_TRUE(run->converged);
+  EXPECT_GT(run->iterations, 1);
+  EXPECT_LT(run->iterations, 200);
+}
+
+TEST_F(DriverTest, PredicateErrorPropagates) {
+  TiledMatrix x{"x", TileLayout::Square(8, 8, 8)};
+  ASSERT_TRUE(
+      StoreDense(DenseMatrix::Constant(8, 8, 1.0), x, &store_).ok());
+  Program body;
+  body.Assign("x", Scale(Expr::Input("x", 8, 8), 2.0));
+  IterativeRunOptions options;
+  options.lowering.tile_dim = 8;
+  options.converged = [](const IterationState&) -> Result<bool> {
+    return Status::Internal("predicate exploded");
+  };
+  auto run = RunIterative(body, {{"x", x}}, &executor_, options);
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kInternal);
+}
+
+TEST_F(DriverTest, ZeroIterationsIsANoOp) {
+  TiledMatrix x{"x", TileLayout::Square(8, 8, 8)};
+  ASSERT_TRUE(
+      StoreDense(DenseMatrix::Constant(8, 8, 1.0), x, &store_).ok());
+  Program body;
+  body.Assign("x", Scale(Expr::Input("x", 8, 8), 2.0));
+  IterativeRunOptions options;
+  options.lowering.tile_dim = 8;
+  options.max_iterations = 0;
+  auto run = RunIterative(body, {{"x", x}}, &executor_, options);
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run->iterations, 0);
+  EXPECT_EQ(run->bindings.at("x").name, "x");
+}
+
+}  // namespace
+}  // namespace cumulon

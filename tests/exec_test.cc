@@ -1,0 +1,419 @@
+#include <memory>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "cluster/real_engine.h"
+#include "cluster/sim_engine.h"
+#include "common/rng.h"
+#include "cost/cost_model.h"
+#include "dfs/dfs_tile_store.h"
+#include "dfs/sim_dfs.h"
+#include "exec/executor.h"
+#include "exec/physical_plan.h"
+#include "matrix/dense_matrix.h"
+#include "matrix/tiled_matrix.h"
+
+namespace cumulon {
+namespace {
+
+/// Harness: a tiny real cluster over an in-memory store, plus reference
+/// dense matrices to verify against.
+class ExecTest : public ::testing::Test {
+ protected:
+  ExecTest()
+      : engine_(ClusterConfig{MachineProfile{}, 2, 2}, RealEngineOptions{}),
+        executor_(&store_, &engine_, &cost_, ExecutorOptions{}) {}
+
+  /// Creates a Gaussian matrix in both tiled and dense form.
+  DenseMatrix MakeInput(const TiledMatrix& m) {
+    DenseMatrix dense = DenseMatrix::Gaussian(m.layout.rows(),
+                                              m.layout.cols(), &rng_);
+    CUMULON_CHECK(StoreDense(dense, m, &store_).ok());
+    return dense;
+  }
+
+  /// Loads a tiled matrix and compares against a dense reference.
+  void ExpectMatches(const TiledMatrix& m, const DenseMatrix& expected,
+                     double tol = 1e-9) {
+    auto loaded = LoadDense(m, &store_);
+    ASSERT_TRUE(loaded.ok()) << loaded.status();
+    auto diff = expected.MaxAbsDiff(*loaded);
+    ASSERT_TRUE(diff.ok()) << diff.status();
+    EXPECT_LT(diff.value(), tol);
+  }
+
+  Rng rng_{42};
+  InMemoryTileStore store_;
+  TileOpCostModel cost_;
+  RealEngine engine_;
+  Executor executor_;
+};
+
+// ---------------------------------------------------------------------------
+// MatMulJob correctness
+// ---------------------------------------------------------------------------
+
+/// Parameterized over (m, k, n, tile, bi, bj, bk) to sweep shapes and split
+/// parameters, including ragged edges and split-k with SumJob merging.
+class MatMulParamTest
+    : public ExecTest,
+      public ::testing::WithParamInterface<
+          std::tuple<int64_t, int64_t, int64_t, int64_t, int64_t, int64_t,
+                     int64_t>> {};
+
+TEST_P(MatMulParamTest, ComputesProduct) {
+  const auto [m, k, n, tile, bi, bj, bk] = GetParam();
+  TiledMatrix a{"A", TileLayout::Square(m, k, tile)};
+  TiledMatrix b{"B", TileLayout::Square(k, n, tile)};
+  TiledMatrix c{"C", TileLayout::Square(m, n, tile)};
+  DenseMatrix da = MakeInput(a);
+  DenseMatrix db = MakeInput(b);
+
+  PhysicalPlan plan;
+  ASSERT_TRUE(
+      AddMatMul(a, b, c, MatMulParams{bi, bj, bk}, {}, &plan).ok());
+  auto stats = executor_.Run(plan);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+
+  auto expected = da.Multiply(db);
+  ASSERT_TRUE(expected.ok());
+  ExpectMatches(c, *expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapesAndSplits, MatMulParamTest,
+    ::testing::Values(
+        // m, k, n, tile, bi, bj, bk
+        std::make_tuple(16, 16, 16, 16, 1, 1, 0),   // single tile
+        std::make_tuple(32, 32, 32, 16, 1, 1, 0),   // 2x2 grid
+        std::make_tuple(40, 24, 56, 16, 1, 1, 0),   // ragged edges
+        std::make_tuple(48, 48, 48, 16, 2, 2, 0),   // blocked tasks
+        std::make_tuple(48, 48, 48, 16, 3, 1, 0),   // asymmetric blocks
+        std::make_tuple(32, 64, 32, 16, 1, 1, 1),   // split-k: 4 partials
+        std::make_tuple(32, 64, 32, 16, 1, 1, 2),   // split-k: 2 partials
+        std::make_tuple(40, 72, 24, 16, 2, 1, 2),   // split-k + blocks+ragged
+        std::make_tuple(16, 80, 16, 16, 1, 1, 5),   // bk == gk: no split
+        std::make_tuple(8, 8, 8, 16, 4, 4, 9)));    // params exceed grid
+
+TEST_F(ExecTest, MatMulRejectsMismatchedInnerDims) {
+  TiledMatrix a{"A", TileLayout::Square(16, 16, 8)};
+  TiledMatrix b{"B", TileLayout::Square(24, 16, 8)};
+  TiledMatrix c{"C", TileLayout::Square(16, 16, 8)};
+  MakeInput(a);
+  MakeInput(b);
+  PhysicalPlan plan;
+  ASSERT_TRUE(AddMatMul(a, b, c, MatMulParams{}, {}, &plan).ok());
+  EXPECT_FALSE(executor_.Run(plan).ok());
+}
+
+TEST_F(ExecTest, MatMulRejectsMisalignedTileGrids) {
+  TiledMatrix a{"A", TileLayout::Square(16, 16, 8)};
+  TiledMatrix b{"B", TileLayout::Square(16, 16, 4)};  // tile_rows 4 != 8
+  TiledMatrix c{"C", TileLayout::Square(16, 16, 8)};
+  PhysicalPlan plan;
+  ASSERT_TRUE(AddMatMul(a, b, c, MatMulParams{}, {}, &plan).ok());
+  EXPECT_FALSE(executor_.Run(plan).ok());
+}
+
+TEST_F(ExecTest, MatMulRejectsWrongOutputLayout) {
+  TiledMatrix a{"A", TileLayout::Square(16, 16, 8)};
+  TiledMatrix b{"B", TileLayout::Square(16, 16, 8)};
+  TiledMatrix c{"C", TileLayout::Square(16, 20, 8)};
+  PhysicalPlan plan;
+  ASSERT_TRUE(AddMatMul(a, b, c, MatMulParams{}, {}, &plan).ok());
+  EXPECT_FALSE(executor_.Run(plan).ok());
+}
+
+TEST_F(ExecTest, SplitKCreatesSumJobAndTemporaries) {
+  TiledMatrix a{"A", TileLayout::Square(16, 64, 16)};
+  TiledMatrix b{"B", TileLayout::Square(64, 16, 16)};
+  TiledMatrix c{"C", TileLayout::Square(16, 16, 16)};
+  PhysicalPlan plan;
+  ASSERT_TRUE(AddMatMul(a, b, c, MatMulParams{1, 1, 1}, {}, &plan).ok());
+  EXPECT_EQ(plan.jobs.size(), 2u);  // multiply + sum
+  EXPECT_EQ(plan.temporaries.size(), 4u);  // 4 k-splits
+}
+
+TEST_F(ExecTest, TemporariesAreDroppedAfterRun) {
+  TiledMatrix a{"A", TileLayout::Square(16, 32, 16)};
+  TiledMatrix b{"B", TileLayout::Square(32, 16, 16)};
+  TiledMatrix c{"C", TileLayout::Square(16, 16, 16)};
+  MakeInput(a);
+  MakeInput(b);
+  PhysicalPlan plan;
+  ASSERT_TRUE(AddMatMul(a, b, c, MatMulParams{1, 1, 1}, {}, &plan).ok());
+  ASSERT_TRUE(executor_.Run(plan).ok());
+  // Partials gone, result present.
+  EXPECT_FALSE(store_.Get("C#k0", TileId{0, 0}, -1).ok());
+  EXPECT_TRUE(store_.Get("C", TileId{0, 0}, -1).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Fused epilogues
+// ---------------------------------------------------------------------------
+
+TEST_F(ExecTest, MatMulWithUnaryEpilogue) {
+  TiledMatrix a{"A", TileLayout::Square(24, 24, 8)};
+  TiledMatrix b{"B", TileLayout::Square(24, 24, 8)};
+  TiledMatrix c{"C", TileLayout::Square(24, 24, 8)};
+  DenseMatrix da = MakeInput(a), db = MakeInput(b);
+  PhysicalPlan plan;
+  ASSERT_TRUE(AddMatMul(a, b, c, MatMulParams{},
+                        {EwStep::Unary(UnaryOp::kScale, 0.5)}, &plan).ok());
+  ASSERT_TRUE(executor_.Run(plan).ok());
+  auto expected = da.Multiply(db)->Unary(UnaryOp::kScale, 0.5);
+  ExpectMatches(c, expected);
+}
+
+TEST_F(ExecTest, MatMulWithBinaryEpilogue) {
+  TiledMatrix a{"A", TileLayout::Square(24, 16, 8)};
+  TiledMatrix b{"B", TileLayout::Square(16, 24, 8)};
+  TiledMatrix d{"D", TileLayout::Square(24, 24, 8)};
+  TiledMatrix c{"C", TileLayout::Square(24, 24, 8)};
+  DenseMatrix da = MakeInput(a), db = MakeInput(b), dd = MakeInput(d);
+  PhysicalPlan plan;
+  ASSERT_TRUE(AddMatMul(a, b, c, MatMulParams{},
+                        {EwStep::Binary(BinaryOp::kAdd, "D")}, &plan).ok());
+  ASSERT_TRUE(executor_.Run(plan).ok());
+  auto expected = da.Multiply(db)->Binary(BinaryOp::kAdd, dd);
+  ASSERT_TRUE(expected.ok());
+  ExpectMatches(c, *expected);
+}
+
+TEST_F(ExecTest, SwappedBinaryEpilogueOrdersOperands) {
+  TiledMatrix a{"A", TileLayout::Square(16, 16, 8)};
+  TiledMatrix b{"B", TileLayout::Square(16, 16, 8)};
+  TiledMatrix d{"D", TileLayout::Square(16, 16, 8)};
+  TiledMatrix c{"C", TileLayout::Square(16, 16, 8)};
+  DenseMatrix da = MakeInput(a), db = MakeInput(b), dd = MakeInput(d);
+  PhysicalPlan plan;
+  // C = D - A*B (swapped subtraction).
+  ASSERT_TRUE(
+      AddMatMul(a, b, c, MatMulParams{},
+                {EwStep::Binary(BinaryOp::kSub, "D", /*swapped=*/true)},
+                &plan).ok());
+  ASSERT_TRUE(executor_.Run(plan).ok());
+  auto ab = da.Multiply(db);
+  ASSERT_TRUE(ab.ok());
+  auto expected = dd.Binary(BinaryOp::kSub, *ab);
+  ASSERT_TRUE(expected.ok());
+  ExpectMatches(c, *expected);
+}
+
+TEST_F(ExecTest, SplitKAppliesEpilogueExactlyOnceInSumJob) {
+  TiledMatrix a{"A", TileLayout::Square(16, 64, 16)};
+  TiledMatrix b{"B", TileLayout::Square(64, 16, 16)};
+  TiledMatrix c{"C", TileLayout::Square(16, 16, 16)};
+  DenseMatrix da = MakeInput(a), db = MakeInput(b);
+  PhysicalPlan plan;
+  ASSERT_TRUE(AddMatMul(a, b, c, MatMulParams{1, 1, 1},
+                        {EwStep::Unary(UnaryOp::kAddScalar, 10.0)},
+                        &plan).ok());
+  ASSERT_TRUE(executor_.Run(plan).ok());
+  // If the epilogue leaked into each of the 4 partials, we'd see +40.
+  auto expected = da.Multiply(db)->Unary(UnaryOp::kAddScalar, 10.0);
+  ExpectMatches(c, expected);
+}
+
+// ---------------------------------------------------------------------------
+// EwChainJob / TransposeJob / SumJob
+// ---------------------------------------------------------------------------
+
+TEST_F(ExecTest, EwChainAppliesStepsInOrder) {
+  TiledMatrix in{"X", TileLayout::Square(20, 12, 8)};
+  TiledMatrix out{"Y", TileLayout::Square(20, 12, 8)};
+  DenseMatrix dx = MakeInput(in);
+  PhysicalPlan plan;
+  // y = (x * 2 + 1) elementwise; order matters.
+  ASSERT_TRUE(AddEwChain(in, out,
+                         {EwStep::Unary(UnaryOp::kScale, 2.0),
+                          EwStep::Unary(UnaryOp::kAddScalar, 1.0)},
+                         &plan).ok());
+  ASSERT_TRUE(executor_.Run(plan).ok());
+  DenseMatrix expected =
+      dx.Unary(UnaryOp::kScale, 2.0).Unary(UnaryOp::kAddScalar, 1.0);
+  ExpectMatches(out, expected);
+}
+
+TEST_F(ExecTest, EwChainWithBinaryOperand) {
+  TiledMatrix in{"X", TileLayout::Square(16, 16, 8)};
+  TiledMatrix other{"Z", TileLayout::Square(16, 16, 8)};
+  TiledMatrix out{"Y", TileLayout::Square(16, 16, 8)};
+  DenseMatrix dx = MakeInput(in), dz = MakeInput(other);
+  PhysicalPlan plan;
+  ASSERT_TRUE(AddEwChain(in, out, {EwStep::Binary(BinaryOp::kMul, "Z")},
+                         &plan).ok());
+  ASSERT_TRUE(executor_.Run(plan).ok());
+  auto expected = dx.Binary(BinaryOp::kMul, dz);
+  ASSERT_TRUE(expected.ok());
+  ExpectMatches(out, *expected);
+}
+
+TEST_F(ExecTest, EmptyEwChainCopies) {
+  TiledMatrix in{"X", TileLayout::Square(10, 10, 4)};
+  TiledMatrix out{"Y", TileLayout::Square(10, 10, 4)};
+  DenseMatrix dx = MakeInput(in);
+  PhysicalPlan plan;
+  ASSERT_TRUE(AddEwChain(in, out, {}, &plan).ok());
+  ASSERT_TRUE(executor_.Run(plan).ok());
+  ExpectMatches(out, dx);
+}
+
+TEST_F(ExecTest, EwChainRejectsLayoutMismatch) {
+  TiledMatrix in{"X", TileLayout::Square(10, 10, 4)};
+  TiledMatrix out{"Y", TileLayout::Square(10, 10, 5)};
+  PhysicalPlan plan;
+  ASSERT_TRUE(AddEwChain(in, out, {}, &plan).ok());
+  EXPECT_FALSE(executor_.Run(plan).ok());
+}
+
+TEST_F(ExecTest, TransposeJobMatchesReference) {
+  TiledMatrix in{"X", TileLayout(30, 18, 8, 6)};
+  TiledMatrix out{"Y", TileLayout(18, 30, 6, 8)};
+  DenseMatrix dx = MakeInput(in);
+  PhysicalPlan plan;
+  ASSERT_TRUE(AddTranspose(in, out, &plan).ok());
+  ASSERT_TRUE(executor_.Run(plan).ok());
+  ExpectMatches(out, dx.Transpose());
+}
+
+TEST_F(ExecTest, TransposeRejectsNonTransposedLayout) {
+  TiledMatrix in{"X", TileLayout::Square(8, 6, 4)};
+  TiledMatrix out{"Y", TileLayout::Square(8, 6, 4)};
+  PhysicalPlan plan;
+  ASSERT_TRUE(AddTranspose(in, out, &plan).ok());
+  EXPECT_FALSE(executor_.Run(plan).ok());
+}
+
+TEST_F(ExecTest, SumJobRequiresParts) {
+  TiledMatrix out{"Y", TileLayout::Square(8, 8, 4)};
+  PhysicalPlan plan;
+  plan.jobs.push_back(std::make_unique<SumJob>("s", std::vector<std::string>{},
+                                               out, std::vector<EwStep>{}));
+  EXPECT_FALSE(executor_.Run(plan).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Simulation mode over the DFS store
+// ---------------------------------------------------------------------------
+
+TEST(ExecSimTest, SimulatedRunRegistersOutputPlacementAndCosts) {
+  DfsOptions dfs_options;
+  dfs_options.num_nodes = 4;
+  SimDfs dfs(dfs_options);
+  DfsTileStore store(&dfs);
+
+  TiledMatrix a{"A", TileLayout::Square(2048, 2048, 512)};
+  TiledMatrix b{"B", TileLayout::Square(2048, 2048, 512)};
+  TiledMatrix c{"C", TileLayout::Square(2048, 2048, 512)};
+  for (const TiledMatrix& m : {a, b}) {
+    for (int64_t r = 0; r < m.layout.grid_rows(); ++r) {
+      for (int64_t col = 0; col < m.layout.grid_cols(); ++col) {
+        ASSERT_TRUE(store.PutMeta(m.name, TileId{r, col},
+                                  16 + 512 * 512 * 8, -1).ok());
+      }
+    }
+  }
+
+  ClusterConfig cluster{MachineProfile{"t", 2, 2.0, 100, 100, 0.1}, 4, 2};
+  SimEngine engine(cluster, SimEngineOptions{});
+  TileOpCostModel cost;
+  ExecutorOptions exec_options;
+  exec_options.real_mode = false;
+  Executor executor(&store, &engine, &cost, exec_options);
+
+  PhysicalPlan plan;
+  ASSERT_TRUE(AddMatMul(a, b, c, MatMulParams{}, {}, &plan).ok());
+  auto stats = executor.Run(plan);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_GT(stats->total_seconds, 0.0);
+  EXPECT_GT(stats->bytes_read, 0);
+  EXPECT_GT(stats->bytes_written, 0);
+  EXPECT_EQ(stats->total_tasks, 16);  // 4x4 C tiles, one per task
+  // Output metadata registered: every C tile has hosting nodes.
+  EXPECT_FALSE(store.PreferredNodes("C", TileId{3, 3}).empty());
+}
+
+TEST(ExecSimTest, BiggerBlocksReadFewerBytes) {
+  // One task per C tile re-reads A rows per j; blocking amortizes reads.
+  DfsOptions dfs_options;
+  SimDfs dfs(dfs_options);
+  DfsTileStore store(&dfs);
+  TiledMatrix a{"A", TileLayout::Square(4096, 4096, 512)};
+  TiledMatrix b{"B", TileLayout::Square(4096, 4096, 512)};
+  TileOpCostModel cost;
+  BuildContext ctx{&store, &cost, /*attach_work=*/false,
+                   /*query_locality=*/false};
+
+  auto bytes_with = [&](int64_t bi, int64_t bj) -> int64_t {
+    TiledMatrix c{"C", TileLayout::Square(4096, 4096, 512)};
+    MatMulJob job("mm", a, b, c, MatMulParams{bi, bj, 0}, {});
+    auto built = job.Build(ctx);
+    CUMULON_CHECK(built.ok());
+    int64_t total = 0;
+    for (const Task& t : built->spec.tasks) total += t.cost.bytes_read;
+    return total;
+  };
+  EXPECT_LT(bytes_with(2, 2), bytes_with(1, 1));
+  EXPECT_LT(bytes_with(4, 4), bytes_with(2, 2));
+}
+
+TEST(ExecSimTest, JobStartupChargedPerJob) {
+  SimDfs dfs(DfsOptions{});
+  DfsTileStore store(&dfs);
+  TiledMatrix a{"A", TileLayout::Square(512, 512, 512)};
+  ASSERT_TRUE(store.PutMeta("A", TileId{0, 0}, 16 + 512 * 512 * 8, -1).ok());
+  TiledMatrix out{"Y", TileLayout::Square(512, 512, 512)};
+
+  ClusterConfig cluster{MachineProfile{}, 1, 1};
+  SimEngine engine(cluster, SimEngineOptions{});
+  TileOpCostModel cost;
+  ExecutorOptions exec_options;
+  exec_options.real_mode = false;
+  exec_options.job_startup_seconds = 100.0;
+  Executor executor(&store, &engine, &cost, exec_options);
+
+  PhysicalPlan plan;
+  ASSERT_TRUE(AddEwChain(a, out, {EwStep::Unary(UnaryOp::kAbs)}, &plan).ok());
+  auto stats = executor.Run(plan);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GT(stats->total_seconds, 100.0);
+  EXPECT_LT(stats->total_seconds, 200.0);
+}
+
+// ---------------------------------------------------------------------------
+// EwStep unit behavior
+// ---------------------------------------------------------------------------
+
+TEST(EwStepTest, ApplyUnary) {
+  Tile t(2, 2);
+  FillTile(&t, 4.0);
+  ASSERT_TRUE(ApplyEwStep(EwStep::Unary(UnaryOp::kSqrt), &t, nullptr).ok());
+  EXPECT_DOUBLE_EQ(t.At(0, 0), 2.0);
+}
+
+TEST(EwStepTest, ApplyBinaryNeedsOperand) {
+  Tile t(2, 2);
+  EXPECT_FALSE(
+      ApplyEwStep(EwStep::Binary(BinaryOp::kAdd, "m"), &t, nullptr).ok());
+}
+
+TEST(EwStepTest, SwappedBinaryReversesOperands) {
+  Tile v(1, 1), other(1, 1);
+  v.Set(0, 0, 3.0);
+  other.Set(0, 0, 10.0);
+  ASSERT_TRUE(ApplyEwStep(EwStep::Binary(BinaryOp::kSub, "m", true), &v,
+                          &other).ok());
+  EXPECT_DOUBLE_EQ(v.At(0, 0), 7.0);  // other - v
+}
+
+TEST(EwStepTest, ToStringIsInformative) {
+  EXPECT_EQ(EwStep::Unary(UnaryOp::kScale, 2.0).ToString(), "scale(2)");
+  EXPECT_EQ(EwStep::Binary(BinaryOp::kDiv, "D").ToString(), "div(v, D)");
+  EXPECT_EQ(EwStep::Binary(BinaryOp::kSub, "D", true).ToString(),
+            "sub(D, v)");
+}
+
+}  // namespace
+}  // namespace cumulon

@@ -1,0 +1,217 @@
+#include <atomic>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "cluster/real_engine.h"
+#include "cluster/sim_engine.h"
+#include "common/rng.h"
+#include "cost/cost_model.h"
+#include "exec/executor.h"
+#include "exec/physical_plan.h"
+#include "matrix/dense_matrix.h"
+#include "matrix/tiled_matrix.h"
+
+namespace cumulon {
+namespace {
+
+// ---------------------------------------------------------------------------
+// RealEngine retry
+// ---------------------------------------------------------------------------
+
+TEST(RetryTest, TransientFailureRecoversWithRetries) {
+  RealEngineOptions options;
+  options.max_attempts = 3;
+  RealEngine engine(ClusterConfig{MachineProfile{}, 1, 2}, options);
+  std::atomic<int> calls{0};
+  JobSpec job;
+  Task t;
+  t.name = "flaky";
+  t.work = [&calls](int) {
+    return calls.fetch_add(1) < 2 ? Status::Internal("transient")
+                                  : Status::OK();
+  };
+  job.tasks.push_back(std::move(t));
+  auto stats = engine.RunJob(job);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ(calls.load(), 3);
+}
+
+TEST(RetryTest, PermanentFailureStillFailsAfterAllAttempts) {
+  RealEngineOptions options;
+  options.max_attempts = 3;
+  RealEngine engine(ClusterConfig{MachineProfile{}, 1, 1}, options);
+  std::atomic<int> calls{0};
+  JobSpec job;
+  Task t;
+  t.name = "broken";
+  t.work = [&calls](int) {
+    calls.fetch_add(1);
+    return Status::Internal("permanent");
+  };
+  job.tasks.push_back(std::move(t));
+  auto stats = engine.RunJob(job);
+  ASSERT_FALSE(stats.ok());
+  EXPECT_EQ(calls.load(), 3);
+  EXPECT_NE(stats.status().message().find("after 3 attempt"),
+            std::string::npos);
+}
+
+TEST(RetryTest, DefaultIsSingleAttempt) {
+  RealEngine engine(ClusterConfig{MachineProfile{}, 1, 1},
+                    RealEngineOptions{});
+  std::atomic<int> calls{0};
+  JobSpec job;
+  Task t;
+  t.work = [&calls](int) {
+    calls.fetch_add(1);
+    return Status::Internal("boom");
+  };
+  job.tasks.push_back(std::move(t));
+  EXPECT_FALSE(engine.RunJob(job).ok());
+  EXPECT_EQ(calls.load(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Failure injection through the storage layer
+// ---------------------------------------------------------------------------
+
+/// Decorator that fails the first `failures` Get() calls, then behaves
+/// normally — simulating transient storage hiccups.
+class FlakyTileStore : public TileStore {
+ public:
+  FlakyTileStore(TileStore* inner, int failures)
+      : inner_(inner), remaining_failures_(failures) {}
+
+  Status Put(const std::string& matrix, TileId id,
+             std::shared_ptr<const Tile> tile, int writer_node) override {
+    return inner_->Put(matrix, id, std::move(tile), writer_node);
+  }
+
+  Result<std::shared_ptr<const Tile>> Get(const std::string& matrix,
+                                          TileId id,
+                                          int reader_node) override {
+    if (remaining_failures_.fetch_sub(1) > 0) {
+      return Status::Internal("injected storage failure");
+    }
+    return inner_->Get(matrix, id, reader_node);
+  }
+
+  Status DeleteMatrix(const std::string& matrix) override {
+    return inner_->DeleteMatrix(matrix);
+  }
+
+ private:
+  TileStore* inner_;
+  std::atomic<int> remaining_failures_;
+};
+
+TEST(FailureInjectionTest, PlanSurvivesTransientStorageFailuresWithRetry) {
+  InMemoryTileStore backing;
+  Rng rng(71);
+  TiledMatrix a{"A", TileLayout::Square(16, 16, 8)};
+  TiledMatrix b{"B", TileLayout::Square(16, 16, 8)};
+  DenseMatrix da = DenseMatrix::Gaussian(16, 16, &rng);
+  DenseMatrix db = DenseMatrix::Gaussian(16, 16, &rng);
+  ASSERT_TRUE(StoreDense(da, a, &backing).ok());
+  ASSERT_TRUE(StoreDense(db, b, &backing).ok());
+
+  FlakyTileStore flaky(&backing, /*failures=*/3);
+  RealEngineOptions engine_options;
+  engine_options.max_attempts = 4;
+  RealEngine engine(ClusterConfig{MachineProfile{}, 1, 2}, engine_options);
+  TileOpCostModel cost;
+  Executor executor(&flaky, &engine, &cost, ExecutorOptions{});
+
+  TiledMatrix c{"C", TileLayout::Square(16, 16, 8)};
+  PhysicalPlan plan;
+  ASSERT_TRUE(AddMatMul(a, b, c, MatMulParams{}, {}, &plan).ok());
+  auto stats = executor.Run(plan);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+
+  auto loaded = LoadDense(c, &backing);
+  ASSERT_TRUE(loaded.ok());
+  auto expected = da.Multiply(db);
+  ASSERT_TRUE(expected.ok());
+  auto diff = expected->MaxAbsDiff(*loaded);
+  ASSERT_TRUE(diff.ok());
+  EXPECT_LT(diff.value(), 1e-9);
+}
+
+TEST(FailureInjectionTest, PersistentStorageFailureFailsThePlan) {
+  InMemoryTileStore backing;
+  Rng rng(72);
+  TiledMatrix a{"A", TileLayout::Square(8, 8, 8)};
+  DenseMatrix da = DenseMatrix::Gaussian(8, 8, &rng);
+  ASSERT_TRUE(StoreDense(da, a, &backing).ok());
+
+  FlakyTileStore flaky(&backing, /*failures=*/1000000);
+  RealEngineOptions engine_options;
+  engine_options.max_attempts = 2;
+  RealEngine engine(ClusterConfig{MachineProfile{}, 1, 1}, engine_options);
+  TileOpCostModel cost;
+  Executor executor(&flaky, &engine, &cost, ExecutorOptions{});
+
+  TiledMatrix out{"Y", TileLayout::Square(8, 8, 8)};
+  PhysicalPlan plan;
+  ASSERT_TRUE(AddEwChain(a, out, {EwStep::Unary(UnaryOp::kAbs)}, &plan).ok());
+  EXPECT_FALSE(executor.Run(plan).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Simulated task failures
+// ---------------------------------------------------------------------------
+
+TEST(SimFailureTest, FailuresInflateMakespan) {
+  ClusterConfig cluster{MachineProfile{}, 4, 2};
+  JobSpec job;
+  for (int i = 0; i < 64; ++i) {
+    Task t;
+    t.cost.cpu_seconds_ref = 2.0;
+    job.tasks.push_back(std::move(t));
+  }
+  SimEngineOptions clean;
+  clean.task_startup_seconds = 0.0;
+  SimEngineOptions lossy = clean;
+  lossy.task_failure_probability = 0.3;
+  SimEngine clean_engine(cluster, clean), lossy_engine(cluster, lossy);
+  auto s_clean = clean_engine.RunJob(job);
+  auto s_lossy = lossy_engine.RunJob(job);
+  ASSERT_TRUE(s_clean.ok() && s_lossy.ok());
+  EXPECT_GT(s_lossy->duration_seconds, s_clean->duration_seconds);
+}
+
+TEST(SimFailureTest, CertainFailureKillsTheJob) {
+  ClusterConfig cluster{MachineProfile{}, 1, 1};
+  SimEngineOptions options;
+  options.task_failure_probability = 1.0;
+  SimEngine engine(cluster, options);
+  JobSpec job;
+  job.tasks.emplace_back();
+  auto stats = engine.RunJob(job);
+  ASSERT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status().code(), StatusCode::kInternal);
+}
+
+TEST(SimFailureTest, ZeroProbabilityDrawsNoRandomness) {
+  // Determinism guard: enabling-the-feature-at-zero must not change
+  // schedules (no RNG consumption).
+  ClusterConfig cluster{MachineProfile{}, 2, 2};
+  SimEngineOptions noisy;
+  noisy.noise_sigma = 0.4;
+  SimEngineOptions noisy_with_zero_failures = noisy;
+  noisy_with_zero_failures.task_failure_probability = 0.0;
+  JobSpec job;
+  for (int i = 0; i < 32; ++i) {
+    Task t;
+    t.cost.cpu_seconds_ref = 1.0;
+    job.tasks.push_back(std::move(t));
+  }
+  SimEngine e1(cluster, noisy), e2(cluster, noisy_with_zero_failures);
+  auto s1 = e1.RunJob(job), s2 = e2.RunJob(job);
+  ASSERT_TRUE(s1.ok() && s2.ok());
+  EXPECT_DOUBLE_EQ(s1->duration_seconds, s2->duration_seconds);
+}
+
+}  // namespace
+}  // namespace cumulon

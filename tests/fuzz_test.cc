@@ -1,0 +1,222 @@
+// Randomized differential test: generate random well-shaped programs,
+// lower and execute them on the real engine (with and without fusion,
+// with chain optimization), and compare against the single-node
+// interpreter. This sweeps lowering-path combinations (fusion spines,
+// broadcasts, aggregates, transposes, chain reordering, CSE) no
+// hand-written test enumerates.
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "cluster/real_engine.h"
+#include "common/rng.h"
+#include "common/strings.h"
+#include "cost/cost_model.h"
+#include "exec/executor.h"
+#include "lang/interpreter.h"
+#include "lang/logical_optimizer.h"
+#include "lang/lowering.h"
+#include "matrix/dense_matrix.h"
+#include "matrix/tiled_matrix.h"
+
+namespace cumulon {
+namespace {
+
+constexpr int64_t kTile = 8;
+
+/// Generates random expressions of a requested shape, creating Gaussian
+/// input matrices on demand.
+class ExprGenerator {
+ public:
+  explicit ExprGenerator(uint64_t seed) : rng_(seed) {}
+
+  ExprPtr Generate(int depth, int64_t rows, int64_t cols) {
+    if (depth <= 0) return MakeInput(rows, cols);
+    switch (rng_.NextUint64(12)) {
+      case 0:
+      case 1:
+        return MakeInput(rows, cols);
+      case 2: {  // benign unary
+        static const UnaryOp kOps[] = {UnaryOp::kScale, UnaryOp::kAddScalar,
+                                       UnaryOp::kAbs, UnaryOp::kSigmoid};
+        return Expr::EwUnary(kOps[rng_.NextUint64(4)],
+                             Generate(depth - 1, rows, cols),
+                             rng_.NextDouble(-2, 2));
+      }
+      case 3:
+      case 4: {  // same-shape binary (no division: operands can be ~0)
+        static const BinaryOp kOps[] = {BinaryOp::kAdd, BinaryOp::kSub,
+                                        BinaryOp::kMul, BinaryOp::kMax,
+                                        BinaryOp::kMin};
+        auto e = Expr::EwBinary(kOps[rng_.NextUint64(5)],
+                                Generate(depth - 1, rows, cols),
+                                Generate(depth - 1, rows, cols));
+        CUMULON_CHECK(e.ok()) << e.status();
+        return std::move(e).value();
+      }
+      case 5: {  // broadcast binary (only when the shape is a true matrix)
+        if (rows == 1 || cols == 1) return MakeInput(rows, cols);
+        const bool row_vector = rng_.NextUint64(2) == 0;
+        auto vec = row_vector ? Generate(depth - 1, 1, cols)
+                              : Generate(depth - 1, rows, 1);
+        auto full = Generate(depth - 1, rows, cols);
+        const bool vector_left = rng_.NextUint64(2) == 0;
+        auto e = vector_left
+                     ? Expr::EwBinary(BinaryOp::kAdd, vec, full)
+                     : Expr::EwBinary(BinaryOp::kSub, full, vec);
+        CUMULON_CHECK(e.ok()) << e.status();
+        return std::move(e).value();
+      }
+      case 6:
+      case 7: {  // multiply through a random inner dimension
+        const int64_t k = PickDim();
+        auto e = Expr::MatMul(Generate(depth - 1, rows, k),
+                              Generate(depth - 1, k, cols));
+        CUMULON_CHECK(e.ok()) << e.status();
+        return std::move(e).value();
+      }
+      case 8:
+        return Expr::Transpose(Generate(depth - 1, cols, rows));
+      case 9: {  // aggregates when the target shape is a vector
+        if (cols == 1) {
+          return Expr::RowSums(Generate(depth - 1, rows, PickDim()));
+        }
+        if (rows == 1) {
+          return Expr::ColSums(Generate(depth - 1, PickDim(), cols));
+        }
+        return MakeInput(rows, cols);
+      }
+      default:  // nested chain: unary over binary keeps spines interesting
+        return Expr::EwUnary(
+            UnaryOp::kScale,
+            Generate(depth - 1, rows, cols), rng_.NextDouble(0.5, 1.5));
+    }
+  }
+
+  const std::map<std::string, DenseMatrix>& dense_env() const {
+    return dense_env_;
+  }
+
+  Status Materialize(TileStore* store,
+                     std::map<std::string, TiledMatrix>* bindings) {
+    for (const auto& [name, dense] : dense_env_) {
+      TiledMatrix m{name,
+                    TileLayout::Square(dense.rows(), dense.cols(), kTile)};
+      CUMULON_RETURN_IF_ERROR(StoreDense(dense, m, store));
+      bindings->insert_or_assign(name, m);
+    }
+    return Status::OK();
+  }
+
+ private:
+  int64_t PickDim() {
+    static const int64_t kDims[] = {8, 16, 24};
+    return kDims[rng_.NextUint64(3)];
+  }
+
+  ExprPtr MakeInput(int64_t rows, int64_t cols) {
+    const std::string name = StrCat("in_", rows, "x", cols);
+    if (dense_env_.find(name) == dense_env_.end()) {
+      dense_env_.insert({name, DenseMatrix::Gaussian(rows, cols, &rng_)});
+    }
+    return Expr::Input(name, rows, cols);
+  }
+
+  Rng rng_;
+  std::map<std::string, DenseMatrix> dense_env_;
+};
+
+class LoweringFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LoweringFuzzTest, DistributedMatchesInterpreter) {
+  const uint64_t seed = GetParam();
+  ExprGenerator generator(seed);
+
+  Program program;
+  program.Assign("out1", generator.Generate(3, 16, 24));
+  program.Assign("out2", generator.Generate(2, 24, 8));
+
+  // Ground truth from the interpreter (on the raw program).
+  auto reference = EvalProgram(program, generator.dense_env());
+  ASSERT_TRUE(reference.ok()) << reference.status();
+
+  for (const bool fusion : {true, false}) {
+    for (const bool optimize : {true, false}) {
+      SCOPED_TRACE(StrCat("seed=", seed, " fusion=", fusion,
+                          " optimize=", optimize));
+      InMemoryTileStore store;
+      std::map<std::string, TiledMatrix> bindings;
+      ASSERT_TRUE(generator.Materialize(&store, &bindings).ok());
+
+      LoweringOptions lowering;
+      lowering.tile_dim = kTile;
+      lowering.enable_fusion = fusion;
+      const Program& to_run = program;
+      auto lowered = Lower(optimize ? OptimizeProgram(to_run) : to_run,
+                           bindings, lowering);
+      ASSERT_TRUE(lowered.ok()) << lowered.status();
+
+      RealEngine engine(ClusterConfig{MachineProfile{}, 2, 2},
+                        RealEngineOptions{});
+      TileOpCostModel cost;
+      Executor executor(&store, &engine, &cost, ExecutorOptions{});
+      auto stats = executor.Run(lowered->plan);
+      ASSERT_TRUE(stats.ok()) << stats.status();
+
+      for (const char* target : {"out1", "out2"}) {
+        auto loaded = LoadDense(lowered->outputs.at(target), &store);
+        ASSERT_TRUE(loaded.ok()) << loaded.status();
+        auto diff = reference->at(target).MaxAbsDiff(*loaded);
+        ASSERT_TRUE(diff.ok());
+        EXPECT_LT(diff.value(), 1e-7) << target;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LoweringFuzzTest,
+                         ::testing::Range<uint64_t>(1, 21));
+
+/// The DAG-parallel executor must agree with the interpreter too.
+class LeveledFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LeveledFuzzTest, LeveledExecutionMatchesInterpreter) {
+  const uint64_t seed = GetParam();
+  ExprGenerator generator(seed * 1000 + 7);
+  Program program;
+  program.Assign("a", generator.Generate(2, 16, 16));
+  program.Assign("b", generator.Generate(2, 16, 16));
+  program.Assign("c", Expr::Input("a", 16, 16) * Expr::Input("b", 16, 16));
+
+  auto reference = EvalProgram(program, generator.dense_env());
+  ASSERT_TRUE(reference.ok()) << reference.status();
+
+  InMemoryTileStore store;
+  std::map<std::string, TiledMatrix> bindings;
+  ASSERT_TRUE(generator.Materialize(&store, &bindings).ok());
+  LoweringOptions lowering;
+  lowering.tile_dim = kTile;
+  auto lowered = Lower(program, bindings, lowering);
+  ASSERT_TRUE(lowered.ok()) << lowered.status();
+
+  RealEngine engine(ClusterConfig{MachineProfile{}, 2, 2},
+                    RealEngineOptions{});
+  TileOpCostModel cost;
+  ExecutorOptions options;
+  options.parallelize_independent_jobs = true;
+  Executor executor(&store, &engine, &cost, options);
+  ASSERT_TRUE(executor.Run(lowered->plan).ok());
+
+  auto loaded = LoadDense(lowered->outputs.at("c"), &store);
+  ASSERT_TRUE(loaded.ok());
+  auto diff = reference->at("c").MaxAbsDiff(*loaded);
+  ASSERT_TRUE(diff.ok());
+  EXPECT_LT(diff.value(), 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LeveledFuzzTest,
+                         ::testing::Range<uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace cumulon

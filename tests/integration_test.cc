@@ -1,0 +1,239 @@
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "cluster/real_engine.h"
+#include "cluster/sim_engine.h"
+#include "common/rng.h"
+#include "cost/calibration.h"
+#include "dfs/dfs_tile_store.h"
+#include "dfs/sim_dfs.h"
+#include "exec/executor.h"
+#include "lang/logical_optimizer.h"
+#include "lang/lowering.h"
+#include "lang/programs.h"
+#include "matrix/dense_matrix.h"
+#include "matrix/tiled_matrix.h"
+#include "opt/predictor.h"
+#include "opt/search.h"
+
+namespace cumulon {
+namespace {
+
+/// Full-stack real execution: program -> logical optimizer -> lowering ->
+/// real engine over the simulated DFS (payloads + locality + byte
+/// accounting all live).
+TEST(IntegrationTest, RsvdOverDfsEndToEnd) {
+  DfsOptions dfs_options;
+  dfs_options.num_nodes = 3;
+  dfs_options.replication = 2;
+  SimDfs dfs(dfs_options);
+  DfsTileStore store(&dfs);
+
+  RsvdSpec spec;
+  spec.m = 32;
+  spec.n = 24;
+  spec.l = 4;
+  Rng rng(5);
+  DenseMatrix da = DenseMatrix::Gaussian(spec.m, spec.n, &rng);
+  DenseMatrix domega = DenseMatrix::Gaussian(spec.n, spec.l, &rng);
+  std::map<std::string, TiledMatrix> bindings;
+  bindings.insert_or_assign(
+      "A", TiledMatrix{"A", TileLayout::Square(spec.m, spec.n, 8)});
+  bindings.insert_or_assign(
+      "Omega", TiledMatrix{"Omega", TileLayout::Square(spec.n, spec.l, 8)});
+  ASSERT_TRUE(StoreDense(da, bindings.at("A"), &store).ok());
+  ASSERT_TRUE(StoreDense(domega, bindings.at("Omega"), &store).ok());
+
+  LoweringOptions lowering;
+  lowering.tile_dim = 8;
+  auto lowered =
+      Lower(OptimizeProgram(BuildRsvd1(spec)), bindings, lowering);
+  ASSERT_TRUE(lowered.ok()) << lowered.status();
+
+  ClusterConfig cluster{MachineProfile{}, 3, 2};
+  RealEngine engine(cluster, RealEngineOptions{});
+  TileOpCostModel cost;
+  Executor executor(&store, &engine, &cost, ExecutorOptions{});
+  auto stats = executor.Run(lowered->plan);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+
+  auto y = LoadDense(lowered->outputs.at("Y"), &store);
+  ASSERT_TRUE(y.ok()) << y.status();
+  auto expected = da.Multiply(*da.Transpose().Multiply(*da.Multiply(domega)));
+  ASSERT_TRUE(expected.ok());
+  auto diff = expected->MaxAbsDiff(*y);
+  ASSERT_TRUE(diff.ok());
+  EXPECT_LT(diff.value(), 1e-6);
+
+  // The DFS actually moved bytes for this run.
+  EXPECT_GT(dfs.TotalStats().bytes_written, 0);
+  EXPECT_GT(dfs.TotalStats().bytes_read(), 0);
+}
+
+/// The same lowered plan must produce identical numbers regardless of
+/// multiply split parameters (physical knobs never change semantics).
+TEST(IntegrationTest, SplitParametersDoNotChangeResults) {
+  Rng rng(6);
+  DenseMatrix da = DenseMatrix::Gaussian(32, 40, &rng);
+  DenseMatrix db = DenseMatrix::Gaussian(40, 24, &rng);
+
+  DenseMatrix reference(1, 1);
+  bool have_reference = false;
+  for (const MatMulParams params :
+       {MatMulParams{1, 1, 0}, MatMulParams{2, 2, 0}, MatMulParams{1, 1, 2},
+        MatMulParams{3, 2, 1}}) {
+    InMemoryTileStore store;
+    TiledMatrix a{"A", TileLayout::Square(32, 40, 8)};
+    TiledMatrix b{"B", TileLayout::Square(40, 24, 8)};
+    TiledMatrix c{"C", TileLayout::Square(32, 24, 8)};
+    ASSERT_TRUE(StoreDense(da, a, &store).ok());
+    ASSERT_TRUE(StoreDense(db, b, &store).ok());
+    PhysicalPlan plan;
+    ASSERT_TRUE(AddMatMul(a, b, c, params, {}, &plan).ok());
+    RealEngine engine(ClusterConfig{MachineProfile{}, 2, 2},
+                      RealEngineOptions{});
+    TileOpCostModel cost;
+    Executor executor(&store, &engine, &cost, ExecutorOptions{});
+    ASSERT_TRUE(executor.Run(plan).ok());
+    auto loaded = LoadDense(c, &store);
+    ASSERT_TRUE(loaded.ok());
+    if (!have_reference) {
+      reference = *loaded;
+      have_reference = true;
+    } else {
+      auto diff = reference.MaxAbsDiff(*loaded);
+      ASSERT_TRUE(diff.ok());
+      EXPECT_LT(diff.value(), 1e-10) << "params " << params.ToString();
+    }
+  }
+}
+
+/// Ablation A2 in miniature: disabling locality-aware scheduling makes
+/// more reads remote in the simulated cluster.
+TEST(IntegrationTest, LocalitySchedulingReducesRemoteTasks) {
+  auto run_with = [](bool locality_aware) {
+    DfsOptions dfs_options;
+    dfs_options.num_nodes = 16;
+    dfs_options.replication = 1;  // scarce replicas make locality matter
+    dfs_options.seed = 3;
+    SimDfs dfs(dfs_options);
+    DfsTileStore store(&dfs);
+    TiledMatrix a{"A", TileLayout::Square(16384, 16384, 1024)};
+    TiledMatrix b{"B", TileLayout::Square(16384, 16384, 1024)};
+    for (const TiledMatrix& m : {a, b}) {
+      for (int64_t r = 0; r < m.layout.grid_rows(); ++r) {
+        for (int64_t c = 0; c < m.layout.grid_cols(); ++c) {
+          CUMULON_CHECK(store.PutMeta(m.name, TileId{r, c},
+                                      16 + 1024 * 1024 * 8, -1).ok());
+        }
+      }
+    }
+    TiledMatrix c{"C", TileLayout::Square(16384, 16384, 1024)};
+    PhysicalPlan plan;
+    CUMULON_CHECK(AddMatMul(a, b, c, MatMulParams{2, 2, 0}, {}, &plan).ok());
+    SimEngineOptions sim;
+    sim.locality_aware = locality_aware;
+    SimEngine engine(ClusterConfig{MachineProfile{}, 16, 2}, sim);
+    TileOpCostModel cost;
+    ExecutorOptions exec_options;
+    exec_options.real_mode = false;
+    Executor executor(&store, &engine, &cost, exec_options);
+    auto stats = executor.Run(plan);
+    CUMULON_CHECK(stats.ok()) << stats.status();
+    return stats->non_local_tasks;
+  };
+  EXPECT_LT(run_with(true), run_with(false));
+}
+
+/// Model-validation smoke (experiment E4's core loop): the simulator fed
+/// with host-calibrated throughput predicts real single-threaded multiply
+/// time within a loose factor.
+TEST(IntegrationTest, PredictionWithinFactorOfRealExecution) {
+  CalibrationOptions cal_options;
+  cal_options.tile_dim = 128;
+  auto calibration = Calibrate(cal_options);
+  ASSERT_TRUE(calibration.ok());
+
+  const int64_t dim = 512, tile = 128;
+  InMemoryTileStore store;
+  TiledMatrix a{"A", TileLayout::Square(dim, dim, tile)};
+  TiledMatrix b{"B", TileLayout::Square(dim, dim, tile)};
+  TiledMatrix c{"C", TileLayout::Square(dim, dim, tile)};
+  Rng rng(7);
+  ASSERT_TRUE(GenerateMatrix(a, FillKind::kGaussian, 0, &rng, &store).ok());
+  ASSERT_TRUE(GenerateMatrix(b, FillKind::kGaussian, 0, &rng, &store).ok());
+
+  // Real run on one worker thread.
+  ClusterConfig host_cluster{calibration->ToHostProfile(1), 1, 1};
+  RealEngine real(host_cluster, RealEngineOptions{});
+  TileOpCostModel cost = calibration->ToCostModel();
+  ExecutorOptions exec_options;
+  exec_options.job_startup_seconds = 0.0;
+  Executor real_exec(&store, &real, &cost, exec_options);
+  PhysicalPlan plan;
+  ASSERT_TRUE(AddMatMul(a, b, c, MatMulParams{1, 1, 0}, {}, &plan).ok());
+  auto real_stats = real_exec.Run(plan);
+  ASSERT_TRUE(real_stats.ok());
+
+  // Prediction: same cluster, no startup overhead, no IO cost (host
+  // profile has effectively infinite bandwidth).
+  SimEngineOptions sim;
+  sim.task_startup_seconds = 0.0;
+  sim.replication = 1;
+  SimEngine sim_engine(host_cluster, sim);
+  ExecutorOptions sim_exec_options;
+  sim_exec_options.real_mode = false;
+  sim_exec_options.job_startup_seconds = 0.0;
+  InMemoryTileStore meta_store;
+  Executor sim_exec(&meta_store, &sim_engine, &cost, sim_exec_options);
+  PhysicalPlan sim_plan;
+  ASSERT_TRUE(AddMatMul(a, b, c, MatMulParams{1, 1, 0}, {}, &sim_plan).ok());
+  auto sim_stats = sim_exec.Run(sim_plan);
+  ASSERT_TRUE(sim_stats.ok());
+
+  const double real_time = real_stats->total_seconds;
+  const double predicted = sim_stats->total_seconds;
+  EXPECT_GT(predicted, 0.0);
+  EXPECT_GT(real_time, 0.0);
+  // Loose sanity bound: within 4x either way (CI machines are noisy; the
+  // bench reports the tight number).
+  EXPECT_LT(predicted / real_time, 4.0);
+  EXPECT_LT(real_time / predicted, 4.0);
+}
+
+/// The optimizer must prefer cheaper clusters when deadlines relax
+/// (the core claim of deployment optimization).
+TEST(IntegrationTest, DeadlineDrivenPlanSelection) {
+  RsvdSpec rsvd;
+  rsvd.m = 16384;
+  rsvd.n = 8192;
+  rsvd.l = 64;
+  ProgramSpec spec;
+  spec.program = OptimizeProgram(BuildRsvd1(rsvd));
+  spec.inputs = {
+      {"A", TileLayout::Square(rsvd.m, rsvd.n, 1024)},
+      {"Omega", TileLayout::Square(rsvd.n, rsvd.l, 1024)},
+  };
+  SearchSpace space;
+  space.machine_types = {"m1.small", "m1.large", "c1.xlarge"};
+  space.cluster_sizes = {1, 4, 16};
+  space.slots_per_machine = {2};
+  space.mm_candidates = {MatMulParams{1, 1, 0}};
+  PredictorOptions options;
+  options.lowering.tile_dim = 1024;
+  options.billing.quantum_seconds = 1.0;  // smooth cost for this check
+  auto points = EnumeratePlans(spec, space, options);
+  ASSERT_TRUE(points.ok()) << points.status();
+  ASSERT_FALSE(points->empty());
+
+  const double fastest = points->front().seconds;
+  auto urgent = MinCostUnderDeadline(*points, fastest * 1.001);
+  auto relaxed = MinCostUnderDeadline(*points, points->back().seconds * 2);
+  ASSERT_TRUE(urgent.ok() && relaxed.ok());
+  EXPECT_LE(relaxed->dollars, urgent->dollars);
+  EXPECT_GE(relaxed->seconds, urgent->seconds);
+}
+
+}  // namespace
+}  // namespace cumulon

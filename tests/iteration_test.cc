@@ -1,0 +1,205 @@
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "cluster/real_engine.h"
+#include "cluster/sim_engine.h"
+#include "common/rng.h"
+#include "cost/cost_model.h"
+#include "exec/executor.h"
+#include "lang/logical_optimizer.h"
+#include "lang/lowering.h"
+#include "lang/programs.h"
+#include "matrix/dense_matrix.h"
+#include "matrix/tiled_matrix.h"
+
+namespace cumulon {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Repeat (loop unrolling)
+// ---------------------------------------------------------------------------
+
+TEST(RepeatTest, ConcatenatesBodyNTimes) {
+  Program body;
+  body.Assign("x", Scale(Expr::Input("x", 4, 4), 2.0));
+  Program unrolled = Repeat(body, 3);
+  EXPECT_EQ(unrolled.assignments.size(), 3u);
+  EXPECT_EQ(Repeat(body, 0).assignments.size(), 0u);
+}
+
+TEST(RepeatTest, UnrolledIterationChainsThroughVersions) {
+  InMemoryTileStore store;
+  Rng rng(61);
+  const int64_t n = 16, tile = 8;
+  TiledMatrix x{"x", TileLayout::Square(n, n, tile)};
+  DenseMatrix dense = DenseMatrix::Gaussian(n, n, &rng);
+  ASSERT_TRUE(StoreDense(dense, x, &store).ok());
+
+  Program body;
+  body.Assign("x", Scale(Expr::Input("x", n, n), 2.0));
+  LoweringOptions lowering;
+  lowering.tile_dim = tile;
+  auto lowered = Lower(Repeat(body, 4), {{"x", x}}, lowering);
+  ASSERT_TRUE(lowered.ok()) << lowered.status();
+  EXPECT_EQ(lowered->outputs.at("x").name, "x@v4");
+
+  RealEngine engine(ClusterConfig{MachineProfile{}, 1, 2},
+                    RealEngineOptions{});
+  TileOpCostModel cost;
+  Executor executor(&store, &engine, &cost, ExecutorOptions{});
+  ASSERT_TRUE(executor.Run(lowered->plan).ok());
+
+  auto result = LoadDense(lowered->outputs.at("x"), &store);
+  ASSERT_TRUE(result.ok());
+  auto diff = result->MaxAbsDiff(dense.Unary(UnaryOp::kScale, 16.0));
+  ASSERT_TRUE(diff.ok());
+  EXPECT_LT(diff.value(), 1e-10);
+}
+
+TEST(RepeatTest, TwoGnmfIterationsMatchSequentialReference) {
+  InMemoryTileStore store;
+  Rng rng(62);
+  GnmfSpec spec;
+  spec.m = 16;
+  spec.n = 12;
+  spec.k = 4;
+  const int64_t tile = 8;
+
+  auto make_uniform = [&](int64_t rows, int64_t cols) {
+    DenseMatrix m(rows, cols);
+    for (int64_t r = 0; r < rows; ++r) {
+      for (int64_t c = 0; c < cols; ++c) m.Set(r, c, rng.NextDouble(0.1, 1));
+    }
+    return m;
+  };
+  DenseMatrix dv = make_uniform(spec.m, spec.n);
+  DenseMatrix dw = make_uniform(spec.m, spec.k);
+  DenseMatrix dh = make_uniform(spec.k, spec.n);
+  std::map<std::string, TiledMatrix> bindings = {
+      {"V", {"V", TileLayout::Square(spec.m, spec.n, tile)}},
+      {"W", {"W", TileLayout::Square(spec.m, spec.k, tile)}},
+      {"H", {"H", TileLayout::Square(spec.k, spec.n, tile)}},
+  };
+  ASSERT_TRUE(StoreDense(dv, bindings.at("V"), &store).ok());
+  ASSERT_TRUE(StoreDense(dw, bindings.at("W"), &store).ok());
+  ASSERT_TRUE(StoreDense(dh, bindings.at("H"), &store).ok());
+
+  LoweringOptions lowering;
+  lowering.tile_dim = tile;
+  auto lowered = Lower(OptimizeProgram(Repeat(BuildGnmfIteration(spec), 2)),
+                       bindings, lowering);
+  ASSERT_TRUE(lowered.ok()) << lowered.status();
+
+  RealEngine engine(ClusterConfig{MachineProfile{}, 2, 2},
+                    RealEngineOptions{});
+  TileOpCostModel cost;
+  Executor executor(&store, &engine, &cost, ExecutorOptions{});
+  ASSERT_TRUE(executor.Run(lowered->plan).ok());
+
+  // Reference: two sequential dense iterations.
+  auto iterate = [](const DenseMatrix& v, DenseMatrix* w, DenseMatrix* h) {
+    auto wt = w->Transpose();
+    auto h_new = h->Binary(
+        BinaryOp::kMul,
+        *wt.Multiply(v)->Binary(BinaryOp::kDiv,
+                                *wt.Multiply(*w)->Multiply(*h)));
+    *h = std::move(h_new).value();
+    auto ht = h->Transpose();
+    auto w_new = w->Binary(
+        BinaryOp::kMul,
+        *v.Multiply(ht)->Binary(BinaryOp::kDiv,
+                                *w->Multiply(*h)->Multiply(ht)));
+    *w = std::move(w_new).value();
+  };
+  DenseMatrix w_ref = dw, h_ref = dh;
+  iterate(dv, &w_ref, &h_ref);
+  iterate(dv, &w_ref, &h_ref);
+
+  auto h_out = LoadDense(lowered->outputs.at("H"), &store);
+  auto w_out = LoadDense(lowered->outputs.at("W"), &store);
+  ASSERT_TRUE(h_out.ok() && w_out.ok());
+  auto dh_diff = h_ref.MaxAbsDiff(*h_out);
+  auto dw_diff = w_ref.MaxAbsDiff(*w_out);
+  ASSERT_TRUE(dh_diff.ok() && dw_diff.ok());
+  EXPECT_LT(dh_diff.value(), 1e-8);
+  EXPECT_LT(dw_diff.value(), 1e-8);
+}
+
+// ---------------------------------------------------------------------------
+// Speculative execution
+// ---------------------------------------------------------------------------
+
+JobSpec UniformJob(int tasks, double cpu_ref) {
+  JobSpec job;
+  for (int i = 0; i < tasks; ++i) {
+    Task t;
+    t.cost.cpu_seconds_ref = cpu_ref;
+    job.tasks.push_back(std::move(t));
+  }
+  return job;
+}
+
+TEST(SpeculationTest, NoEffectWithoutNoise) {
+  ClusterConfig cluster{MachineProfile{}, 4, 2};
+  SimEngineOptions base;
+  base.task_startup_seconds = 0.5;
+  SimEngineOptions spec = base;
+  spec.speculative_execution = true;
+  SimEngine plain(cluster, base), speculative(cluster, spec);
+  JobSpec job = UniformJob(64, 2.0);
+  auto s1 = plain.RunJob(job), s2 = speculative.RunJob(job);
+  ASSERT_TRUE(s1.ok() && s2.ok());
+  EXPECT_DOUBLE_EQ(s1->duration_seconds, s2->duration_seconds);
+}
+
+TEST(SpeculationTest, TamesStragglersUnderHeavyNoise) {
+  ClusterConfig cluster{MachineProfile{}, 4, 2};
+  SimEngineOptions noisy;
+  noisy.task_startup_seconds = 0.5;
+  noisy.noise_sigma = 0.8;
+  noisy.seed = 9;
+  SimEngineOptions spec = noisy;
+  spec.speculative_execution = true;
+  SimEngine plain(cluster, noisy), speculative(cluster, spec);
+  JobSpec job = UniformJob(256, 2.0);
+  auto s1 = plain.RunJob(job), s2 = speculative.RunJob(job);
+  ASSERT_TRUE(s1.ok() && s2.ok());
+  EXPECT_LT(s2->duration_seconds, s1->duration_seconds);
+}
+
+TEST(SpeculationTest, BackupCapBoundsWorstTask) {
+  ClusterConfig cluster{MachineProfile{}, 1, 1};
+  SimEngineOptions spec;
+  spec.task_startup_seconds = 0.5;
+  spec.noise_sigma = 1.5;  // brutal stragglers
+  spec.speculative_execution = true;
+  spec.seed = 13;
+  SimEngine engine(cluster, spec);
+  JobSpec job = UniformJob(200, 1.0);
+  auto stats = engine.RunJob(job);
+  ASSERT_TRUE(stats.ok());
+  // Noise-free duration is startup + cpu; worst case with speculation is
+  // base + startup + backup's own noisy run — enforce a generous cap that
+  // an unbounded lognormal would blow through.
+  const double base = 0.5 + 1.0;
+  for (const TaskRunInfo& run : stats->task_runs) {
+    EXPECT_LT(run.duration_seconds, base + 0.5 + base * 50.0);
+  }
+}
+
+TEST(SpeculationTest, DeterministicPerSeed) {
+  ClusterConfig cluster{MachineProfile{}, 2, 2};
+  SimEngineOptions spec;
+  spec.noise_sigma = 0.5;
+  spec.speculative_execution = true;
+  spec.seed = 21;
+  SimEngine e1(cluster, spec), e2(cluster, spec);
+  JobSpec job = UniformJob(64, 1.0);
+  auto s1 = e1.RunJob(job), s2 = e2.RunJob(job);
+  ASSERT_TRUE(s1.ok() && s2.ok());
+  EXPECT_DOUBLE_EQ(s1->duration_seconds, s2->duration_seconds);
+}
+
+}  // namespace
+}  // namespace cumulon

@@ -1,0 +1,194 @@
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lang/logical_optimizer.h"
+#include "lang/programs.h"
+#include "opt/predictor.h"
+#include "opt/search.h"
+
+namespace cumulon {
+namespace {
+
+/// A mid-sized RSVD-1 instance: big enough that cluster size matters,
+/// small enough to predict quickly.
+ProgramSpec TestSpec(int64_t tile_dim = 1024) {
+  RsvdSpec rsvd;
+  rsvd.m = 16384;
+  rsvd.n = 8192;
+  rsvd.l = 64;
+  ProgramSpec spec;
+  spec.program = OptimizeProgram(BuildRsvd1(rsvd));
+  spec.inputs = {
+      {"A", TileLayout::Square(rsvd.m, rsvd.n, tile_dim)},
+      {"Omega", TileLayout::Square(rsvd.n, rsvd.l, tile_dim)},
+  };
+  return spec;
+}
+
+PredictorOptions TestOptions() {
+  PredictorOptions options;
+  options.lowering.tile_dim = 1024;
+  return options;
+}
+
+ClusterConfig SmallCluster() {
+  auto machine = FindMachine("m1.large");
+  CUMULON_CHECK(machine.ok());
+  return ClusterConfig{machine.value(), 4, 2};
+}
+
+TEST(PredictorTest, ProducesPositiveTimeAndCost) {
+  auto prediction = PredictProgram(TestSpec(), SmallCluster(), TestOptions());
+  ASSERT_TRUE(prediction.ok()) << prediction.status();
+  EXPECT_GT(prediction->seconds, 0.0);
+  EXPECT_GT(prediction->dollars, 0.0);
+  EXPECT_FALSE(prediction->stats.jobs.empty());
+}
+
+TEST(PredictorTest, DeterministicForFixedSeed) {
+  auto p1 = PredictProgram(TestSpec(), SmallCluster(), TestOptions());
+  auto p2 = PredictProgram(TestSpec(), SmallCluster(), TestOptions());
+  ASSERT_TRUE(p1.ok() && p2.ok());
+  EXPECT_DOUBLE_EQ(p1->seconds, p2->seconds);
+  EXPECT_DOUBLE_EQ(p1->dollars, p2->dollars);
+}
+
+TEST(PredictorTest, MoreMachinesReduceTimeOnParallelWork) {
+  auto machine = FindMachine("m1.large");
+  ASSERT_TRUE(machine.ok());
+  auto small = PredictProgram(TestSpec(),
+                              ClusterConfig{machine.value(), 2, 2},
+                              TestOptions());
+  auto large = PredictProgram(TestSpec(),
+                              ClusterConfig{machine.value(), 16, 2},
+                              TestOptions());
+  ASSERT_TRUE(small.ok() && large.ok());
+  EXPECT_LT(large->seconds, small->seconds);
+}
+
+TEST(PredictorTest, HourlyBillingMakesCostStepwise) {
+  PredictorOptions options = TestOptions();
+  options.billing.quantum_seconds = 3600.0;
+  auto prediction = PredictProgram(TestSpec(), SmallCluster(), options);
+  ASSERT_TRUE(prediction.ok());
+  const ClusterConfig cluster = SmallCluster();
+  const double hours = std::ceil(prediction->seconds / 3600.0);
+  EXPECT_DOUBLE_EQ(
+      prediction->dollars,
+      hours * cluster.machine.price_per_hour * cluster.num_machines);
+}
+
+TEST(PredictorTest, UnboundInputFails) {
+  ProgramSpec spec = TestSpec();
+  spec.inputs.clear();
+  EXPECT_FALSE(PredictProgram(spec, SmallCluster(), TestOptions()).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Plan search
+// ---------------------------------------------------------------------------
+
+SearchSpace TinySpace() {
+  SearchSpace space;
+  space.machine_types = {"m1.large", "c1.medium"};
+  space.cluster_sizes = {2, 8};
+  space.slots_per_machine = {2};
+  space.mm_candidates = {MatMulParams{1, 1, 0}, MatMulParams{2, 2, 0}};
+  return space;
+}
+
+TEST(SearchTest, EnumeratesAllClusterConfigs) {
+  auto points = EnumeratePlans(TestSpec(), TinySpace(), TestOptions());
+  ASSERT_TRUE(points.ok()) << points.status();
+  EXPECT_EQ(points->size(), 4u);  // 2 machines x 2 sizes x 1 slots
+  // Sorted by time.
+  for (size_t i = 1; i < points->size(); ++i) {
+    EXPECT_LE((*points)[i - 1].seconds, (*points)[i].seconds);
+  }
+}
+
+TEST(SearchTest, DefaultsCoverWholeCatalog) {
+  SearchSpace space;
+  space.cluster_sizes = {4};
+  space.slots_per_machine = {2};
+  space.mm_candidates = {MatMulParams{1, 1, 0}};
+  auto points = EnumeratePlans(TestSpec(), space, TestOptions());
+  ASSERT_TRUE(points.ok());
+  EXPECT_EQ(points->size(), MachineCatalog().size());
+}
+
+TEST(SearchTest, ParetoFrontierIsUndominatedAndMonotone) {
+  auto points = EnumeratePlans(TestSpec(), TinySpace(), TestOptions());
+  ASSERT_TRUE(points.ok());
+  auto frontier = ParetoFrontier(*points);
+  ASSERT_FALSE(frontier.empty());
+  // Monotone: time increases, cost strictly decreases along the frontier.
+  for (size_t i = 1; i < frontier.size(); ++i) {
+    EXPECT_GE(frontier[i].seconds, frontier[i - 1].seconds);
+    EXPECT_LT(frontier[i].dollars, frontier[i - 1].dollars);
+  }
+  // No point dominates a frontier point.
+  for (const PlanPoint& f : frontier) {
+    for (const PlanPoint& p : *points) {
+      EXPECT_FALSE(p.seconds < f.seconds && p.dollars < f.dollars)
+          << p.ToString() << " dominates " << f.ToString();
+    }
+  }
+}
+
+TEST(SearchTest, MinCostUnderDeadlinePicksCheapestFeasible) {
+  std::vector<PlanPoint> points(3);
+  points[0].seconds = 100;
+  points[0].dollars = 9;
+  points[1].seconds = 200;
+  points[1].dollars = 4;
+  points[2].seconds = 400;
+  points[2].dollars = 1;
+  auto best = MinCostUnderDeadline(points, 250.0);
+  ASSERT_TRUE(best.ok());
+  EXPECT_DOUBLE_EQ(best->dollars, 4.0);
+  EXPECT_EQ(MinCostUnderDeadline(points, 50.0).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(SearchTest, MinTimeUnderBudgetPicksFastestAffordable) {
+  std::vector<PlanPoint> points(3);
+  points[0].seconds = 100;
+  points[0].dollars = 9;
+  points[1].seconds = 200;
+  points[1].dollars = 4;
+  points[2].seconds = 400;
+  points[2].dollars = 1;
+  auto best = MinTimeUnderBudget(points, 5.0);
+  ASSERT_TRUE(best.ok());
+  EXPECT_DOUBLE_EQ(best->seconds, 200.0);
+  EXPECT_EQ(MinTimeUnderBudget(points, 0.5).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(SearchTest, TighterDeadlineNeverCheaper) {
+  auto points = EnumeratePlans(TestSpec(), TinySpace(), TestOptions());
+  ASSERT_TRUE(points.ok());
+  // Feasible deadlines from the slowest plan downwards.
+  const double slowest = points->back().seconds;
+  auto loose = MinCostUnderDeadline(*points, slowest * 2);
+  auto tight = MinCostUnderDeadline(*points, points->front().seconds * 1.01);
+  ASSERT_TRUE(loose.ok() && tight.ok());
+  EXPECT_GE(tight->dollars, loose->dollars);
+}
+
+TEST(SearchTest, PlanPointToStringMentionsClusterAndCost) {
+  PlanPoint p;
+  p.cluster = SmallCluster();
+  p.seconds = 120.0;
+  p.dollars = 1.5;
+  const std::string s = p.ToString();
+  EXPECT_NE(s.find("m1.large"), std::string::npos);
+  EXPECT_NE(s.find("$1.50"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cumulon

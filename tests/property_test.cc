@@ -1,0 +1,193 @@
+// Cross-cutting property tests: scheduling-theory bounds on the simulated
+// engine, kernel algebra identities over random inputs, and optimizer
+// consistency properties.
+
+#include <algorithm>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "cluster/sim_engine.h"
+#include "common/rng.h"
+#include "matrix/dense_matrix.h"
+#include "matrix/tile_ops.h"
+#include "opt/search.h"
+
+namespace cumulon {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Greedy list scheduling: classic Graham bounds must hold for any job.
+// ---------------------------------------------------------------------------
+
+class SchedulingBoundTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int, uint64_t>> {};
+
+TEST_P(SchedulingBoundTest, MakespanWithinGrahamBounds) {
+  const auto [machines, slots, num_tasks, seed] = GetParam();
+  MachineProfile profile;
+  profile.cores = slots;  // no oversubscription effects in this test
+  profile.cpu_gflops = 1.0;
+  ClusterConfig cluster{profile, machines, slots};
+  SimEngineOptions options;
+  options.task_startup_seconds = 0.0;
+  options.replication = 1;
+  SimEngine engine(cluster, options);
+
+  Rng rng(seed);
+  JobSpec job;
+  double total_work = 0.0;
+  double max_task = 0.0;
+  for (int i = 0; i < num_tasks; ++i) {
+    Task task;
+    task.cost.cpu_seconds_ref = rng.NextDouble(0.1, 10.0);
+    total_work += task.cost.cpu_seconds_ref;
+    max_task = std::max(max_task, task.cost.cpu_seconds_ref);
+    job.tasks.push_back(std::move(task));
+  }
+  auto stats = engine.RunJob(job);
+  ASSERT_TRUE(stats.ok());
+
+  const int m = machines * slots;
+  const double lower = std::max(total_work / m, max_task);
+  // Graham: greedy list scheduling <= work/m + longest task.
+  const double upper = total_work / m + max_task;
+  EXPECT_GE(stats->duration_seconds, lower - 1e-9);
+  EXPECT_LE(stats->duration_seconds, upper + 1e-9);
+  // Conservation: scheduled task time equals submitted work.
+  EXPECT_NEAR(stats->total_task_seconds, total_work, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, SchedulingBoundTest,
+    ::testing::Combine(::testing::Values(1, 3, 8), ::testing::Values(1, 2),
+                       ::testing::Values(5, 40, 200),
+                       ::testing::Values(1u, 2u, 3u)));
+
+// ---------------------------------------------------------------------------
+// Kernel algebra identities on random tiles
+// ---------------------------------------------------------------------------
+
+class KernelIdentityTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(KernelIdentityTest, TransposeOfProductIsReversedProductOfTransposes) {
+  Rng rng(GetParam());
+  const int64_t m = 5 + rng.NextInt(0, 20);
+  const int64_t k = 5 + rng.NextInt(0, 20);
+  const int64_t n = 5 + rng.NextInt(0, 20);
+  Tile a(m, k), b(k, n);
+  FillGaussian(&a, &rng);
+  FillGaussian(&b, &rng);
+
+  // (A B)^T
+  Tile ab(m, n), ab_t(n, m);
+  ASSERT_TRUE(Gemm(a, b, 1.0, 0.0, &ab).ok());
+  ASSERT_TRUE(TransposeTile(ab, &ab_t).ok());
+  // B^T A^T
+  Tile a_t(k, m), b_t(n, k), bt_at(n, m);
+  ASSERT_TRUE(TransposeTile(a, &a_t).ok());
+  ASSERT_TRUE(TransposeTile(b, &b_t).ok());
+  ASSERT_TRUE(Gemm(b_t, a_t, 1.0, 0.0, &bt_at).ok());
+
+  auto diff = MaxAbsDiff(ab_t, bt_at);
+  ASSERT_TRUE(diff.ok());
+  EXPECT_LT(diff.value(), 1e-9);
+}
+
+TEST_P(KernelIdentityTest, GemmDistributesOverAddition) {
+  Rng rng(GetParam() + 100);
+  const int64_t m = 4 + rng.NextInt(0, 12);
+  const int64_t k = 4 + rng.NextInt(0, 12);
+  const int64_t n = 4 + rng.NextInt(0, 12);
+  Tile a(m, k), b1(k, n), b2(k, n);
+  FillGaussian(&a, &rng);
+  FillGaussian(&b1, &rng);
+  FillGaussian(&b2, &rng);
+
+  // A*(B1+B2)
+  Tile b_sum(k, n), left(m, n);
+  ASSERT_TRUE(EwBinary(BinaryOp::kAdd, b1, b2, &b_sum).ok());
+  ASSERT_TRUE(Gemm(a, b_sum, 1.0, 0.0, &left).ok());
+  // A*B1 + A*B2 via accumulation.
+  Tile right(m, n);
+  ASSERT_TRUE(Gemm(a, b1, 1.0, 0.0, &right).ok());
+  ASSERT_TRUE(Gemm(a, b2, 1.0, 1.0, &right).ok());
+
+  auto diff = MaxAbsDiff(left, right);
+  ASSERT_TRUE(diff.ok());
+  EXPECT_LT(diff.value(), 1e-9);
+}
+
+TEST_P(KernelIdentityTest, RowColSumsCommuteToTotal) {
+  Rng rng(GetParam() + 200);
+  const int64_t m = 3 + rng.NextInt(0, 15);
+  const int64_t n = 3 + rng.NextInt(0, 15);
+  Tile t(m, n);
+  FillGaussian(&t, &rng);
+  Tile rows(m, 1), cols(1, n);
+  ASSERT_TRUE(RowSumsInto(t, &rows).ok());
+  ASSERT_TRUE(ColSumsInto(t, &cols).ok());
+  EXPECT_NEAR(TileSum(rows), TileSum(cols), 1e-9);
+  EXPECT_NEAR(TileSum(rows), TileSum(t), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KernelIdentityTest,
+                         ::testing::Range<uint64_t>(1, 13));
+
+// ---------------------------------------------------------------------------
+// Optimizer selection consistency
+// ---------------------------------------------------------------------------
+
+std::vector<PlanPoint> RandomPoints(uint64_t seed, int count) {
+  Rng rng(seed);
+  std::vector<PlanPoint> points(count);
+  for (PlanPoint& p : points) {
+    p.seconds = rng.NextDouble(10, 10000);
+    p.dollars = rng.NextDouble(0.01, 50);
+  }
+  return points;
+}
+
+class SelectionPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SelectionPropertyTest, FrontierSelectionsMatchFullSetSelections) {
+  const auto points = RandomPoints(GetParam(), 60);
+  const auto frontier = ParetoFrontier(points);
+  // Any constrained optimum over the full set is reproducible from the
+  // frontier alone (the frontier loses no optimal choices).
+  Rng rng(GetParam() + 999);
+  for (int trial = 0; trial < 20; ++trial) {
+    const double deadline = rng.NextDouble(10, 11000);
+    auto full = MinCostUnderDeadline(points, deadline);
+    auto reduced = MinCostUnderDeadline(frontier, deadline);
+    ASSERT_EQ(full.ok(), reduced.ok());
+    if (full.ok()) {
+      EXPECT_DOUBLE_EQ(full->dollars, reduced->dollars);
+    }
+    const double budget = rng.NextDouble(0.01, 60);
+    auto full_b = MinTimeUnderBudget(points, budget);
+    auto reduced_b = MinTimeUnderBudget(frontier, budget);
+    ASSERT_EQ(full_b.ok(), reduced_b.ok());
+    if (full_b.ok()) {
+      EXPECT_DOUBLE_EQ(full_b->seconds, reduced_b->seconds);
+    }
+  }
+}
+
+TEST_P(SelectionPropertyTest, FrontierIsSubsetAndUndominated) {
+  const auto points = RandomPoints(GetParam() + 1, 40);
+  const auto frontier = ParetoFrontier(points);
+  EXPECT_LE(frontier.size(), points.size());
+  EXPECT_FALSE(frontier.empty());
+  for (const PlanPoint& f : frontier) {
+    for (const PlanPoint& p : points) {
+      EXPECT_FALSE(p.seconds < f.seconds && p.dollars < f.dollars);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SelectionPropertyTest,
+                         ::testing::Range<uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace cumulon

@@ -1,0 +1,124 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "cost/regression.h"
+
+namespace cumulon {
+namespace {
+
+TEST(LeastSquaresTest, RecoversExactLinearModel) {
+  // y = 3 + 2*x1 - 0.5*x2
+  std::vector<std::vector<double>> features;
+  std::vector<double> targets;
+  Rng rng(41);
+  for (int i = 0; i < 50; ++i) {
+    const double x1 = rng.NextDouble(0, 10);
+    const double x2 = rng.NextDouble(-5, 5);
+    features.push_back({x1, x2});
+    targets.push_back(3.0 + 2.0 * x1 - 0.5 * x2);
+  }
+  auto fit = FitLeastSquares(features, targets);
+  ASSERT_TRUE(fit.ok()) << fit.status();
+  EXPECT_NEAR(fit->coefficients[0], 3.0, 1e-8);
+  EXPECT_NEAR(fit->coefficients[1], 2.0, 1e-8);
+  EXPECT_NEAR(fit->coefficients[2], -0.5, 1e-8);
+  EXPECT_NEAR(fit->r_squared, 1.0, 1e-12);
+}
+
+TEST(LeastSquaresTest, NoisyFitHasReasonableR2) {
+  std::vector<std::vector<double>> features;
+  std::vector<double> targets;
+  Rng rng(42);
+  for (int i = 0; i < 200; ++i) {
+    const double x = rng.NextDouble(0, 100);
+    features.push_back({x});
+    targets.push_back(1.0 + 0.1 * x + rng.NextGaussian() * 0.5);
+  }
+  auto fit = FitLeastSquares(features, targets);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->coefficients[1], 0.1, 0.02);
+  EXPECT_GT(fit->r_squared, 0.8);
+}
+
+TEST(LeastSquaresTest, PredictEvaluatesModel) {
+  LinearFit fit;
+  fit.coefficients = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(fit.Predict({10.0, 100.0}), 1.0 + 20.0 + 300.0);
+}
+
+TEST(LeastSquaresTest, RejectsBadInputs) {
+  EXPECT_FALSE(FitLeastSquares({}, {}).ok());
+  EXPECT_FALSE(FitLeastSquares({{1.0}}, {1.0, 2.0}).ok());
+  // Fewer observations than parameters.
+  EXPECT_FALSE(FitLeastSquares({{1.0, 2.0}}, {1.0}).ok());
+  // Ragged rows.
+  EXPECT_FALSE(FitLeastSquares({{1.0}, {1.0, 2.0}}, {1.0, 2.0}).ok());
+}
+
+TEST(LeastSquaresTest, DetectsCollinearFeatures) {
+  std::vector<std::vector<double>> features;
+  std::vector<double> targets;
+  for (int i = 0; i < 10; ++i) {
+    const double x = i;
+    features.push_back({x, 2.0 * x});  // perfectly collinear
+    targets.push_back(x);
+  }
+  auto fit = FitLeastSquares(features, targets);
+  ASSERT_FALSE(fit.ok());
+  EXPECT_EQ(fit.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(LeastSquaresTest, ConstantTargetGivesPerfectInterceptFit) {
+  std::vector<std::vector<double>> features = {{1.0}, {2.0}, {3.0}};
+  std::vector<double> targets = {5.0, 5.0, 5.0};
+  auto fit = FitLeastSquares(features, targets);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->coefficients[0], 5.0, 1e-9);
+  EXPECT_NEAR(fit->coefficients[1], 0.0, 1e-9);
+  EXPECT_DOUBLE_EQ(fit->r_squared, 1.0);
+}
+
+TEST(RegressionCalibrationTest, FitsPositiveThroughputModels) {
+  RegressionCalibrationOptions options;
+  options.gemm_dims = {32, 48, 64, 96};  // keep the probes quick
+  options.ew_dims = {64, 128, 256};
+  options.repetitions = 4;  // best-of-n shields against scheduler noise
+  auto calibration = CalibrateByRegression(options);
+  ASSERT_TRUE(calibration.ok()) << calibration.status();
+  EXPECT_GT(calibration->gemm_gflops(), 0.0);
+  EXPECT_GT(calibration->ew_gelems(), 0.0);
+  EXPECT_GT(calibration->transpose_gelems(), 0.0);
+  // The linear flop/element models should explain kernel time well. The
+  // thresholds are deliberately loose: this runs on shared CI machines
+  // where timer noise is real (the calibrate CLI reports the true R^2,
+  // typically > 0.99 on a quiet host).
+  EXPECT_GT(calibration->gemm.r_squared, 0.7);
+  EXPECT_GT(calibration->elementwise.r_squared, 0.6);
+}
+
+TEST(RegressionCalibrationTest, CostModelHasSaneRatios) {
+  RegressionCalibrationOptions options;
+  options.gemm_dims = {32, 48, 64, 96};
+  options.ew_dims = {64, 128, 256};
+  options.repetitions = 2;
+  auto calibration = CalibrateByRegression(options);
+  ASSERT_TRUE(calibration.ok());
+  TileOpCostModel model = calibration->ToCostModel();
+  // Element-wise passes move more elements per second than GEMM moves
+  // flops only on weird hardware; what must hold is positivity and a
+  // non-negative overhead.
+  EXPECT_GT(model.ew_gelems_per_sec, 0.0);
+  EXPECT_GT(model.transpose_gelems_per_sec, 0.0);
+  EXPECT_GE(model.per_tile_overhead_seconds, 0.0);
+}
+
+TEST(RegressionCalibrationTest, RejectsDegenerateOptions) {
+  RegressionCalibrationOptions options;
+  options.gemm_dims = {64};
+  EXPECT_FALSE(CalibrateByRegression(options).ok());
+}
+
+}  // namespace
+}  // namespace cumulon

@@ -1,0 +1,282 @@
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "cluster/real_engine.h"
+#include "cluster/sim_engine.h"
+#include "common/rng.h"
+#include "cost/cost_model.h"
+#include "dfs/dfs_tile_store.h"
+#include "dfs/sim_dfs.h"
+#include "dfs/sparse_tile_store.h"
+#include "exec/executor.h"
+#include "exec/physical_plan.h"
+#include "exec/sparse_matmul_job.h"
+#include "matrix/dense_matrix.h"
+#include "matrix/sparse_tile.h"
+#include "matrix/tile_ops.h"
+#include "matrix/tiled_matrix.h"
+
+namespace cumulon {
+namespace {
+
+TEST(SparseTileTest, EmptyTileHasNoNonzeros) {
+  SparseTile t(5, 7);
+  EXPECT_EQ(t.nnz(), 0);
+  EXPECT_EQ(t.density(), 0.0);
+  Tile dense = t.ToDense();
+  EXPECT_EQ(FrobeniusNorm(dense), 0.0);
+}
+
+TEST(SparseTileTest, FromDenseToDenseRoundTrip) {
+  Rng rng(101);
+  Tile dense(9, 11);
+  FillGaussian(&dense, &rng);
+  // Zero out some entries.
+  for (int64_t r = 0; r < 9; ++r) dense.Set(r, r % 11, 0.0);
+  SparseTile sparse = SparseTile::FromDense(dense);
+  EXPECT_LT(sparse.nnz(), 9 * 11);
+  auto diff = MaxAbsDiff(dense, sparse.ToDense());
+  ASSERT_TRUE(diff.ok());
+  EXPECT_EQ(diff.value(), 0.0);
+}
+
+TEST(SparseTileTest, ZeroToleranceDropsSmallEntries) {
+  Tile dense(2, 2);
+  dense.Set(0, 0, 1e-12);
+  dense.Set(1, 1, 1.0);
+  SparseTile sparse = SparseTile::FromDense(dense, 1e-9);
+  EXPECT_EQ(sparse.nnz(), 1);
+}
+
+TEST(SparseTileTest, RandomDensityIsApproximatelyRequested) {
+  Rng rng(102);
+  SparseTile sparse = SparseTile::Random(200, 200, 0.1, &rng);
+  EXPECT_NEAR(sparse.density(), 0.1, 0.02);
+}
+
+TEST(SparseTileTest, SizeBytesBeatsDenseAtLowDensity) {
+  Rng rng(103);
+  SparseTile sparse = SparseTile::Random(256, 256, 0.05, &rng);
+  Tile dense(256, 256);
+  EXPECT_LT(sparse.SizeBytes(), dense.SizeBytes());
+  // CSR loses at high density (16 bytes/nnz vs 8 bytes/element).
+  SparseTile full = SparseTile::Random(64, 64, 0.99, &rng);
+  Tile full_dense(64, 64);
+  EXPECT_GT(full.SizeBytes(), full_dense.SizeBytes());
+}
+
+class SpmmTest
+    : public ::testing::TestWithParam<std::tuple<double, int64_t>> {};
+
+TEST_P(SpmmTest, MatchesDenseGemm) {
+  const auto [density, n] = GetParam();
+  Rng rng(104);
+  SparseTile s = SparseTile::Random(37, 23, density, &rng);
+  Tile d(23, n);
+  FillGaussian(&d, &rng);
+
+  Tile expected(37, n);
+  Tile s_dense = s.ToDense();
+  ASSERT_TRUE(Gemm(s_dense, d, 1.0, 0.0, &expected).ok());
+
+  Tile c(37, n);
+  ASSERT_TRUE(SparseTile::SpMM(s, d, 1.0, 0.0, &c).ok());
+  auto diff = MaxAbsDiff(expected, c);
+  ASSERT_TRUE(diff.ok());
+  EXPECT_LT(diff.value(), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Densities, SpmmTest,
+    ::testing::Combine(::testing::Values(0.0, 0.01, 0.2, 1.0),
+                       ::testing::Values(1, 8, 31)));
+
+TEST(SpmmTest, AlphaBetaSemantics) {
+  Rng rng(105);
+  SparseTile s = SparseTile::Random(6, 6, 0.5, &rng);
+  Tile d(6, 4);
+  FillGaussian(&d, &rng);
+  Tile c(6, 4);
+  FillTile(&c, 2.0);
+  ASSERT_TRUE(SparseTile::SpMM(s, d, 3.0, 0.5, &c).ok());
+  Tile expected(6, 4);
+  FillTile(&expected, 2.0);
+  Tile s_dense = s.ToDense();
+  ASSERT_TRUE(Gemm(s_dense, d, 3.0, 0.5, &expected).ok());
+  auto diff = MaxAbsDiff(expected, c);
+  ASSERT_TRUE(diff.ok());
+  EXPECT_LT(diff.value(), 1e-12);
+}
+
+TEST(SpmmTest, RejectsShapeMismatch) {
+  SparseTile s(3, 4);
+  Tile d(5, 2), c(3, 2);
+  EXPECT_FALSE(SparseTile::SpMM(s, d, 1.0, 0.0, &c).ok());
+}
+
+TEST(SparseTileTest, RowSumsMatchDense) {
+  Rng rng(106);
+  SparseTile s = SparseTile::Random(12, 9, 0.3, &rng);
+  Tile sparse_sums(12, 1), dense_sums(12, 1);
+  ASSERT_TRUE(s.RowSumsInto(&sparse_sums).ok());
+  Tile dense = s.ToDense();
+  ASSERT_TRUE(RowSumsInto(dense, &dense_sums).ok());
+  auto diff = MaxAbsDiff(sparse_sums, dense_sums);
+  ASSERT_TRUE(diff.ok());
+  EXPECT_LT(diff.value(), 1e-12);
+}
+
+TEST(SparseCostTest, SpmmCheaperThanGemmAtLowDensity) {
+  TileOpCostModel model;
+  const int64_t dim = 1024;
+  const int64_t nnz = dim * dim / 100;  // 1% dense
+  EXPECT_LT(model.SpmmSeconds(nnz, dim), model.GemmSeconds(dim, dim, dim));
+  // At full density the efficiency discount makes SpMM lose.
+  EXPECT_GT(model.SpmmSeconds(dim * dim, dim),
+            model.GemmSeconds(dim, dim, dim));
+}
+
+TEST(SparseTileTest, SpmmFlopsCountsNnz) {
+  Rng rng(107);
+  SparseTile s = SparseTile::Random(50, 50, 0.2, &rng);
+  EXPECT_DOUBLE_EQ(s.SpmmFlops(10), 2.0 * s.nnz() * 10);
+}
+
+// ---------------------------------------------------------------------------
+// SparseTileStore
+// ---------------------------------------------------------------------------
+
+TEST(SparseTileStoreTest, PutGetRoundTripWithCsrFootprint) {
+  SimDfs dfs(DfsOptions{});
+  SparseTileStore store(&dfs);
+  Rng rng(108);
+  auto tile =
+      std::make_shared<SparseTile>(SparseTile::Random(16, 16, 0.1, &rng));
+  const int64_t bytes = tile->SizeBytes();
+  ASSERT_TRUE(store.Put("S", TileId{0, 0}, tile, 0).ok());
+  EXPECT_EQ(dfs.TotalStats().bytes_written, bytes);
+  auto got = store.Get("S", TileId{0, 0}, 0);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ((*got)->nnz(), tile->nnz());
+  EXPECT_FALSE(store.PreferredNodes("S", TileId{0, 0}).empty());
+  ASSERT_TRUE(store.DeleteMatrix("S").ok());
+  EXPECT_FALSE(store.Get("S", TileId{0, 0}, 0).ok());
+}
+
+// ---------------------------------------------------------------------------
+// SparseMatMulJob
+// ---------------------------------------------------------------------------
+
+class SparseJobTest : public ::testing::Test {
+ protected:
+  SparseJobTest()
+      : dfs_(DfsOptions{}),
+        sparse_store_(&dfs_),
+        dense_store_(&dfs_),
+        engine_(ClusterConfig{MachineProfile{}, 2, 2}, RealEngineOptions{}),
+        executor_(&dense_store_, &engine_, &cost_, ExecutorOptions{}) {}
+
+  /// Stores a sparse matrix tile-by-tile; returns the dense equivalent.
+  DenseMatrix MakeSparseInput(const TiledMatrix& m, double density) {
+    DenseMatrix dense(m.layout.rows(), m.layout.cols());
+    for (int64_t gr = 0; gr < m.layout.grid_rows(); ++gr) {
+      for (int64_t gc = 0; gc < m.layout.grid_cols(); ++gc) {
+        auto tile = std::make_shared<SparseTile>(
+            SparseTile::Random(m.layout.TileRowsAt(gr),
+                               m.layout.TileColsAt(gc), density, &rng_));
+        Tile as_dense = tile->ToDense();
+        const int64_t r0 = gr * m.layout.tile_rows();
+        const int64_t c0 = gc * m.layout.tile_cols();
+        for (int64_t r = 0; r < as_dense.rows(); ++r) {
+          for (int64_t c = 0; c < as_dense.cols(); ++c) {
+            dense.Set(r0 + r, c0 + c, as_dense.At(r, c));
+          }
+        }
+        CUMULON_CHECK(
+            sparse_store_.Put(m.name, TileId{gr, gc}, tile, -1).ok());
+      }
+    }
+    return dense;
+  }
+
+  Rng rng_{109};
+  SimDfs dfs_;
+  SparseTileStore sparse_store_;
+  DfsTileStore dense_store_;
+  TileOpCostModel cost_;
+  RealEngine engine_;
+  Executor executor_;
+};
+
+TEST_F(SparseJobTest, RealModeMatchesDenseReference) {
+  TiledMatrix s{"S", TileLayout::Square(32, 24, 8)};
+  TiledMatrix b{"B", TileLayout::Square(24, 16, 8)};
+  TiledMatrix c{"C", TileLayout::Square(32, 16, 8)};
+  DenseMatrix ds = MakeSparseInput(s, 0.2);
+  DenseMatrix db = DenseMatrix::Gaussian(24, 16, &rng_);
+  ASSERT_TRUE(StoreDense(db, b, &dense_store_).ok());
+
+  PhysicalPlan plan;
+  plan.jobs.push_back(std::make_unique<SparseMatMulJob>(
+      "spmm", &sparse_store_, s, 0.2, b, c, /*tiles_per_task=*/2));
+  auto stats = executor_.Run(plan);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+
+  auto loaded = LoadDense(c, &dense_store_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  auto expected = ds.Multiply(db);
+  ASSERT_TRUE(expected.ok());
+  auto diff = expected->MaxAbsDiff(*loaded);
+  ASSERT_TRUE(diff.ok());
+  EXPECT_LT(diff.value(), 1e-10);
+}
+
+TEST_F(SparseJobTest, RejectsBadShapesAndDensity) {
+  TiledMatrix s{"S", TileLayout::Square(32, 24, 8)};
+  TiledMatrix b_bad{"B", TileLayout::Square(25, 16, 8)};
+  TiledMatrix c{"C", TileLayout::Square(32, 16, 8)};
+  BuildContext ctx{&dense_store_, &cost_, false, false};
+  SparseMatMulJob bad_shape("j", &sparse_store_, s, 0.2, b_bad, c);
+  EXPECT_FALSE(bad_shape.Build(ctx).ok());
+  TiledMatrix b{"B", TileLayout::Square(24, 16, 8)};
+  SparseMatMulJob bad_density("j", &sparse_store_, s, 1.5, b, c);
+  EXPECT_FALSE(bad_density.Build(ctx).ok());
+}
+
+TEST_F(SparseJobTest, SimCostsShrinkWithDensity) {
+  TiledMatrix s{"S", TileLayout::Square(8192, 8192, 1024)};
+  TiledMatrix b{"B", TileLayout::Square(8192, 8192, 1024)};
+  TiledMatrix c{"C", TileLayout::Square(8192, 8192, 1024)};
+  BuildContext ctx{&dense_store_, &cost_, false, false};
+
+  auto totals = [&](double density) {
+    SparseMatMulJob job("j", &sparse_store_, s, density, b, c);
+    auto built = job.Build(ctx);
+    CUMULON_CHECK(built.ok()) << built.status();
+    double cpu = 0;
+    int64_t read = 0;
+    for (const Task& t : built->spec.tasks) {
+      cpu += t.cost.cpu_seconds_ref;
+      read += t.cost.bytes_read;
+    }
+    return std::make_pair(cpu, read);
+  };
+  auto [cpu_sparse, read_sparse] = totals(0.01);
+  auto [cpu_densish, read_densish] = totals(0.5);
+  EXPECT_LT(cpu_sparse, cpu_densish / 10);
+  EXPECT_LT(read_sparse, read_densish);
+
+  // And the 1%-dense sparse job costs far less than the dense operator.
+  MatMulJob dense_job("d", s, b, c, MatMulParams{1, 1, 0}, {});
+  auto dense_built = dense_job.Build(ctx);
+  ASSERT_TRUE(dense_built.ok());
+  double dense_cpu = 0;
+  for (const Task& t : dense_built->spec.tasks) {
+    dense_cpu += t.cost.cpu_seconds_ref;
+  }
+  EXPECT_LT(cpu_sparse, dense_cpu / 20);
+}
+
+}  // namespace
+}  // namespace cumulon

@@ -1,0 +1,83 @@
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "matrix/tile_io.h"
+#include "matrix/tile_ops.h"
+
+namespace cumulon {
+namespace {
+
+TEST(TileIoTest, RoundTripPreservesEverything) {
+  Rng rng(51);
+  Tile tile(13, 7);
+  FillGaussian(&tile, &rng);
+  auto bytes = SerializeTile(tile);
+  auto back = DeserializeTile(bytes);
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(back->rows(), 13);
+  EXPECT_EQ(back->cols(), 7);
+  auto diff = MaxAbsDiff(tile, *back);
+  ASSERT_TRUE(diff.ok());
+  EXPECT_EQ(diff.value(), 0.0);
+}
+
+TEST(TileIoTest, SerializedSizeMatchesSizeBytesPlusChecksum) {
+  Tile tile(10, 20);
+  auto bytes = SerializeTile(tile);
+  EXPECT_EQ(static_cast<int64_t>(bytes.size()),
+            tile.SizeBytes() + static_cast<int64_t>(sizeof(uint64_t)));
+}
+
+TEST(TileIoTest, DetectsPayloadCorruption) {
+  Rng rng(52);
+  Tile tile(8, 8);
+  FillGaussian(&tile, &rng);
+  auto bytes = SerializeTile(tile);
+  bytes[40] ^= 0xFF;  // flip a payload byte
+  auto back = DeserializeTile(bytes);
+  ASSERT_FALSE(back.ok());
+  EXPECT_EQ(back.status().code(), StatusCode::kInternal);
+}
+
+TEST(TileIoTest, DetectsHeaderCorruption) {
+  Tile tile(4, 4);
+  auto bytes = SerializeTile(tile);
+  bytes[0] ^= 0x01;  // corrupt the row count
+  EXPECT_FALSE(DeserializeTile(bytes).ok());
+}
+
+TEST(TileIoTest, DetectsTruncation) {
+  Tile tile(4, 4);
+  auto bytes = SerializeTile(tile);
+  bytes.resize(bytes.size() - 3);
+  EXPECT_FALSE(DeserializeTile(bytes).ok());
+  EXPECT_FALSE(DeserializeTile({}).ok());
+  EXPECT_FALSE(DeserializeTile({1, 2, 3}).ok());
+}
+
+TEST(TileIoTest, RejectsNonPositiveDimensions) {
+  Tile tile(1, 1);
+  auto bytes = SerializeTile(tile);
+  // Zero out the rows field and re-stamp the checksum so only the
+  // dimension check can fire.
+  for (size_t i = 0; i < sizeof(int64_t); ++i) bytes[i] = 0;
+  const uint64_t checksum =
+      Fnv1a(bytes.data(), bytes.size() - sizeof(uint64_t));
+  std::memcpy(bytes.data() + bytes.size() - sizeof(uint64_t), &checksum,
+              sizeof(checksum));
+  auto back = DeserializeTile(bytes);
+  ASSERT_FALSE(back.ok());
+  EXPECT_EQ(back.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TileIoTest, Fnv1aKnownVector) {
+  // FNV-1a 64-bit of "a" is 0xaf63dc4c8601ec8c.
+  const uint8_t a = 'a';
+  EXPECT_EQ(Fnv1a(&a, 1), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(Fnv1a(nullptr, 0), 0xcbf29ce484222325ULL);
+}
+
+}  // namespace
+}  // namespace cumulon

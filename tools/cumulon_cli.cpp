@@ -1,0 +1,240 @@
+// cumulon — command-line front end for the deployment optimizer.
+//
+//   cumulon calibrate
+//       Benchmark this host's kernels and print the fitted cost models.
+//   cumulon predict --workload rsvd --type m1.large --machines 8 [--slots 2]
+//       Predict time and dollar cost of one workload on one cluster.
+//   cumulon plan --workload gnmf [--deadline MIN] [--budget DOLLARS]
+//       Search the deployment space; print the Pareto frontier and the
+//       constrained optimum.
+//
+// Workloads: rsvd, gnmf, linreg, pagerank, logreg (paper-family programs
+// at cloud scale; see src/lang/programs.h).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "cumulon/cumulon.h"
+
+namespace {
+
+using namespace cumulon;  // NOLINT: binary entry point
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> flags;
+
+  bool Has(const std::string& name) const { return flags.count(name) > 0; }
+  std::string Get(const std::string& name, const std::string& fallback) const {
+    auto it = flags.find(name);
+    return it == flags.end() ? fallback : it->second;
+  }
+  double GetDouble(const std::string& name, double fallback) const {
+    auto it = flags.find(name);
+    return it == flags.end() ? fallback : std::atof(it->second.c_str());
+  }
+  int GetInt(const std::string& name, int fallback) const {
+    auto it = flags.find(name);
+    return it == flags.end() ? fallback : std::atoi(it->second.c_str());
+  }
+};
+
+Result<Args> ParseArgs(int argc, char** argv) {
+  if (argc < 2) return Status::InvalidArgument("missing command");
+  Args args;
+  args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--", 2) != 0) {
+      return Status::InvalidArgument(StrCat("unexpected argument: ", arg));
+    }
+    if (i + 1 >= argc) {
+      return Status::InvalidArgument(StrCat("flag ", arg, " needs a value"));
+    }
+    args.flags[arg + 2] = argv[++i];
+  }
+  return args;
+}
+
+Result<ProgramSpec> MakeWorkload(const std::string& name, double scale) {
+  ProgramSpec spec;
+  const int64_t tile = 2048;
+  if (name == "rsvd") {
+    RsvdSpec s;
+    s.m = static_cast<int64_t>((1 << 17) * scale);
+    s.n = 1 << 14;
+    s.l = 64;
+    spec.program = OptimizeProgram(BuildRsvd1(s));
+    spec.inputs = {{"A", TileLayout::Square(s.m, s.n, tile)},
+                   {"Omega", TileLayout::Square(s.n, s.l, tile)}};
+  } else if (name == "gnmf") {
+    GnmfSpec s;
+    s.m = static_cast<int64_t>((1 << 16) * scale);
+    s.n = 1 << 14;
+    s.k = 128;
+    spec.program = OptimizeProgram(BuildGnmfIteration(s));
+    spec.inputs = {{"V", TileLayout::Square(s.m, s.n, tile)},
+                   {"W", TileLayout::Square(s.m, s.k, tile)},
+                   {"H", TileLayout::Square(s.k, s.n, tile)}};
+  } else if (name == "linreg") {
+    LinRegSpec s;
+    s.samples = static_cast<int64_t>((1 << 17) * scale);
+    s.features = 1 << 13;
+    spec.program = OptimizeProgram(BuildLinRegStep(s));
+    spec.inputs = {{"X", TileLayout::Square(s.samples, s.features, tile)},
+                   {"w", TileLayout::Square(s.features, 1, tile)},
+                   {"y", TileLayout::Square(s.samples, 1, tile)}};
+  } else if (name == "pagerank") {
+    PageRankSpec s;
+    s.n = static_cast<int64_t>((1 << 15) * scale);
+    spec.program = OptimizeProgram(BuildPageRankIteration(s));
+    spec.inputs = {{"M", TileLayout::Square(s.n, s.n, tile)},
+                   {"p", TileLayout::Square(s.n, 1, tile)}};
+  } else if (name == "logreg") {
+    LogRegSpec s;
+    s.samples = static_cast<int64_t>((1 << 17) * scale);
+    s.features = 1 << 13;
+    spec.program = OptimizeProgram(BuildLogRegStep(s));
+    spec.inputs = {{"X", TileLayout::Square(s.samples, s.features, tile)},
+                   {"w", TileLayout::Square(s.features, 1, tile)},
+                   {"y", TileLayout::Square(s.samples, 1, tile)}};
+  } else {
+    return Status::InvalidArgument(
+        StrCat("unknown workload '", name,
+               "' (expected rsvd|gnmf|linreg|pagerank|logreg)"));
+  }
+  return spec;
+}
+
+int RunCalibrate() {
+  CalibrationOptions probe;
+  auto quick = Calibrate(probe);
+  if (!quick.ok()) {
+    std::fprintf(stderr, "calibration failed: %s\n",
+                 quick.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("single-point probe:\n");
+  std::printf("  gemm       %8.2f GFLOP/s\n", quick->gemm_gflops);
+  std::printf("  elementwise%8.2f Gelem/s\n", quick->ew_gelems);
+  std::printf("  transpose  %8.2f Gelem/s\n", quick->transpose_gelems);
+
+  auto fitted = CalibrateByRegression(RegressionCalibrationOptions{});
+  if (!fitted.ok()) {
+    std::fprintf(stderr, "regression calibration failed: %s\n",
+                 fitted.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("regression fit (time ~ intercept + slope * work):\n");
+  std::printf("  gemm       %8.2f GFLOP/s  (R^2 %.4f)\n",
+              fitted->gemm_gflops(), fitted->gemm.r_squared);
+  std::printf("  elementwise%8.2f Gelem/s  (R^2 %.4f)\n",
+              fitted->ew_gelems(), fitted->elementwise.r_squared);
+  std::printf("  transpose  %8.2f Gelem/s  (R^2 %.4f)\n",
+              fitted->transpose_gelems(), fitted->transpose.r_squared);
+  const TileOpCostModel model = fitted->ToCostModel();
+  std::printf("reference-normalized cost model: ew %.3f, transpose %.3f, "
+              "per-tile overhead %.2e s\n",
+              model.ew_gelems_per_sec, model.transpose_gelems_per_sec,
+              model.per_tile_overhead_seconds);
+  return 0;
+}
+
+int RunPredict(const Args& args) {
+  auto spec = MakeWorkload(args.Get("workload", "rsvd"),
+                           args.GetDouble("scale", 1.0));
+  if (!spec.ok()) {
+    std::fprintf(stderr, "%s\n", spec.status().ToString().c_str());
+    return 1;
+  }
+  auto machine = FindMachine(args.Get("type", "m1.large"));
+  if (!machine.ok()) {
+    std::fprintf(stderr, "%s\n", machine.status().ToString().c_str());
+    return 1;
+  }
+  ClusterConfig cluster{machine.value(), args.GetInt("machines", 8),
+                        args.GetInt("slots", 2 * machine->cores)};
+  PredictorOptions options;
+  options.lowering.tile_dim = 2048;
+  options.tune_mm_per_job = !args.Has("no-tuner");
+  auto prediction = PredictProgram(*spec, cluster, options);
+  if (!prediction.ok()) {
+    std::fprintf(stderr, "%s\n", prediction.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s on %s:\n", args.Get("workload", "rsvd").c_str(),
+              cluster.ToString().c_str());
+  std::printf("  predicted time: %s\n",
+              FormatDuration(prediction->seconds).c_str());
+  std::printf("  predicted cost: %s (hourly billing)\n",
+              FormatMoney(prediction->dollars).c_str());
+  std::printf("%s", FormatPlanStats(prediction->stats).c_str());
+  return 0;
+}
+
+int RunPlan(const Args& args) {
+  auto spec = MakeWorkload(args.Get("workload", "rsvd"),
+                           args.GetDouble("scale", 1.0));
+  if (!spec.ok()) {
+    std::fprintf(stderr, "%s\n", spec.status().ToString().c_str());
+    return 1;
+  }
+  PredictorOptions options;
+  options.lowering.tile_dim = 2048;
+  SearchSpace space;
+  space.cluster_sizes = {1, 2, 4, 8, 16, 32};
+  auto points = EnumeratePlans(*spec, space, options);
+  if (!points.ok()) {
+    std::fprintf(stderr, "%s\n", points.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("evaluated %zu plans; Pareto frontier:\n", points->size());
+  for (const PlanPoint& p : ParetoFrontier(*points)) {
+    std::printf("  %s\n", p.ToString().c_str());
+  }
+  if (args.Has("deadline")) {
+    const double minutes = args.GetDouble("deadline", 60.0);
+    auto best = MinCostUnderDeadline(*points, minutes * 60.0);
+    std::printf("cheapest within %.0f min: %s\n", minutes,
+                best.ok() ? best->ToString().c_str()
+                          : best.status().ToString().c_str());
+  }
+  if (args.Has("budget")) {
+    const double dollars = args.GetDouble("budget", 1.0);
+    auto best = MinTimeUnderBudget(*points, dollars);
+    std::printf("fastest within %s: %s\n", FormatMoney(dollars).c_str(),
+                best.ok() ? best->ToString().c_str()
+                          : best.status().ToString().c_str());
+  }
+  return 0;
+}
+
+void PrintUsage() {
+  std::fprintf(stderr,
+               "usage: cumulon <command> [flags]\n"
+               "  calibrate\n"
+               "  predict --workload W [--type T] [--machines N] [--slots S]"
+               " [--scale F] [--no-tuner 1]\n"
+               "  plan    --workload W [--deadline MIN] [--budget DOLLARS]"
+               " [--scale F]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto args = ParseArgs(argc, argv);
+  if (!args.ok()) {
+    std::fprintf(stderr, "%s\n", args.status().ToString().c_str());
+    PrintUsage();
+    return 2;
+  }
+  if (args->command == "calibrate") return RunCalibrate();
+  if (args->command == "predict") return RunPredict(*args);
+  if (args->command == "plan") return RunPlan(*args);
+  std::fprintf(stderr, "unknown command '%s'\n", args->command.c_str());
+  PrintUsage();
+  return 2;
+}
