@@ -18,19 +18,12 @@ struct Case {
   int64_t m, k, n, tile;
 };
 
-void Run() {
-  PrintHeader("E4: predicted vs actual execution time (this host)");
-  CalibrationOptions cal_options;
-  cal_options.tile_dim = 192;
-  auto calibration = Calibrate(cal_options);
-  CUMULON_CHECK(calibration.ok()) << calibration.status();
-  std::printf("calibration: gemm %.2f GFLOP/s, ew %.2f Gelem/s, "
-              "transpose %.2f Gelem/s\n",
-              calibration->gemm_gflops, calibration->ew_gelems,
-              calibration->transpose_gelems);
-  const TileOpCostModel cost = calibration->ToCostModel();
-  const ClusterConfig host{calibration->ToHostProfile(1), 1, 1};
-
+/// One predicted-vs-actual table. With `with_cache`, the real engine owns a
+/// node-local tile cache over a DFS-backed store and the simulator models
+/// it; without, both sides run the seed configuration (in-memory store, no
+/// cache). Returns the worst relative error over the cases.
+double RunCases(const TileOpCostModel& cost, const ClusterConfig& host,
+                bool with_cache) {
   std::printf("%-28s %12s %12s %9s\n", "multiply", "actual", "predicted",
               "error");
   PrintRule();
@@ -43,22 +36,33 @@ void Run() {
   };
   double worst_error = 0.0;
   for (const Case& c : cases) {
-    // Real execution over an in-memory store (no IO cost, matching the
-    // host profile's infinite-bandwidth assumption).
-    InMemoryTileStore store;
+    // Real execution with no IO cost, matching the host profile's
+    // infinite-bandwidth assumption: in-memory store, or a DFS-backed one
+    // without checksumming when exercising the cache.
+    InMemoryTileStore mem_store;
+    DfsOptions dfs_options;
+    dfs_options.num_nodes = 1;
+    dfs_options.replication = 1;
+    SimDfs dfs(dfs_options);
+    DfsTileStore dfs_store(&dfs);
+    TileStore* store = with_cache ? static_cast<TileStore*>(&dfs_store)
+                                  : static_cast<TileStore*>(&mem_store);
     TiledMatrix a{"A", TileLayout::Square(c.m, c.k, c.tile)};
     TiledMatrix b{"B", TileLayout::Square(c.k, c.n, c.tile)};
     TiledMatrix out{"C", TileLayout::Square(c.m, c.n, c.tile)};
     Rng rng(1);
     CUMULON_CHECK(
-        GenerateMatrix(a, FillKind::kGaussian, 0, &rng, &store).ok());
+        GenerateMatrix(a, FillKind::kGaussian, 0, &rng, store).ok());
     CUMULON_CHECK(
-        GenerateMatrix(b, FillKind::kGaussian, 0, &rng, &store).ok());
+        GenerateMatrix(b, FillKind::kGaussian, 0, &rng, store).ok());
 
-    RealEngine real(host, RealEngineOptions{});
+    RealEngineOptions real_options;
+    real_options.enable_tile_cache = with_cache;
+    RealEngine real(host, real_options);
+    if (with_cache) dfs_store.AttachCaches(real.tile_caches());
     ExecutorOptions exec_options;
     exec_options.job_startup_seconds = 0.0;
-    Executor real_exec(&store, &real, &cost, exec_options);
+    Executor real_exec(store, &real, &cost, exec_options);
     PhysicalPlan plan;
     CUMULON_CHECK(
         AddMatMul(a, b, out, MatMulParams{1, 1, 0}, {}, &plan).ok());
@@ -73,6 +77,7 @@ void Run() {
     SimEngineOptions sim_options;
     sim_options.task_startup_seconds = 0.0;
     sim_options.replication = 1;
+    sim_options.enable_tile_cache = with_cache;
     SimEngine sim(host, sim_options);
     InMemoryTileStore meta;
     ExecutorOptions sim_exec_options;
@@ -93,6 +98,25 @@ void Run() {
   }
   PrintRule();
   std::printf("worst relative error: %.1f%%\n", worst_error);
+  return worst_error;
+}
+
+void Run() {
+  PrintHeader("E4: predicted vs actual execution time (this host)");
+  CalibrationOptions cal_options;
+  cal_options.tile_dim = 192;
+  auto calibration = Calibrate(cal_options);
+  CUMULON_CHECK(calibration.ok()) << calibration.status();
+  std::printf("calibration: gemm %.2f GFLOP/s, ew %.2f Gelem/s, "
+              "transpose %.2f Gelem/s\n",
+              calibration->gemm_gflops, calibration->ew_gelems,
+              calibration->transpose_gelems);
+  const TileOpCostModel cost = calibration->ToCostModel();
+  const ClusterConfig host{calibration->ToHostProfile(1), 1, 1};
+
+  RunCases(cost, host, /*with_cache=*/false);
+  std::printf("\nwith node-local tile cache (real + modeled):\n");
+  RunCases(cost, host, /*with_cache=*/true);
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 #include "cluster/cluster_config.h"
 #include "cluster/task.h"
 #include "common/result.h"
+#include "dfs/tile_cache.h"
 
 namespace cumulon {
 
@@ -20,6 +21,12 @@ class Engine {
   virtual Result<JobStats> RunJob(const JobSpec& job) = 0;
 
   virtual const ClusterConfig& config() const = 0;
+
+  /// Per-machine tile caches owned by this engine, or nullptr when node-
+  /// local caching is disabled. The real engine's caches hold actual tiles
+  /// (attach them to the DfsTileStore); the sim engine's exist so the cost
+  /// model reads the byte budget the cluster would really have.
+  virtual TileCacheGroup* tile_caches() const { return nullptr; }
 };
 
 }  // namespace cumulon

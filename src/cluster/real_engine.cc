@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <mutex>
+#include <vector>
 
 #include "common/logging.h"
 #include "common/stopwatch.h"
@@ -18,6 +19,45 @@ RealEngine::RealEngine(const ClusterConfig& config,
                     : config_.total_slots();
   threads = std::max(threads, 1);
   pool_ = std::make_unique<ThreadPool>(threads);
+  if (options_.enable_tile_cache) {
+    const int64_t bytes =
+        options_.cache_bytes_per_node > 0
+            ? options_.cache_bytes_per_node
+            : NodeTileCacheBudget(config_.machine.memory_bytes(),
+                                  config_.slots_per_machine,
+                                  options_.cache_slot_memory_fraction);
+    caches_ = std::make_unique<TileCacheGroup>(config_.num_machines, bytes);
+  }
+}
+
+std::vector<int> RealEngine::PlaceTasks(const JobSpec& job) const {
+  const int machines = config_.num_machines;
+  std::vector<int> placement(job.tasks.size());
+  if (!options_.locality_aware) {
+    for (size_t i = 0; i < job.tasks.size(); ++i) {
+      placement[i] = static_cast<int>(i) % machines;
+    }
+    return placement;
+  }
+  // A machine may take at most its balanced share of the job (its slots'
+  // worth per wave, i.e. tasks/machines rounded up) before locality stops
+  // justifying the skew; beyond that, or without preferences, assignment
+  // falls back to the task-index round-robin.
+  const int64_t cap =
+      (static_cast<int64_t>(job.tasks.size()) + machines - 1) / machines;
+  std::vector<int64_t> load(machines, 0);
+  for (size_t i = 0; i < job.tasks.size(); ++i) {
+    const Task& task = job.tasks[i];
+    int chosen = -1;
+    for (int mch : task.preferred_machines) {
+      if (mch < 0 || mch >= machines || load[mch] >= cap) continue;
+      if (chosen < 0 || load[mch] < load[chosen]) chosen = mch;
+    }
+    if (chosen < 0) chosen = static_cast<int>(i) % machines;
+    placement[i] = chosen;
+    ++load[chosen];
+  }
+  return placement;
 }
 
 Result<JobStats> RealEngine::RunJob(const JobSpec& job) {
@@ -29,15 +69,23 @@ Result<JobStats> RealEngine::RunJob(const JobSpec& job) {
                           config_.total_slots();
   stats.task_runs.resize(job.tasks.size());
 
+  const std::vector<int> placement = PlaceTasks(job);
+
   std::mutex err_mu;
   Status first_error;
   Stopwatch job_clock;
 
   for (size_t i = 0; i < job.tasks.size(); ++i) {
     const Task& task = job.tasks[i];
-    const int machine = static_cast<int>(i) % config_.num_machines;
+    const int machine = placement[i];
     TaskRunInfo* run = &stats.task_runs[i];
     run->machine = machine;
+    if (!task.preferred_machines.empty()) {
+      run->local = std::find(task.preferred_machines.begin(),
+                             task.preferred_machines.end(),
+                             machine) != task.preferred_machines.end();
+      if (!run->local) ++stats.num_non_local_tasks;
+    }
     stats.bytes_read += task.cost.bytes_read;
     stats.bytes_written += task.cost.bytes_written;
     stats.shuffle_bytes += task.cost.shuffle_bytes;

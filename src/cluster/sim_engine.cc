@@ -15,6 +15,15 @@ SimEngine::SimEngine(const ClusterConfig& config,
     : config_(config), options_(options), rng_(options.seed) {
   CUMULON_CHECK_GT(config_.num_machines, 0);
   CUMULON_CHECK_GT(config_.slots_per_machine, 0);
+  if (options_.enable_tile_cache) {
+    const int64_t bytes =
+        options_.cache_bytes_per_node > 0
+            ? options_.cache_bytes_per_node
+            : NodeTileCacheBudget(config_.machine.memory_bytes(),
+                                  config_.slots_per_machine,
+                                  options_.cache_slot_memory_fraction);
+    caches_ = std::make_unique<TileCacheGroup>(config_.num_machines, bytes);
+  }
 }
 
 double SimEngine::TaskDuration(const TaskCost& cost, bool local_read) const {
@@ -32,13 +41,17 @@ double SimEngine::TaskDuration(const TaskCost& cost, bool local_read) const {
   const double disk_bw = m.disk_bytes_per_sec() / s;
   const double net_bw = m.net_bytes_per_sec() / s;
 
+  // Bytes expected from the node-local tile cache never touch disk or
+  // NIC; only the residual miss bytes are charged below.
+  const double uncached_read = static_cast<double>(
+      std::max<int64_t>(cost.bytes_read - cost.bytes_read_cached, 0));
   double local_bytes, remote_bytes;
   if (local_read) {
-    local_bytes = static_cast<double>(cost.bytes_read);
+    local_bytes = uncached_read;
     remote_bytes = 0.0;
   } else {
-    local_bytes = options_.nonlocal_local_fraction * cost.bytes_read;
-    remote_bytes = cost.bytes_read - local_bytes;
+    local_bytes = options_.nonlocal_local_fraction * uncached_read;
+    remote_bytes = uncached_read - local_bytes;
   }
   // Shuffle traffic always crosses the network; spills hit the local disk
   // exactly once (MapReduce-baseline cost fields).
@@ -165,6 +178,7 @@ Result<JobStats> SimEngine::RunJob(const JobSpec& job) {
     stats.bytes_read += task.cost.bytes_read;
     stats.bytes_written += task.cost.bytes_written;
     stats.shuffle_bytes += task.cost.shuffle_bytes;
+    stats.bytes_read_cached += task.cost.bytes_read_cached;
     if (!local) ++stats.num_non_local_tasks;
     stats.task_runs.push_back(
         TaskRunInfo{chosen_machine, start, duration, local});

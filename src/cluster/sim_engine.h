@@ -1,6 +1,8 @@
 #ifndef CUMULON_CLUSTER_SIM_ENGINE_H_
 #define CUMULON_CLUSTER_SIM_ENGINE_H_
 
+#include <memory>
+
 #include "cluster/engine.h"
 #include "common/rng.h"
 
@@ -46,6 +48,20 @@ struct SimEngineOptions {
   double task_failure_probability = 0.0;
   int max_task_attempts = 4;
 
+  /// Model a node-local tile cache: the engine owns per-machine cache
+  /// instances (sized like the real engine's — machine memory minus the
+  /// slots' task working sets) and charges disk/net time only for the
+  /// bytes a task's declared cost does NOT expect to find cached
+  /// (TaskCost::bytes_read_cached).
+  bool enable_tile_cache = false;
+
+  /// Fraction of a slot's RAM share reserved for task working sets when
+  /// sizing the cache (mirrors TuneOptions::memory_fraction).
+  double cache_slot_memory_fraction = 0.8;
+
+  /// Overrides the derived per-machine cache size when > 0.
+  int64_t cache_bytes_per_node = 0;
+
   uint64_t seed = 7;
 };
 
@@ -71,14 +87,19 @@ class SimEngine : public Engine {
   const ClusterConfig& config() const override { return config_; }
   const SimEngineOptions& options() const { return options_; }
 
+  TileCacheGroup* tile_caches() const override { return caches_.get(); }
+
   /// Duration of a single task on a machine of this cluster, given whether
-  /// its reads are local. Exposed for the cost model and tests.
+  /// its reads are local. Bytes the task expects from the node-local cache
+  /// (cost.bytes_read_cached) are served from memory — no disk or net
+  /// charge. Exposed for the cost model and tests.
   double TaskDuration(const TaskCost& cost, bool local_read) const;
 
  private:
   ClusterConfig config_;
   SimEngineOptions options_;
   Rng rng_;
+  std::unique_ptr<TileCacheGroup> caches_;
 };
 
 }  // namespace cumulon

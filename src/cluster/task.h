@@ -22,6 +22,11 @@ struct TaskCost {
   int64_t bytes_read = 0;     // DFS reads; local disk when placement matches
   int64_t bytes_written = 0;  // DFS writes; replicated per engine options
 
+  /// Of bytes_read, the bytes expected to be served by the node-local tile
+  /// cache (reuse across tasks placed on the same machine). The simulator
+  /// charges disk/net time only for the difference. 0 when caching is off.
+  int64_t bytes_read_cached = 0;
+
   // MapReduce-baseline extras (zero for Cumulon's map-only jobs):
   int64_t shuffle_bytes = 0;      // always read over the network
   int64_t local_spill_bytes = 0;  // map-output spill: one local-disk copy
@@ -63,6 +68,14 @@ struct JobStats {
   int64_t bytes_written = 0;
   int64_t shuffle_bytes = 0;
   int num_non_local_tasks = 0;
+
+  // Node-local tile-cache activity during the job: measured hit/miss
+  // counts in real mode (engine cache counters), modeled cached bytes in
+  // sim mode (sum of TaskCost::bytes_read_cached).
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
+  int64_t bytes_read_cached = 0;
+
   std::vector<TaskRunInfo> task_runs;
 };
 

@@ -24,12 +24,25 @@ Status DfsTileStore::Put(const std::string& matrix, TileId id,
     std::lock_guard<std::mutex> lock(checksum_mu_);
     checksums_[path] = TileChecksum(*tile);
   }
+  if (caches_ != nullptr) {
+    // Every node's cached copy is stale once the overwrite lands; the
+    // writer keeps the fresh tile (its next reader is likely local).
+    caches_->InvalidateAll(path);
+    if (TileCache* cache = caches_->node(writer_node)) cache->Put(path, tile);
+  }
   return dfs_->Write(path, bytes, writer_node, std::move(tile));
 }
 
 Result<std::shared_ptr<const Tile>> DfsTileStore::Get(
     const std::string& matrix, TileId id, int reader_node) {
   const std::string path = TilePath(matrix, id);
+  TileCache* cache =
+      caches_ != nullptr ? caches_->node(reader_node) : nullptr;
+  if (cache != nullptr) {
+    if (std::shared_ptr<const Tile> cached = cache->Get(path)) {
+      return cached;  // verified at miss time; no DFS traffic
+    }
+  }
   CUMULON_ASSIGN_OR_RETURN(std::shared_ptr<const void> payload,
                            dfs_->Read(path, reader_node));
   if (payload == nullptr) {
@@ -55,11 +68,14 @@ Result<std::shared_ptr<const Tile>> DfsTileStore::Get(
                  "' (corrupted block)"));
     }
   }
+  if (cache != nullptr) cache->Put(path, tile);
   return tile;
 }
 
 Status DfsTileStore::DeleteMatrix(const std::string& matrix) {
-  dfs_->DeletePrefix(StrCat("/matrix/", matrix, "/"));
+  const std::string prefix = StrCat("/matrix/", matrix, "/");
+  if (caches_ != nullptr) caches_->InvalidatePrefixAll(prefix);
+  dfs_->DeletePrefix(prefix);
   return Status::OK();
 }
 

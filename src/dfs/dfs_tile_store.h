@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "dfs/sim_dfs.h"
+#include "dfs/tile_cache.h"
 #include "matrix/tile_store.h"
 
 namespace cumulon {
@@ -20,11 +21,25 @@ namespace cumulon {
 /// With `verify_checksums` the store records an FNV-1a checksum of each
 /// tile at write time and re-verifies it on every read (HDFS's block
 /// checksumming), turning silent corruption into a loud Internal error.
+///
+/// With a TileCacheGroup attached (AttachCaches), Get consults the reading
+/// node's local cache first: hits skip the DFS entirely — no bytes-moved
+/// accounting, no checksum pass — which is where map-only matrix jobs that
+/// read the same input tile from many splits get their IO back. Misses are
+/// verified as usual and then inserted into the reader's cache; Put and
+/// DeleteMatrix invalidate every node's cached copy before the DFS write
+/// so a cache can never serve stale data.
 class DfsTileStore : public TileStore {
  public:
   /// Does not take ownership of `dfs`, which must outlive this store.
   explicit DfsTileStore(SimDfs* dfs, bool verify_checksums = false)
       : dfs_(dfs), verify_checksums_(verify_checksums) {}
+
+  /// Attaches the per-node caches (owned by the engine; must outlive this
+  /// store). nullptr detaches.
+  void AttachCaches(TileCacheGroup* caches) { caches_ = caches; }
+
+  TileCacheGroup* caches() const { return caches_; }
 
   Status Put(const std::string& matrix, TileId id,
              std::shared_ptr<const Tile> tile, int writer_node) override;
@@ -43,6 +58,7 @@ class DfsTileStore : public TileStore {
  private:
   SimDfs* dfs_;
   bool verify_checksums_;
+  TileCacheGroup* caches_ = nullptr;
   std::mutex checksum_mu_;
   std::map<std::string, uint64_t> checksums_;
 };

@@ -1,0 +1,182 @@
+#include "dfs/tile_cache.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace cumulon {
+
+TileCache::TileCache(int64_t capacity_bytes, int num_shards)
+    : capacity_bytes_(std::max<int64_t>(capacity_bytes, 0)) {
+  num_shards = std::max(num_shards, 1);
+  shard_capacity_bytes_ = capacity_bytes_ / num_shards;
+  shards_.reserve(num_shards);
+  for (int s = 0; s < num_shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+TileCache::Shard& TileCache::ShardFor(const std::string& key) {
+  const size_t h = std::hash<std::string>{}(key);
+  return *shards_[h % shards_.size()];
+}
+
+std::shared_ptr<const Tile> TileCache::Get(const std::string& key) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    ++shard.misses;
+    return nullptr;
+  }
+  // Promote to most-recently-used.
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  ++shard.hits;
+  shard.hit_bytes += it->second->bytes;
+  return it->second->tile;
+}
+
+void TileCache::EvictLockedUntilFits(Shard* shard, int64_t incoming_bytes) {
+  while (!shard->lru.empty() &&
+         shard->bytes + incoming_bytes > shard_capacity_bytes_) {
+    const Entry& victim = shard->lru.back();
+    shard->bytes -= victim.bytes;
+    shard->index.erase(victim.key);
+    shard->lru.pop_back();
+    ++shard->evictions;
+  }
+}
+
+void TileCache::Put(const std::string& key, std::shared_ptr<const Tile> tile) {
+  if (tile == nullptr) return;
+  const int64_t bytes = tile->SizeBytes();
+  if (bytes > shard_capacity_bytes_) return;  // would evict the whole shard
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    shard.bytes -= it->second->bytes;
+    shard.lru.erase(it->second);
+    shard.index.erase(it);
+  }
+  EvictLockedUntilFits(&shard, bytes);
+  shard.lru.push_front(Entry{key, std::move(tile), bytes});
+  shard.index[key] = shard.lru.begin();
+  shard.bytes += bytes;
+  ++shard.insertions;
+}
+
+void TileCache::Invalidate(const std::string& key) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) return;
+  shard.bytes -= it->second->bytes;
+  shard.lru.erase(it->second);
+  shard.index.erase(it);
+  ++shard.invalidations;
+}
+
+int64_t TileCache::InvalidatePrefix(const std::string& prefix) {
+  int64_t dropped = 0;
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (auto it = shard.lru.begin(); it != shard.lru.end();) {
+      if (it->key.compare(0, prefix.size(), prefix) == 0) {
+        shard.bytes -= it->bytes;
+        shard.index.erase(it->key);
+        it = shard.lru.erase(it);
+        ++shard.invalidations;
+        ++dropped;
+      } else {
+        ++it;
+      }
+    }
+  }
+  return dropped;
+}
+
+void TileCache::Clear() {
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.lru.clear();
+    shard.index.clear();
+    shard.bytes = 0;
+  }
+}
+
+TileCacheStats TileCache::Stats() const {
+  TileCacheStats stats;
+  for (const auto& shard_ptr : shards_) {
+    const Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    stats.hits += shard.hits;
+    stats.misses += shard.misses;
+    stats.insertions += shard.insertions;
+    stats.evictions += shard.evictions;
+    stats.invalidations += shard.invalidations;
+    stats.hit_bytes += shard.hit_bytes;
+    stats.resident_bytes += shard.bytes;
+    stats.resident_tiles += static_cast<int64_t>(shard.lru.size());
+  }
+  return stats;
+}
+
+TileCacheGroup::TileCacheGroup(int num_nodes, int64_t bytes_per_node,
+                               int shards_per_node)
+    : bytes_per_node_(std::max<int64_t>(bytes_per_node, 0)) {
+  num_nodes = std::max(num_nodes, 0);
+  caches_.reserve(num_nodes);
+  for (int n = 0; n < num_nodes; ++n) {
+    caches_.push_back(
+        std::make_unique<TileCache>(bytes_per_node_, shards_per_node));
+  }
+}
+
+TileCache* TileCacheGroup::node(int node) {
+  if (node < 0 || node >= static_cast<int>(caches_.size())) return nullptr;
+  return caches_[node].get();
+}
+
+TileCacheStats TileCacheGroup::TotalStats() const {
+  TileCacheStats total;
+  for (const auto& cache : caches_) {
+    const TileCacheStats s = cache->Stats();
+    total.hits += s.hits;
+    total.misses += s.misses;
+    total.insertions += s.insertions;
+    total.evictions += s.evictions;
+    total.invalidations += s.invalidations;
+    total.hit_bytes += s.hit_bytes;
+    total.resident_bytes += s.resident_bytes;
+    total.resident_tiles += s.resident_tiles;
+  }
+  return total;
+}
+
+void TileCacheGroup::InvalidateAll(const std::string& key) {
+  for (auto& cache : caches_) cache->Invalidate(key);
+}
+
+int64_t TileCacheGroup::InvalidatePrefixAll(const std::string& prefix) {
+  int64_t dropped = 0;
+  for (auto& cache : caches_) dropped += cache->InvalidatePrefix(prefix);
+  return dropped;
+}
+
+void TileCacheGroup::Clear() {
+  for (auto& cache : caches_) cache->Clear();
+}
+
+int64_t NodeTileCacheBudget(double machine_memory_bytes, int slots_per_machine,
+                            double slot_memory_fraction) {
+  slots_per_machine = std::max(slots_per_machine, 1);
+  const double slot_share = machine_memory_bytes / slots_per_machine;
+  const double working_sets =
+      slots_per_machine * slot_share * slot_memory_fraction;
+  const double budget = machine_memory_bytes - working_sets;
+  return budget <= 0.0 ? 0 : static_cast<int64_t>(budget);
+}
+
+}  // namespace cumulon

@@ -1,0 +1,142 @@
+#ifndef CUMULON_DFS_TILE_CACHE_H_
+#define CUMULON_DFS_TILE_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "matrix/tile.h"
+
+namespace cumulon {
+
+/// Aggregate counters of one cache (or a group of them). All byte counts
+/// refer to serialized tile sizes (Tile::SizeBytes), the same unit the DFS
+/// accounts in, so hit bytes are directly comparable to DfsStats reads.
+struct TileCacheStats {
+  int64_t hits = 0;
+  int64_t misses = 0;
+  int64_t insertions = 0;
+  int64_t evictions = 0;
+  int64_t invalidations = 0;
+  int64_t hit_bytes = 0;
+  int64_t resident_bytes = 0;
+  int64_t resident_tiles = 0;
+
+  int64_t lookups() const { return hits + misses; }
+  double hit_rate() const {
+    const int64_t total = lookups();
+    return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+  }
+};
+
+/// A byte-budgeted LRU cache of immutable tiles, keyed by their DFS path.
+/// One instance represents the page-cache / reader-buffer memory of a
+/// single cluster node, so tasks placed on the same machine reuse input
+/// tiles instead of re-fetching (and re-checksumming) them from the DFS.
+///
+/// The key space is sharded and each shard has its own mutex and LRU list,
+/// so concurrent task slots of a machine do not serialize on one lock.
+/// Each shard manages an equal fraction of the byte budget; tiles larger
+/// than a shard's budget are not cached. Cached tiles are shared_ptrs to
+/// the same immutable payloads the DFS holds — the cache adds bookkeeping,
+/// not copies.
+///
+/// Thread-safe.
+class TileCache {
+ public:
+  /// `capacity_bytes` <= 0 disables caching (every Get misses).
+  explicit TileCache(int64_t capacity_bytes, int num_shards = 8);
+
+  /// Returns the cached tile and promotes it to most-recently-used, or
+  /// nullptr on a miss.
+  std::shared_ptr<const Tile> Get(const std::string& key);
+
+  /// Inserts (or replaces) `tile` under `key`, evicting least-recently-used
+  /// entries of the shard until it fits. No-op for null tiles and tiles
+  /// larger than the shard budget.
+  void Put(const std::string& key, std::shared_ptr<const Tile> tile);
+
+  /// Drops `key` if present (tile overwritten or deleted in the DFS).
+  void Invalidate(const std::string& key);
+
+  /// Drops every entry whose key starts with `prefix`; returns the count.
+  int64_t InvalidatePrefix(const std::string& prefix);
+
+  void Clear();
+
+  TileCacheStats Stats() const;
+
+  int64_t capacity_bytes() const { return capacity_bytes_; }
+
+ private:
+  struct Entry {
+    std::string key;
+    std::shared_ptr<const Tile> tile;
+    int64_t bytes = 0;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> lru;  // front = most recently used
+    std::unordered_map<std::string, std::list<Entry>::iterator> index;
+    int64_t bytes = 0;
+    int64_t hits = 0;
+    int64_t misses = 0;
+    int64_t insertions = 0;
+    int64_t evictions = 0;
+    int64_t invalidations = 0;
+    int64_t hit_bytes = 0;
+  };
+
+  Shard& ShardFor(const std::string& key);
+  void EvictLockedUntilFits(Shard* shard, int64_t incoming_bytes);
+
+  int64_t capacity_bytes_;
+  int64_t shard_capacity_bytes_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+/// Per-node caches of a whole cluster: node i of the DFS gets caches_[i].
+/// Owned by the engines (real and sim) so cache capacity is derived from
+/// the same MachineProfile the scheduler and memory-feasibility filter use.
+class TileCacheGroup {
+ public:
+  TileCacheGroup(int num_nodes, int64_t bytes_per_node, int shards_per_node = 8);
+
+  /// Cache of `node`, or nullptr when the node index is out of range
+  /// (e.g. reads attributed to the client, reader_node = -1).
+  TileCache* node(int node);
+
+  int num_nodes() const { return static_cast<int>(caches_.size()); }
+  int64_t bytes_per_node() const { return bytes_per_node_; }
+
+  /// Summed counters across all nodes.
+  TileCacheStats TotalStats() const;
+
+  /// Drops `key` from every node's cache (a Put made all copies stale).
+  void InvalidateAll(const std::string& key);
+
+  /// Drops every entry under `prefix` from every node's cache.
+  int64_t InvalidatePrefixAll(const std::string& prefix);
+
+  void Clear();
+
+ private:
+  int64_t bytes_per_node_;
+  std::vector<std::unique_ptr<TileCache>> caches_;
+};
+
+/// Cache budget of one node: machine memory minus the slots' task working
+/// sets. `slot_memory_fraction` is the fraction of a slot's RAM share that
+/// tasks may use (the same knob as TuneOptions::memory_fraction, default
+/// 0.8), so the optimizer's memory-feasibility filter and the cache agree
+/// on how machine memory is divided.
+int64_t NodeTileCacheBudget(double machine_memory_bytes, int slots_per_machine,
+                            double slot_memory_fraction);
+
+}  // namespace cumulon
+
+#endif  // CUMULON_DFS_TILE_CACHE_H_

@@ -54,17 +54,44 @@ Result<PlanStats> Executor::Run(const PhysicalPlan& plan) {
                                                : RunSequential(plan);
 }
 
-Result<PlanStats> Executor::RunSequential(const PhysicalPlan& plan) {
+BuildContext Executor::MakeBuildContext() const {
   BuildContext ctx;
   ctx.store = store_;
   ctx.cost = cost_;
   ctx.attach_work = options_.real_mode;
   ctx.query_locality = options_.query_locality;
+  if (TileCacheGroup* caches = engine_->tile_caches()) {
+    ctx.node_cache_bytes = caches->bytes_per_node();
+    ctx.cache_nodes = engine_->config().num_machines;
+  }
+  return ctx;
+}
+
+void Executor::RecordCacheActivity(const TileCacheStats& before,
+                                   JobStats* stats) const {
+  TileCacheGroup* caches = engine_->tile_caches();
+  if (caches == nullptr) return;
+  const TileCacheStats after = caches->TotalStats();
+  stats->cache_hits = after.hits - before.hits;
+  stats->cache_misses = after.misses - before.misses;
+  if (options_.real_mode) {
+    // Sim-mode cached bytes come from the declared task costs; real-mode
+    // ones are measured at the cache.
+    stats->bytes_read_cached = after.hit_bytes - before.hit_bytes;
+  }
+}
+
+Result<PlanStats> Executor::RunSequential(const PhysicalPlan& plan) {
+  const BuildContext ctx = MakeBuildContext();
 
   PlanStats totals;
   for (const auto& job : plan.jobs) {
     CUMULON_ASSIGN_OR_RETURN(BuiltJob built, job->Build(ctx));
+    const TileCacheStats cache_before =
+        engine_->tile_caches() != nullptr ? engine_->tile_caches()->TotalStats()
+                                          : TileCacheStats{};
     CUMULON_ASSIGN_OR_RETURN(JobStats stats, engine_->RunJob(built.spec));
+    RecordCacheActivity(cache_before, &stats);
 
     if (!options_.real_mode) {
       // Register output tile placement so later jobs get correct locality.
@@ -84,6 +111,9 @@ Result<PlanStats> Executor::RunSequential(const PhysicalPlan& plan) {
     totals.bytes_written += stats.bytes_written;
     totals.total_tasks += stats.num_tasks;
     totals.non_local_tasks += stats.num_non_local_tasks;
+    totals.cache_hits += stats.cache_hits;
+    totals.cache_misses += stats.cache_misses;
+    totals.bytes_read_cached += stats.bytes_read_cached;
     totals.jobs.push_back(JobRecord{job->name(), std::move(stats)});
   }
 
@@ -92,11 +122,7 @@ Result<PlanStats> Executor::RunSequential(const PhysicalPlan& plan) {
 }
 
 Result<PlanStats> Executor::RunLeveled(const PhysicalPlan& plan) {
-  BuildContext ctx;
-  ctx.store = store_;
-  ctx.cost = cost_;
-  ctx.attach_work = options_.real_mode;
-  ctx.query_locality = options_.query_locality;
+  const BuildContext ctx = MakeBuildContext();
 
   const std::vector<int> levels = JobLevels(plan);
   const int max_level =
@@ -124,7 +150,11 @@ Result<PlanStats> Executor::RunLeveled(const PhysicalPlan& plan) {
     }
     merged.name = StrCat("level", level, "(", level_name, ")");
 
+    const TileCacheStats cache_before =
+        engine_->tile_caches() != nullptr ? engine_->tile_caches()->TotalStats()
+                                          : TileCacheStats{};
     CUMULON_ASSIGN_OR_RETURN(JobStats stats, engine_->RunJob(merged));
+    RecordCacheActivity(cache_before, &stats);
     if (!options_.real_mode) {
       CUMULON_CHECK_EQ(merged_outputs.size(), stats.task_runs.size());
       for (size_t t = 0; t < merged_outputs.size(); ++t) {
@@ -141,6 +171,9 @@ Result<PlanStats> Executor::RunLeveled(const PhysicalPlan& plan) {
     totals.bytes_written += stats.bytes_written;
     totals.total_tasks += stats.num_tasks;
     totals.non_local_tasks += stats.num_non_local_tasks;
+    totals.cache_hits += stats.cache_hits;
+    totals.cache_misses += stats.cache_misses;
+    totals.bytes_read_cached += stats.bytes_read_cached;
     totals.jobs.push_back(JobRecord{merged.name, std::move(stats)});
   }
 

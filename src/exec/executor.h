@@ -48,6 +48,12 @@ struct PlanStats {
   int64_t bytes_written = 0;
   int total_tasks = 0;
   int non_local_tasks = 0;
+
+  // Node-local tile-cache totals: measured hits/misses in real mode,
+  // modeled cached bytes in sim mode. All zero when caching is off.
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
+  int64_t bytes_read_cached = 0;
 };
 
 /// Drives a PhysicalPlan through an Engine, job by job. The same executor
@@ -73,6 +79,14 @@ class Executor {
   Result<PlanStats> RunSequential(const PhysicalPlan& plan);
   Result<PlanStats> RunLeveled(const PhysicalPlan& plan);
   Status DropTemporaries(const PhysicalPlan& plan);
+
+  /// Shared Build inputs, including the engine's node-cache budget so the
+  /// declared task costs model the cache the engine actually has.
+  BuildContext MakeBuildContext() const;
+
+  /// Folds the engine's cache-counter delta across one job into `stats`.
+  void RecordCacheActivity(const TileCacheStats& before,
+                           JobStats* stats) const;
 
   TileStore* store_;
   Engine* engine_;

@@ -212,6 +212,35 @@ Result<BuiltJob> MatMulJob::Build(const BuildContext& ctx) const {
       params_.bk <= 0 ? gk : std::clamp<int64_t>(params_.bk, 1, gk);
   const int64_t nk = (gk + bk - 1) / bk;
 
+  // --- Node-local cache model ---
+  // Each A tile is read by one task per j-block (gj/bj of them), each B
+  // tile by one task per i-block. With a per-node cache those re-reads
+  // collapse to roughly one DFS fetch per node that touches the tile:
+  // expected misses per tile = min(readers, nodes), so the cached
+  // fraction of a task's A/B bytes is 1 - nodes/readers. Hits only
+  // materialize while the tiles stay resident, so the fractions are
+  // scaled by how much of a node's share of the input set fits in its
+  // cache budget.
+  const int64_t a_readers = (gj + bj - 1) / bj;
+  const int64_t b_readers = (gi + bi - 1) / bi;
+  double a_hit_frac = 0.0, b_hit_frac = 0.0;
+  if (ctx.node_cache_bytes > 0 && ctx.cache_nodes > 0) {
+    const double nodes = static_cast<double>(ctx.cache_nodes);
+    if (a_readers > ctx.cache_nodes) a_hit_frac = 1.0 - nodes / a_readers;
+    if (b_readers > ctx.cache_nodes) b_hit_frac = 1.0 - nodes / b_readers;
+    const double input_bytes =
+        static_cast<double>(16 * gi * gk + la.rows() * la.cols() * 8) +
+        static_cast<double>(16 * gk * gj + lb.rows() * lb.cols() * 8);
+    const double per_node_share = input_bytes / nodes;
+    const double fit =
+        per_node_share <= 0.0
+            ? 1.0
+            : std::min(1.0, static_cast<double>(ctx.node_cache_bytes) /
+                                per_node_share);
+    a_hit_frac *= fit;
+    b_hit_frac *= fit;
+  }
+
   BuiltJob built;
   built.spec.name = name_;
 
@@ -232,16 +261,20 @@ Result<BuiltJob> MatMulJob::Build(const BuildContext& ctx) const {
         std::vector<TileOutput> outputs;
 
         // --- Declared cost ---
+        int64_t a_bytes = 0, b_bytes = 0;
         for (int64_t i = ib; i < i1; ++i) {
           for (int64_t k = k0; k < k1; ++k) {
-            task.cost.bytes_read += TileBytes(la, i, k);
+            a_bytes += TileBytes(la, i, k);
           }
         }
         for (int64_t k = k0; k < k1; ++k) {
           for (int64_t j = jb; j < j1; ++j) {
-            task.cost.bytes_read += TileBytes(lb, k, j);
+            b_bytes += TileBytes(lb, k, j);
           }
         }
+        task.cost.bytes_read += a_bytes + b_bytes;
+        task.cost.bytes_read_cached = static_cast<int64_t>(
+            a_bytes * a_hit_frac + b_bytes * b_hit_frac);
         for (int64_t i = ib; i < i1; ++i) {
           for (int64_t j = jb; j < j1; ++j) {
             const int64_t mi = lc.TileRowsAt(i);

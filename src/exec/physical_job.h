@@ -21,6 +21,16 @@ struct BuildContext {
   const TileOpCostModel* cost = nullptr; // cpu_seconds_ref per task
   bool attach_work = true;               // false for simulation-only plans
   bool query_locality = true;            // consult store->PreferredNodes
+
+  /// Node-local tile-cache budget per machine (0 = caching off) and the
+  /// number of machines the job's tasks spread over. When set, jobs whose
+  /// splits re-read input tiles declare the expected cache-served bytes in
+  /// TaskCost::bytes_read_cached — each reused tile is fetched roughly
+  /// once per node instead of once per split. The executor fills both from
+  /// the engine, so the cost model and the engine's cache agree on one
+  /// budget.
+  int64_t node_cache_bytes = 0;
+  int cache_nodes = 0;
 };
 
 /// One output tile a task will produce; used by the executor in simulation

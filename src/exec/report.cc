@@ -28,6 +28,19 @@ std::string FormatPlanStats(const PlanStats& stats) {
                 FormatBytes(stats.bytes_written).c_str(),
                 FormatDuration(stats.total_seconds).c_str());
   out += line;
+  if (stats.cache_hits > 0 || stats.cache_misses > 0 ||
+      stats.bytes_read_cached > 0) {
+    const int64_t lookups = stats.cache_hits + stats.cache_misses;
+    const double hit_rate =
+        lookups > 0 ? static_cast<double>(stats.cache_hits) / lookups : 0.0;
+    std::snprintf(line, sizeof(line),
+                  "tile cache: %lld hits / %lld lookups (%.1f%%), %s served "
+                  "from cache\n",
+                  static_cast<long long>(stats.cache_hits),
+                  static_cast<long long>(lookups), 100.0 * hit_rate,
+                  FormatBytes(stats.bytes_read_cached).c_str());
+    out += line;
+  }
   return out;
 }
 

@@ -105,7 +105,11 @@ Status Gemm(const Tile& a, const Tile& b, double alpha, double beta, Tile* c) {
   }
   const int64_t m = a.rows(), k = a.cols(), n = b.cols();
   double* cd = c->mutable_data();
-  if (beta != 1.0) {
+  if (beta == 0.0) {
+    // Overwrite semantics: never read stale C memory (also avoids NaN/Inf
+    // leakage from uninitialized accumulators, since 0 * NaN != 0).
+    std::fill(cd, cd + m * n, 0.0);
+  } else if (beta != 1.0) {
     for (int64_t i = 0; i < m * n; ++i) cd[i] *= beta;
   }
   const double* ad = a.data();
@@ -181,17 +185,63 @@ Status EwBroadcast(BinaryOp op, const Tile& a, const Tile& vec,
       return Status::InvalidArgument("col-vector broadcast shape mismatch");
     }
   }
-  const double* ad = a.data();
-  const double* vd = vec.data();
-  double* od = out->mutable_data();
-  for (int64_t r = 0; r < a.rows(); ++r) {
-    const double* arow = ad + r * a.cols();
-    double* orow = od + r * a.cols();
-    for (int64_t c = 0; c < a.cols(); ++c) {
-      const double v = row_vector ? vd[c] : vd[r];
-      orow[c] = swapped ? ApplyBinary(op, v, arow[c])
-                        : ApplyBinary(op, arow[c], v);
+  // Orientation and operand order are loop invariants; pick one of the four
+  // tight loops up front instead of re-deciding per element, and let the
+  // functor inline into each (the per-element ApplyBinary switch disappears).
+  auto broadcast = [&](auto fn) {
+    const double* ad = a.data();
+    const double* vd = vec.data();
+    double* od = out->mutable_data();
+    const int64_t rows = a.rows(), cols = a.cols();
+    if (row_vector) {
+      if (swapped) {
+        for (int64_t r = 0; r < rows; ++r) {
+          const double* arow = ad + r * cols;
+          double* orow = od + r * cols;
+          for (int64_t c = 0; c < cols; ++c) orow[c] = fn(vd[c], arow[c]);
+        }
+      } else {
+        for (int64_t r = 0; r < rows; ++r) {
+          const double* arow = ad + r * cols;
+          double* orow = od + r * cols;
+          for (int64_t c = 0; c < cols; ++c) orow[c] = fn(arow[c], vd[c]);
+        }
+      }
+    } else if (swapped) {
+      for (int64_t r = 0; r < rows; ++r) {
+        const double v = vd[r];
+        const double* arow = ad + r * cols;
+        double* orow = od + r * cols;
+        for (int64_t c = 0; c < cols; ++c) orow[c] = fn(v, arow[c]);
+      }
+    } else {
+      for (int64_t r = 0; r < rows; ++r) {
+        const double v = vd[r];
+        const double* arow = ad + r * cols;
+        double* orow = od + r * cols;
+        for (int64_t c = 0; c < cols; ++c) orow[c] = fn(arow[c], v);
+      }
     }
+  };
+  switch (op) {
+    case BinaryOp::kAdd:
+      broadcast([](double x, double y) { return x + y; });
+      break;
+    case BinaryOp::kSub:
+      broadcast([](double x, double y) { return x - y; });
+      break;
+    case BinaryOp::kMul:
+      broadcast([](double x, double y) { return x * y; });
+      break;
+    case BinaryOp::kDiv:
+      broadcast([](double x, double y) { return x / y; });
+      break;
+    case BinaryOp::kMax:
+      broadcast([](double x, double y) { return std::max(x, y); });
+      break;
+    case BinaryOp::kMin:
+      broadcast([](double x, double y) { return std::min(x, y); });
+      break;
   }
   return Status::OK();
 }

@@ -42,6 +42,12 @@ Result<TunedMatMul> TuneMatMulParams(const TileLayout& a, const TileLayout& b,
   ctx.cost = &cost;
   ctx.attach_work = false;
   ctx.query_locality = false;
+  if (TileCacheGroup* caches = engine.tile_caches()) {
+    // Tune against the same cache the target engine will run with, so split
+    // choice accounts for cache-served re-reads.
+    ctx.node_cache_bytes = caches->bytes_per_node();
+    ctx.cache_nodes = cluster.num_machines;
+  }
 
   const TiledMatrix ma{"$tune_a", a};
   const TiledMatrix mb{"$tune_b", b};
