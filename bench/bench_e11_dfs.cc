@@ -124,7 +124,8 @@ void FailureRecovery() {
 }  // namespace
 }  // namespace cumulon::bench
 
-int main() {
+int main(int argc, char** argv) {
+  cumulon::bench::ObsSession obs(argc, argv);
   cumulon::bench::ReplicationSweep();
   cumulon::bench::BalanceCheck();
   cumulon::bench::LocalityUnderWorkload();

@@ -117,7 +117,8 @@ void JobLevel() {
 }  // namespace
 }  // namespace cumulon::bench
 
-int main() {
+int main(int argc, char** argv) {
+  cumulon::bench::ObsSession obs(argc, argv);
   cumulon::bench::Run();
   cumulon::bench::JobLevel();
   return 0;

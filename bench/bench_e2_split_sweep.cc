@@ -64,7 +64,8 @@ void SweepSplitK() {
 }  // namespace
 }  // namespace cumulon::bench
 
-int main() {
+int main(int argc, char** argv) {
+  cumulon::bench::ObsSession obs(argc, argv);
   cumulon::bench::SweepBlocks();
   cumulon::bench::SweepSplitK();
   return 0;

@@ -48,7 +48,8 @@ void Run() {
 }  // namespace
 }  // namespace cumulon::bench
 
-int main() {
+int main(int argc, char** argv) {
+  cumulon::bench::ObsSession obs(argc, argv);
   cumulon::bench::Run();
   return 0;
 }

@@ -77,7 +77,8 @@ void RunWorkload(const char* which, double deadline_minutes) {
 }  // namespace
 }  // namespace cumulon::bench
 
-int main() {
+int main(int argc, char** argv) {
+  cumulon::bench::ObsSession obs(argc, argv);
   cumulon::bench::PrintHeader("E7: optimizer vs default deployments");
   cumulon::bench::RunWorkload("rsvd", 60.0);
   cumulon::bench::RunWorkload("gnmf", 60.0);

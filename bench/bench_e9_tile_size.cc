@@ -50,7 +50,8 @@ void RealKernelSweep() {
 }  // namespace
 }  // namespace cumulon::bench
 
-int main() {
+int main(int argc, char** argv) {
+  cumulon::bench::ObsSession obs(argc, argv);
   cumulon::bench::SimulatedJobSweep();
   cumulon::bench::RealKernelSweep();
   return 0;

@@ -71,6 +71,50 @@ class SimWorld {
   std::unique_ptr<SimEngine> engine_;
 };
 
+/// Observability for a bench binary: scans argv for `--trace FILE`,
+/// installs a global virtual-clock tracer for the process lifetime, and
+/// writes the Chrome trace_event file at scope exit. The engines and the
+/// executor pick the tracer up through GlobalTracer(), so one line at the
+/// top of main() is the whole integration:
+///
+///   int main(int argc, char** argv) {
+///     cumulon::bench::ObsSession obs(argc, argv);
+///     ...
+class ObsSession {
+ public:
+  ObsSession(int argc, char** argv,
+             Tracer::ClockDomain domain = Tracer::ClockDomain::kVirtual) {
+    for (int i = 1; i + 1 < argc; ++i) {
+      if (std::string(argv[i]) == "--trace") path_ = argv[i + 1];
+    }
+    if (path_.empty()) return;
+    tracer_ = std::make_unique<Tracer>(domain);
+    SetGlobalTracer(tracer_.get());
+  }
+
+  ~ObsSession() {
+    if (tracer_ == nullptr) return;
+    SetGlobalTracer(nullptr);
+    Status st = tracer_->WriteChromeJson(path_);
+    if (!st.ok()) {
+      std::fprintf(stderr, "writing trace failed: %s\n",
+                   st.ToString().c_str());
+      return;
+    }
+    std::printf("trace: %zu spans -> %s (chrome://tracing)\n",
+                tracer_->span_count(), path_.c_str());
+  }
+
+  ObsSession(const ObsSession&) = delete;
+  ObsSession& operator=(const ObsSession&) = delete;
+
+  Tracer* tracer() { return tracer_.get(); }
+
+ private:
+  std::string path_;
+  std::unique_ptr<Tracer> tracer_;
+};
+
 /// Default mid-size cluster used by several experiments: 16 x m1.large
 /// with 2 slots each.
 inline ClusterConfig DefaultCluster(int num_machines = 16) {

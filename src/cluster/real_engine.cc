@@ -71,6 +71,12 @@ Result<JobStats> RealEngine::RunJob(const JobSpec& job) {
 
   const std::vector<int> placement = PlaceTasks(job);
 
+  Tracer* tracer =
+      options_.tracer != nullptr ? options_.tracer : GlobalTracer();
+  // Spans of this job start after everything already on the timeline; the
+  // job stopwatch below restarts at 0.
+  const double trace_t0 = tracer != nullptr ? tracer->time_offset() : 0.0;
+
   std::mutex err_mu;
   Status first_error;
   Stopwatch job_clock;
@@ -89,13 +95,18 @@ Result<JobStats> RealEngine::RunJob(const JobSpec& job) {
     stats.bytes_read += task.cost.bytes_read;
     stats.bytes_written += task.cost.bytes_written;
     stats.shuffle_bytes += task.cost.shuffle_bytes;
-    pool_->Submit([&, run, machine]() {
+    pool_->Submit([&, run, machine, tracer, trace_t0]() {
       Stopwatch task_clock;
       run->start_seconds = job_clock.ElapsedSeconds();
+      // Tasks are all submitted up front, so the time a task spent waiting
+      // for a worker is its start offset within the job.
+      run->slot = ThreadPool::CurrentWorkerIndex();
+      int attempts_used = 0;
       if (task.work) {
         Status st;
         const int attempts = std::max(options_.max_attempts, 1);
         for (int attempt = 0; attempt < attempts; ++attempt) {
+          ++attempts_used;
           st = task.work(machine);
           if (st.ok()) break;
         }
@@ -109,6 +120,22 @@ Result<JobStats> RealEngine::RunJob(const JobSpec& job) {
         }
       }
       run->duration_seconds = task_clock.ElapsedSeconds();
+      if (tracer != nullptr) {
+        TraceSpan span;
+        span.name = task.name;
+        span.category = "task";
+        span.machine = machine;
+        span.slot = run->slot;
+        span.start_seconds = trace_t0 + run->start_seconds;
+        span.duration_seconds = run->duration_seconds;
+        span.args = {
+            {"queue_wait_seconds", run->start_seconds},
+            {"bytes_read", static_cast<double>(task.cost.bytes_read)},
+            {"bytes_written", static_cast<double>(task.cost.bytes_written)},
+            {"attempts", static_cast<double>(attempts_used)},
+            {"local", run->local ? 1.0 : 0.0}};
+        tracer->AddSpan(std::move(span));
+      }
     });
   }
   pool_->WaitIdle();
@@ -118,6 +145,20 @@ Result<JobStats> RealEngine::RunJob(const JobSpec& job) {
   stats.duration_seconds = job_clock.ElapsedSeconds();
   for (const TaskRunInfo& run : stats.task_runs) {
     stats.total_task_seconds += run.duration_seconds;
+  }
+  if (tracer != nullptr) tracer->AdvanceTime(stats.duration_seconds);
+
+  if (options_.metrics != nullptr) {
+    MetricsRegistry* m = options_.metrics;
+    m->counter("engine.jobs")->Increment();
+    m->counter("engine.tasks")->Add(stats.num_tasks);
+    m->counter("engine.tasks.nonlocal")->Add(stats.num_non_local_tasks);
+    Histogram* task_seconds = m->histogram("engine.task.seconds");
+    Histogram* queue_wait = m->histogram("engine.task.queue_wait_seconds");
+    for (const TaskRunInfo& run : stats.task_runs) {
+      task_seconds->Observe(run.duration_seconds);
+      queue_wait->Observe(run.start_seconds);
+    }
   }
   return stats;
 }

@@ -5,6 +5,8 @@
 
 #include "cluster/engine.h"
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace cumulon {
 
@@ -38,6 +40,16 @@ struct RealEngineOptions {
 
   /// Overrides the derived per-machine cache size when > 0 (tests/benches).
   int64_t cache_bytes_per_node = 0;
+
+  /// Records one span per task, stamped from the wall-clock stopwatch
+  /// (plus the tracer's running offset); the span's lane is the worker
+  /// thread that ran the task. Borrowed; falls back to GlobalTracer()
+  /// when null.
+  Tracer* tracer = nullptr;
+
+  /// Engine-level counters/histograms (engine.* names; see
+  /// docs/observability.md). Borrowed; disabled when null.
+  MetricsRegistry* metrics = nullptr;
 };
 
 /// Executes task closures for real on a thread pool and measures wall-clock

@@ -72,6 +72,12 @@ Result<JobStats> SimEngine::RunJob(const JobSpec& job) {
   const int machines = config_.num_machines;
   const int slots = config_.slots_per_machine;
 
+  Tracer* tracer =
+      options_.tracer != nullptr ? options_.tracer : GlobalTracer();
+  // Spans of this job start after everything already on the timeline; the
+  // virtual clock below restarts at 0 for every job.
+  const double trace_t0 = tracer != nullptr ? tracer->time_offset() : 0.0;
+
   // free_at[machine][slot] = virtual time the slot becomes available.
   std::vector<std::vector<double>> free_at(
       machines, std::vector<double>(slots, 0.0));
@@ -181,7 +187,29 @@ Result<JobStats> SimEngine::RunJob(const JobSpec& job) {
     stats.bytes_read_cached += task.cost.bytes_read_cached;
     if (!local) ++stats.num_non_local_tasks;
     stats.task_runs.push_back(
-        TaskRunInfo{chosen_machine, start, duration, local});
+        TaskRunInfo{chosen_machine, chosen_slot, start, duration, local});
+
+    if (tracer != nullptr) {
+      TraceSpan span;
+      span.name = task.name;
+      span.category = "task";
+      span.machine = chosen_machine;
+      span.slot = chosen_slot;
+      span.start_seconds = trace_t0 + start;
+      span.duration_seconds = duration;
+      // The slot was idle until `start`, so in a job submitted at virtual
+      // time 0 the start time IS the task's queue wait.
+      span.args = {{"queue_wait_seconds", start},
+                   {"bytes_read", static_cast<double>(task.cost.bytes_read)},
+                   {"bytes_written",
+                    static_cast<double>(task.cost.bytes_written)},
+                   {"bytes_read_cached",
+                    static_cast<double>(task.cost.bytes_read_cached)},
+                   {"shuffle_bytes",
+                    static_cast<double>(task.cost.shuffle_bytes)},
+                   {"local", local ? 1.0 : 0.0}};
+      tracer->AddSpan(std::move(span));
+    }
   }
 
   double makespan = 0.0;
@@ -189,6 +217,20 @@ Result<JobStats> SimEngine::RunJob(const JobSpec& job) {
     for (double t : machine_slots) makespan = std::max(makespan, t);
   }
   stats.duration_seconds = makespan;
+  if (tracer != nullptr) tracer->AdvanceTime(makespan);
+
+  if (options_.metrics != nullptr) {
+    MetricsRegistry* m = options_.metrics;
+    m->counter("engine.jobs")->Increment();
+    m->counter("engine.tasks")->Add(stats.num_tasks);
+    m->counter("engine.tasks.nonlocal")->Add(stats.num_non_local_tasks);
+    Histogram* task_seconds = m->histogram("engine.task.seconds");
+    Histogram* queue_wait = m->histogram("engine.task.queue_wait_seconds");
+    for (const TaskRunInfo& run : stats.task_runs) {
+      task_seconds->Observe(run.duration_seconds);
+      queue_wait->Observe(run.start_seconds);
+    }
+  }
   return stats;
 }
 

@@ -5,6 +5,8 @@
 
 #include "cluster/engine.h"
 #include "common/rng.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace cumulon {
 
@@ -61,6 +63,15 @@ struct SimEngineOptions {
 
   /// Overrides the derived per-machine cache size when > 0.
   int64_t cache_bytes_per_node = 0;
+
+  /// Records one span per task, stamped from the *virtual clock* (plus the
+  /// tracer's running offset), so simulated schedules become inspectable
+  /// timelines. Borrowed; falls back to GlobalTracer() when null.
+  Tracer* tracer = nullptr;
+
+  /// Engine-level counters/histograms (engine.* names; see
+  /// docs/observability.md). Borrowed; disabled when null.
+  MetricsRegistry* metrics = nullptr;
 
   uint64_t seed = 7;
 };

@@ -53,6 +53,10 @@ struct JobSpec {
 /// Where and when one task ran.
 struct TaskRunInfo {
   int machine = -1;
+  /// Execution lane within the machine: the scheduler slot in sim mode,
+  /// the worker-thread index in real mode. Trace lanes key on
+  /// (machine, slot).
+  int slot = 0;
   double start_seconds = 0.0;
   double duration_seconds = 0.0;
   bool local = true;  // were its preferred machines honored?

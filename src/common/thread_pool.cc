@@ -4,11 +4,17 @@
 
 namespace cumulon {
 
+namespace {
+thread_local int tls_worker_index = -1;
+}  // namespace
+
+int ThreadPool::CurrentWorkerIndex() { return tls_worker_index; }
+
 ThreadPool::ThreadPool(int num_threads) {
   CUMULON_CHECK_GT(num_threads, 0);
   workers_.reserve(num_threads);
   for (int i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
@@ -35,7 +41,8 @@ void ThreadPool::WaitIdle() {
   idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
 }
 
-void ThreadPool::WorkerLoop() {
+void ThreadPool::WorkerLoop(int worker_index) {
+  tls_worker_index = worker_index;
   for (;;) {
     std::function<void()> task;
     {

@@ -28,8 +28,13 @@ class ThreadPool {
 
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
+  /// Index of the pool worker running the calling thread (0-based within
+  /// its pool), or -1 off-pool. Tasks use it as a stable execution-lane id
+  /// (e.g. the real engine's trace slot).
+  static int CurrentWorkerIndex();
+
  private:
-  void WorkerLoop();
+  void WorkerLoop(int worker_index);
 
   std::mutex mu_;
   std::condition_variable work_cv_;   // signaled when work arrives / shutdown

@@ -14,6 +14,7 @@
 ///   lang     - logical matrix algebra, optimizer, lowering, workloads
 ///   baseline - MapReduce-style RMM/CPMM comparison strategies
 ///   opt      - deployment predictor and time/budget-constrained search
+///   obs      - metrics registry and execution tracer (cross-cutting)
 
 #include "baseline/mr_matmul.h"
 #include "cloud/machine.h"
@@ -46,6 +47,8 @@
 #include "matrix/sparse_tile.h"
 #include "matrix/tile_io.h"
 #include "matrix/tiled_matrix.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "opt/job_tuner.h"
 #include "opt/predictor.h"
 #include "opt/search.h"

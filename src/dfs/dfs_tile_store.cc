@@ -16,6 +16,21 @@ std::string DfsTileStore::TilePath(const std::string& matrix, TileId id) {
   return StrCat("/matrix/", matrix, "/t_", id.row, "_", id.col);
 }
 
+void DfsTileStore::AttachMetrics(MetricsRegistry* metrics) {
+  if (metrics == nullptr) {
+    counters_ = StoreCounters{};
+    return;
+  }
+  counters_.read_ops = metrics->counter("dfs.read.ops");
+  counters_.read_bytes = metrics->counter("dfs.read.bytes");
+  counters_.write_ops = metrics->counter("dfs.write.ops");
+  counters_.write_bytes = metrics->counter("dfs.write.bytes");
+  counters_.delete_ops = metrics->counter("dfs.delete.ops");
+  counters_.cache_hits = metrics->counter("cache.hits");
+  counters_.cache_misses = metrics->counter("cache.misses");
+  counters_.cache_hit_bytes = metrics->counter("cache.hit_bytes");
+}
+
 Status DfsTileStore::Put(const std::string& matrix, TileId id,
                          std::shared_ptr<const Tile> tile, int writer_node) {
   const int64_t bytes = tile->SizeBytes();
@@ -30,6 +45,10 @@ Status DfsTileStore::Put(const std::string& matrix, TileId id,
     caches_->InvalidateAll(path);
     if (TileCache* cache = caches_->node(writer_node)) cache->Put(path, tile);
   }
+  if (counters_.write_ops != nullptr) {
+    counters_.write_ops->Increment();
+    counters_.write_bytes->Add(bytes);
+  }
   return dfs_->Write(path, bytes, writer_node, std::move(tile));
 }
 
@@ -40,7 +59,14 @@ Result<std::shared_ptr<const Tile>> DfsTileStore::Get(
       caches_ != nullptr ? caches_->node(reader_node) : nullptr;
   if (cache != nullptr) {
     if (std::shared_ptr<const Tile> cached = cache->Get(path)) {
+      if (counters_.cache_hits != nullptr) {
+        counters_.cache_hits->Increment();
+        counters_.cache_hit_bytes->Add(cached->SizeBytes());
+      }
       return cached;  // verified at miss time; no DFS traffic
+    }
+    if (counters_.cache_misses != nullptr) {
+      counters_.cache_misses->Increment();
     }
   }
   CUMULON_ASSIGN_OR_RETURN(std::shared_ptr<const void> payload,
@@ -51,6 +77,10 @@ Result<std::shared_ptr<const Tile>> DfsTileStore::Get(
                " write read back through DfsTileStore)"));
   }
   auto tile = std::static_pointer_cast<const Tile>(payload);
+  if (counters_.read_ops != nullptr) {
+    counters_.read_ops->Increment();
+    counters_.read_bytes->Add(tile->SizeBytes());
+  }
   if (verify_checksums_) {
     uint64_t expected = 0;
     bool have_expected = false;
@@ -75,12 +105,17 @@ Result<std::shared_ptr<const Tile>> DfsTileStore::Get(
 Status DfsTileStore::DeleteMatrix(const std::string& matrix) {
   const std::string prefix = StrCat("/matrix/", matrix, "/");
   if (caches_ != nullptr) caches_->InvalidatePrefixAll(prefix);
+  if (counters_.delete_ops != nullptr) counters_.delete_ops->Increment();
   dfs_->DeletePrefix(prefix);
   return Status::OK();
 }
 
 Status DfsTileStore::PutMeta(const std::string& matrix, TileId id,
                              int64_t bytes, int writer_node) {
+  if (counters_.write_ops != nullptr) {
+    counters_.write_ops->Increment();
+    counters_.write_bytes->Add(bytes);
+  }
   return dfs_->Write(TilePath(matrix, id), bytes, writer_node, nullptr);
 }
 

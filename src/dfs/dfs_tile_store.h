@@ -11,6 +11,7 @@
 #include "dfs/sim_dfs.h"
 #include "dfs/tile_cache.h"
 #include "matrix/tile_store.h"
+#include "obs/metrics.h"
 
 namespace cumulon {
 
@@ -41,6 +42,12 @@ class DfsTileStore : public TileStore {
 
   TileCacheGroup* caches() const { return caches_; }
 
+  /// Publishes dfs.* and cache.* counters (docs/observability.md) to
+  /// `metrics` on every Get/Put/Delete. Borrowed; nullptr detaches. The
+  /// counter handles are cached here, so the per-operation cost is a few
+  /// relaxed atomic adds.
+  void AttachMetrics(MetricsRegistry* metrics);
+
   Status Put(const std::string& matrix, TileId id,
              std::shared_ptr<const Tile> tile, int writer_node) override;
   Result<std::shared_ptr<const Tile>> Get(const std::string& matrix,
@@ -56,9 +63,23 @@ class DfsTileStore : public TileStore {
   SimDfs* dfs() const { return dfs_; }
 
  private:
+  /// Cached counter handles of the attached registry; all null when
+  /// metrics are detached.
+  struct StoreCounters {
+    Counter* read_ops = nullptr;
+    Counter* read_bytes = nullptr;
+    Counter* write_ops = nullptr;
+    Counter* write_bytes = nullptr;
+    Counter* delete_ops = nullptr;
+    Counter* cache_hits = nullptr;
+    Counter* cache_misses = nullptr;
+    Counter* cache_hit_bytes = nullptr;
+  };
+
   SimDfs* dfs_;
   bool verify_checksums_;
   TileCacheGroup* caches_ = nullptr;
+  StoreCounters counters_;
   std::mutex checksum_mu_;
   std::map<std::string, uint64_t> checksums_;
 };

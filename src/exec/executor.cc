@@ -10,7 +10,12 @@ namespace cumulon {
 
 Executor::Executor(TileStore* store, Engine* engine,
                    const TileOpCostModel* cost, const ExecutorOptions& options)
-    : store_(store), engine_(engine), cost_(cost), options_(options) {
+    : store_(store),
+      engine_(engine),
+      cost_(cost),
+      options_(options),
+      metrics_(options.metrics != nullptr ? options.metrics
+                                          : &owned_metrics_) {
   CUMULON_CHECK(store_ != nullptr);
   CUMULON_CHECK(engine_ != nullptr);
   CUMULON_CHECK(cost_ != nullptr);
@@ -50,8 +55,18 @@ Status Executor::DropTemporaries(const PhysicalPlan& plan) {
 }
 
 Result<PlanStats> Executor::Run(const PhysicalPlan& plan) {
-  return options_.parallelize_independent_jobs ? RunLeveled(plan)
-                                               : RunSequential(plan);
+  const MetricsSnapshot before = metrics_->Snapshot();
+  CUMULON_ASSIGN_OR_RETURN(PlanStats stats,
+                           options_.parallelize_independent_jobs
+                               ? RunLeveled(plan)
+                               : RunSequential(plan));
+  if (TileCacheGroup* caches = engine_->tile_caches()) {
+    const TileCacheStats totals = caches->TotalStats();
+    metrics_->gauge("cache.resident_bytes")->Set(totals.resident_bytes);
+    metrics_->gauge("cache.resident_tiles")->Set(totals.resident_tiles);
+  }
+  stats.metrics = SnapshotDelta(before, metrics_->Snapshot());
+  return stats;
 }
 
 BuildContext Executor::MakeBuildContext() const {
@@ -65,6 +80,65 @@ BuildContext Executor::MakeBuildContext() const {
     ctx.cache_nodes = engine_->config().num_machines;
   }
   return ctx;
+}
+
+Executor::JobTraceScope Executor::BeginJobTrace(
+    const std::string& name) const {
+  JobTraceScope scope;
+  scope.tracer =
+      options_.tracer != nullptr ? options_.tracer : GlobalTracer();
+  if (scope.tracer == nullptr) return scope;
+  // Sim mode charges every job a scheduling/setup latency before any task
+  // starts; putting it on the timeline keeps the trace's total span equal
+  // to the predicted plan time. Real mode never waits it out, so its
+  // timeline carries only measured execution.
+  if (!options_.real_mode && options_.job_startup_seconds > 0.0) {
+    TraceSpan startup;
+    startup.name = "job startup";
+    startup.category = "startup";
+    startup.machine = -1;
+    startup.start_seconds = scope.tracer->time_offset();
+    startup.duration_seconds = options_.job_startup_seconds;
+    scope.tracer->AdvanceTime(options_.job_startup_seconds);
+    scope.tracer->AddSpan(std::move(startup));
+  }
+  scope.job_id = scope.tracer->BeginJob(name);
+  scope.offset_before = scope.tracer->time_offset();
+  return scope;
+}
+
+void Executor::EndJobTrace(const JobTraceScope& scope,
+                           const JobStats& stats) const {
+  if (scope.tracer == nullptr) return;
+  if (scope.tracer->time_offset() <= scope.offset_before) {
+    scope.tracer->AdvanceTime(stats.duration_seconds);
+  }
+  scope.tracer->EndJob(scope.job_id);
+}
+
+void Executor::FoldJobStats(const std::string& name, JobStats stats,
+                            PlanStats* totals) {
+  totals->total_seconds +=
+      stats.duration_seconds + options_.job_startup_seconds;
+  totals->bytes_read += stats.bytes_read;
+  totals->bytes_written += stats.bytes_written;
+  totals->total_tasks += stats.num_tasks;
+  totals->non_local_tasks += stats.num_non_local_tasks;
+  totals->cache_hits += stats.cache_hits;
+  totals->cache_misses += stats.cache_misses;
+  totals->bytes_read_cached += stats.bytes_read_cached;
+
+  metrics_->counter("exec.jobs")->Increment();
+  metrics_->counter("exec.tasks")->Add(stats.num_tasks);
+  metrics_->counter("exec.tasks.nonlocal")->Add(stats.num_non_local_tasks);
+  metrics_->counter("exec.bytes.read")->Add(stats.bytes_read);
+  metrics_->counter("exec.bytes.written")->Add(stats.bytes_written);
+  metrics_->counter("exec.bytes.shuffle")->Add(stats.shuffle_bytes);
+  metrics_->counter("exec.cache.hits")->Add(stats.cache_hits);
+  metrics_->counter("exec.cache.misses")->Add(stats.cache_misses);
+  metrics_->counter("exec.cache.hit_bytes")->Add(stats.bytes_read_cached);
+
+  totals->jobs.push_back(JobRecord{name, std::move(stats)});
 }
 
 void Executor::RecordCacheActivity(const TileCacheStats& before,
@@ -90,7 +164,9 @@ Result<PlanStats> Executor::RunSequential(const PhysicalPlan& plan) {
     const TileCacheStats cache_before =
         engine_->tile_caches() != nullptr ? engine_->tile_caches()->TotalStats()
                                           : TileCacheStats{};
+    const JobTraceScope trace = BeginJobTrace(job->name());
     CUMULON_ASSIGN_OR_RETURN(JobStats stats, engine_->RunJob(built.spec));
+    EndJobTrace(trace, stats);
     RecordCacheActivity(cache_before, &stats);
 
     if (!options_.real_mode) {
@@ -105,16 +181,7 @@ Result<PlanStats> Executor::RunSequential(const PhysicalPlan& plan) {
       }
     }
 
-    totals.total_seconds += stats.duration_seconds +
-                            options_.job_startup_seconds;
-    totals.bytes_read += stats.bytes_read;
-    totals.bytes_written += stats.bytes_written;
-    totals.total_tasks += stats.num_tasks;
-    totals.non_local_tasks += stats.num_non_local_tasks;
-    totals.cache_hits += stats.cache_hits;
-    totals.cache_misses += stats.cache_misses;
-    totals.bytes_read_cached += stats.bytes_read_cached;
-    totals.jobs.push_back(JobRecord{job->name(), std::move(stats)});
+    FoldJobStats(job->name(), std::move(stats), &totals);
   }
 
   CUMULON_RETURN_IF_ERROR(DropTemporaries(plan));
@@ -153,7 +220,9 @@ Result<PlanStats> Executor::RunLeveled(const PhysicalPlan& plan) {
     const TileCacheStats cache_before =
         engine_->tile_caches() != nullptr ? engine_->tile_caches()->TotalStats()
                                           : TileCacheStats{};
+    const JobTraceScope trace = BeginJobTrace(merged.name);
     CUMULON_ASSIGN_OR_RETURN(JobStats stats, engine_->RunJob(merged));
+    EndJobTrace(trace, stats);
     RecordCacheActivity(cache_before, &stats);
     if (!options_.real_mode) {
       CUMULON_CHECK_EQ(merged_outputs.size(), stats.task_runs.size());
@@ -165,16 +234,7 @@ Result<PlanStats> Executor::RunLeveled(const PhysicalPlan& plan) {
         }
       }
     }
-    totals.total_seconds += stats.duration_seconds +
-                            options_.job_startup_seconds;
-    totals.bytes_read += stats.bytes_read;
-    totals.bytes_written += stats.bytes_written;
-    totals.total_tasks += stats.num_tasks;
-    totals.non_local_tasks += stats.num_non_local_tasks;
-    totals.cache_hits += stats.cache_hits;
-    totals.cache_misses += stats.cache_misses;
-    totals.bytes_read_cached += stats.bytes_read_cached;
-    totals.jobs.push_back(JobRecord{merged.name, std::move(stats)});
+    FoldJobStats(merged.name, std::move(stats), &totals);
   }
 
   CUMULON_RETURN_IF_ERROR(DropTemporaries(plan));

@@ -9,6 +9,8 @@
 #include "cost/cost_model.h"
 #include "exec/physical_plan.h"
 #include "matrix/tile_store.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace cumulon {
 
@@ -33,6 +35,17 @@ struct ExecutorOptions {
   /// one scheduling round per dependency level). Off = one job at a time,
   /// like stock Hadoop's job queue (ablation A3 measures the difference).
   bool parallelize_independent_jobs = false;
+
+  /// Records job spans (and, in sim mode, per-job startup spans) so every
+  /// engine task span nests under its job. Borrowed; falls back to
+  /// GlobalTracer() when null. Wire the same tracer into the engine's
+  /// options for task-level spans.
+  Tracer* tracer = nullptr;
+
+  /// Destination of the exec.* metrics; PlanStats::metrics is the delta of
+  /// this registry across Run(). Borrowed; the executor owns a private
+  /// registry when null.
+  MetricsRegistry* metrics = nullptr;
 };
 
 struct JobRecord {
@@ -54,6 +67,12 @@ struct PlanStats {
   int64_t cache_hits = 0;
   int64_t cache_misses = 0;
   int64_t bytes_read_cached = 0;
+
+  /// Metrics recorded during this run (delta of the executor's registry
+  /// across Run()): the exec.* counters mirroring the fields above, plus
+  /// whatever engine.*/dfs.* metrics share the registry. FormatPlanStats
+  /// reads its cache/locality figures from here.
+  MetricsSnapshot metrics;
 };
 
 /// Drives a PhysicalPlan through an Engine, job by job. The same executor
@@ -76,6 +95,13 @@ class Executor {
   static std::vector<int> JobLevels(const PhysicalPlan& plan);
 
  private:
+  /// Trace bookkeeping around one engine RunJob call.
+  struct JobTraceScope {
+    Tracer* tracer = nullptr;
+    int64_t job_id = 0;
+    double offset_before = 0.0;
+  };
+
   Result<PlanStats> RunSequential(const PhysicalPlan& plan);
   Result<PlanStats> RunLeveled(const PhysicalPlan& plan);
   Status DropTemporaries(const PhysicalPlan& plan);
@@ -88,10 +114,26 @@ class Executor {
   void RecordCacheActivity(const TileCacheStats& before,
                            JobStats* stats) const;
 
+  /// Opens the job span (after a sim-mode startup span) so the engine's
+  /// task spans nest under it.
+  JobTraceScope BeginJobTrace(const std::string& name) const;
+
+  /// Closes the job span. If the engine did not advance the tracer's
+  /// timeline (it has no tracer wired), advances it by the job makespan so
+  /// later jobs still stack correctly.
+  void EndJobTrace(const JobTraceScope& scope, const JobStats& stats) const;
+
+  /// Accumulates one job's stats into the plan totals and the exec.*
+  /// metrics.
+  void FoldJobStats(const std::string& name, JobStats stats,
+                    PlanStats* totals);
+
   TileStore* store_;
   Engine* engine_;
   const TileOpCostModel* cost_;
   ExecutorOptions options_;
+  MetricsRegistry* metrics_;            // options_.metrics or &owned_metrics_
+  MetricsRegistry owned_metrics_;
 };
 
 }  // namespace cumulon

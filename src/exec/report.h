@@ -11,9 +11,13 @@ namespace cumulon {
 /// locality, duration. What examples and benches print after Run().
 std::string FormatPlanStats(const PlanStats& stats);
 
-/// Task-level timeline in CSV ("job,task,machine,start,duration,local")
+/// Task-level timeline in CSV ("job,task,machine,slot,start,duration,local")
 /// for external plotting of slot occupancy / stragglers.
 std::string PlanStatsCsv(const PlanStats& stats);
+
+/// Human-readable dump of a metrics snapshot (counters, gauges, histogram
+/// summaries), one metric per line, sorted by name.
+std::string FormatMetrics(const MetricsSnapshot& snapshot);
 
 }  // namespace cumulon
 

@@ -1,0 +1,193 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/strings.h"
+
+namespace cumulon {
+
+namespace {
+
+/// Stable small integer per thread, assigned on first use, so a thread
+/// always hits the same counter shard without hashing its id.
+int ThreadShardIndex() {
+  static std::atomic<int> next{0};
+  thread_local int index = next.fetch_add(1, std::memory_order_relaxed);
+  return index;
+}
+
+/// Lowest non-negative JSON-safe rendering of a double (no NaN/inf).
+std::string JsonNumber(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+void AtomicMin(std::atomic<double>* target, double value) {
+  double current = target->load(std::memory_order_relaxed);
+  while (value < current &&
+         !target->compare_exchange_weak(current, value,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<double>* target, double value) {
+  double current = target->load(std::memory_order_relaxed);
+  while (value > current &&
+         !target->compare_exchange_weak(current, value,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void Counter::Add(int64_t delta) {
+  shards_[ThreadShardIndex() % kShards].value.fetch_add(
+      delta, std::memory_order_relaxed);
+}
+
+int64_t Counter::Value() const {
+  int64_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Histogram::Observe(double value) {
+  int bucket = 0;
+  if (value > 0.0) {
+    const int exponent = static_cast<int>(std::ceil(std::log2(value)));
+    bucket = exponent + kExponentBias;
+    if (bucket < 0) bucket = 0;
+    if (bucket >= kBuckets) bucket = kBuckets - 1;
+  }
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  AtomicMin(&min_, value);
+  AtomicMax(&max_, value);
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  if (snap.count == 0) return snap;
+  snap.min = min_.load(std::memory_order_relaxed);
+  snap.max = max_.load(std::memory_order_relaxed);
+
+  std::array<int64_t, kBuckets> counts;
+  int64_t total = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    counts[b] = buckets_[b].load(std::memory_order_relaxed);
+    total += counts[b];
+  }
+  auto percentile = [&](double p) {
+    const int64_t rank =
+        static_cast<int64_t>(std::ceil(p * static_cast<double>(total)));
+    int64_t seen = 0;
+    for (int b = 0; b < kBuckets; ++b) {
+      seen += counts[b];
+      if (seen >= rank && counts[b] > 0) {
+        // Upper edge of bucket b: 2^(b - bias).
+        return std::ldexp(1.0, b - kExponentBias);
+      }
+    }
+    return snap.max;
+  };
+  snap.p50 = percentile(0.50);
+  snap.p95 = percentile(0.95);
+  snap.p99 = percentile(0.99);
+  return snap;
+}
+
+int64_t MetricsSnapshot::CounterOr(const std::string& name,
+                                   int64_t fallback) const {
+  auto it = counters.find(name);
+  return it == counters.end() ? fallback : it->second;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    if (!first) out += ",";
+    first = false;
+    out += StrCat("\"", name, "\":", value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    if (!first) out += ",";
+    first = false;
+    out += StrCat("\"", name, "\":", value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    if (!first) out += ",";
+    first = false;
+    out += StrCat("\"", name, "\":{\"count\":", h.count,
+                  ",\"sum\":", JsonNumber(h.sum), ",\"min\":",
+                  JsonNumber(h.min), ",\"max\":", JsonNumber(h.max),
+                  ",\"p50\":", JsonNumber(h.p50), ",\"p95\":",
+                  JsonNumber(h.p95), ",\"p99\":", JsonNumber(h.p99), "}");
+  }
+  out += "}}";
+  return out;
+}
+
+MetricsSnapshot SnapshotDelta(const MetricsSnapshot& before,
+                              const MetricsSnapshot& after) {
+  MetricsSnapshot delta;
+  for (const auto& [name, value] : after.counters) {
+    auto it = before.counters.find(name);
+    delta.counters[name] =
+        value - (it == before.counters.end() ? 0 : it->second);
+  }
+  delta.gauges = after.gauges;
+  delta.histograms = after.histograms;
+  return delta;
+}
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : counters_) snap.counters[name] = c->Value();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g->Value();
+  for (const auto& [name, h] : histograms_) {
+    snap.histograms[name] = h->Snapshot();
+  }
+  return snap;
+}
+
+MetricsRegistry* MetricsRegistry::Default() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return registry;
+}
+
+}  // namespace cumulon

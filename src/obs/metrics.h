@@ -1,0 +1,130 @@
+#ifndef CUMULON_OBS_METRICS_H_
+#define CUMULON_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace cumulon {
+
+/// Monotonically increasing counter. Increments are sharded across
+/// cache-line-padded atomics keyed by the calling thread, so concurrent
+/// task slots never contend on one line; Value() folds the shards.
+class Counter {
+ public:
+  void Add(int64_t delta);
+  void Increment() { Add(1); }
+
+  int64_t Value() const;
+
+ private:
+  static constexpr int kShards = 16;
+  struct alignas(64) Shard {
+    std::atomic<int64_t> value{0};
+  };
+  std::array<Shard, kShards> shards_;
+};
+
+/// Point-in-time value (e.g. resident cache bytes). Last write wins.
+class Gauge {
+ public:
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Summary of a histogram at one point in time. Percentiles are upper
+/// bounds of the log-scale bucket the rank falls in (factor-of-2 accuracy).
+struct HistogramSnapshot {
+  int64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+
+  double mean() const { return count == 0 ? 0.0 : sum / count; }
+};
+
+/// Lock-free histogram over positive doubles (durations in seconds, byte
+/// counts). Values land in power-of-two buckets spanning [2^-32, 2^32);
+/// out-of-range values clamp to the edge buckets.
+class Histogram {
+ public:
+  void Observe(double value);
+
+  HistogramSnapshot Snapshot() const;
+
+ private:
+  static constexpr int kBuckets = 64;
+  static constexpr int kExponentBias = 32;  // bucket 0 holds values < 2^-32
+
+  std::array<std::atomic<int64_t>, kBuckets> buckets_{};
+  std::atomic<int64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
+};
+
+/// Every metric of a registry at one point in time, by name. Counters from
+/// two snapshots of the same registry subtract cleanly (SnapshotDelta).
+struct MetricsSnapshot {
+  std::map<std::string, int64_t> counters;
+  std::map<std::string, int64_t> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  bool empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+
+  /// Counter `name`, or `fallback` when the snapshot does not carry it.
+  int64_t CounterOr(const std::string& name, int64_t fallback) const;
+
+  /// {"counters":{...},"gauges":{...},"histograms":{...}}.
+  std::string ToJson() const;
+};
+
+/// Activity between two snapshots of one registry: counters subtract,
+/// gauges and histograms keep the `after` state (histogram percentiles do
+/// not compose, so a windowed histogram is the lifetime one).
+MetricsSnapshot SnapshotDelta(const MetricsSnapshot& before,
+                              const MetricsSnapshot& after);
+
+/// Named metrics of one process component. Lookup takes a mutex (cache the
+/// returned pointer in hot paths); updates through the returned handles are
+/// lock-free. Handles stay valid for the registry's lifetime. The metric
+/// name space is the stable contract documented in docs/observability.md.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* counter(const std::string& name);
+  Gauge* gauge(const std::string& name);
+  Histogram* histogram(const std::string& name);
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Process-wide default registry, for components not wired explicitly.
+  static MetricsRegistry* Default();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace cumulon
+
+#endif  // CUMULON_OBS_METRICS_H_

@@ -1,0 +1,202 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <set>
+
+#include "common/strings.h"
+
+namespace cumulon {
+
+namespace {
+
+std::atomic<Tracer*> g_tracer{nullptr};
+
+std::string EscapeJson(const std::string& in) {
+  std::string out;
+  out.reserve(in.size() + 2);
+  for (char c : in) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonNumber(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+/// Chrome pids must be non-negative; the driver lane (machine -1) maps to
+/// pid 0 and machine m to pid m + 1.
+int MachinePid(int machine) { return machine + 1; }
+
+}  // namespace
+
+Tracer* GlobalTracer() { return g_tracer.load(std::memory_order_acquire); }
+
+void SetGlobalTracer(Tracer* tracer) {
+  g_tracer.store(tracer, std::memory_order_release);
+}
+
+int64_t Tracer::AddSpan(TraceSpan span) {
+  std::lock_guard<std::mutex> lock(mu_);
+  span.id = next_id_++;
+  if (span.parent_id == 0 && !open_jobs_.empty()) {
+    span.parent_id = open_jobs_.back();
+  }
+  const int64_t id = span.id;
+  spans_.push_back(std::move(span));
+  return id;
+}
+
+int64_t Tracer::BeginJob(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TraceSpan span;
+  span.id = next_id_++;
+  span.parent_id = open_jobs_.empty() ? 0 : open_jobs_.back();
+  span.name = name;
+  span.category = "job";
+  span.machine = -1;
+  span.slot = 0;
+  span.start_seconds = time_offset_;
+  open_jobs_.push_back(span.id);
+  spans_.push_back(std::move(span));
+  return spans_.back().id;
+}
+
+void Tracer::EndJob(int64_t job_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  open_jobs_.erase(std::remove(open_jobs_.begin(), open_jobs_.end(), job_id),
+                   open_jobs_.end());
+  for (TraceSpan& span : spans_) {
+    if (span.id == job_id) {
+      span.duration_seconds =
+          std::max(0.0, time_offset_ - span.start_seconds);
+      return;
+    }
+  }
+}
+
+void Tracer::AdvanceTime(double seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (seconds > 0.0) time_offset_ += seconds;
+}
+
+double Tracer::time_offset() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return time_offset_;
+}
+
+std::vector<TraceSpan> Tracer::spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+int64_t Tracer::span_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(spans_.size());
+}
+
+std::string Tracer::ToChromeJson() const {
+  const std::vector<TraceSpan> spans = this->spans();
+
+  // One Chrome "process" per machine (sorted with the driver row on top),
+  // one "thread" per slot lane.
+  std::set<int> machines;
+  std::set<std::pair<int, int>> lanes;
+  for (const TraceSpan& span : spans) {
+    machines.insert(span.machine);
+    lanes.insert({span.machine, span.slot});
+  }
+
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  auto emit = [&](const std::string& event) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n";
+    out += event;
+  };
+
+  for (int machine : machines) {
+    const int pid = MachinePid(machine);
+    const std::string name =
+        machine < 0 ? std::string("driver") : StrCat("machine ", machine);
+    emit(StrCat("{\"ph\":\"M\",\"pid\":", pid,
+                ",\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":\"",
+                name, "\"}}"));
+    emit(StrCat("{\"ph\":\"M\",\"pid\":", pid,
+                ",\"tid\":0,\"name\":\"process_sort_index\",\"args\":{"
+                "\"sort_index\":",
+                pid, "}}"));
+  }
+  for (const auto& [machine, slot] : lanes) {
+    emit(StrCat("{\"ph\":\"M\",\"pid\":", MachinePid(machine), ",\"tid\":",
+                slot, ",\"name\":\"thread_name\",\"args\":{\"name\":\"",
+                machine < 0 ? std::string("jobs") : StrCat("slot ", slot),
+                "\"}}"));
+  }
+
+  for (const TraceSpan& span : spans) {
+    std::string args = StrCat("\"span_id\":", span.id);
+    if (span.parent_id != 0) {
+      args += StrCat(",\"parent_span_id\":", span.parent_id);
+    }
+    for (const auto& [key, value] : span.args) {
+      args += StrCat(",\"", EscapeJson(key), "\":", JsonNumber(value));
+    }
+    emit(StrCat("{\"ph\":\"X\",\"pid\":", MachinePid(span.machine),
+                ",\"tid\":", span.slot, ",\"ts\":",
+                JsonNumber(span.start_seconds * 1e6), ",\"dur\":",
+                JsonNumber(span.duration_seconds * 1e6), ",\"name\":\"",
+                EscapeJson(span.name), "\",\"cat\":\"",
+                EscapeJson(span.category), "\",\"args\":{", args, "}}"));
+  }
+
+  out += StrCat("\n],\"displayTimeUnit\":\"ms\",\"otherData\":{\"clock\":\"",
+                domain_ == ClockDomain::kVirtual ? "virtual" : "wall",
+                "\"}}\n");
+  return out;
+}
+
+Status Tracer::WriteChromeJson(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::Internal(StrCat("cannot open trace file '", path, "'"));
+  }
+  const std::string json = ToChromeJson();
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  if (written != json.size()) {
+    return Status::Internal(StrCat("short write to trace file '", path, "'"));
+  }
+  return Status::OK();
+}
+
+}  // namespace cumulon

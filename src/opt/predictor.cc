@@ -19,6 +19,7 @@ Result<PredictionResult> PredictProgram(const ProgramSpec& spec,
   dfs_options.seed = options.seed;
   SimDfs dfs(dfs_options);
   DfsTileStore store(&dfs);
+  if (options.metrics != nullptr) store.AttachMetrics(options.metrics);
 
   std::map<std::string, TiledMatrix> bindings;
   for (const TiledMatrix& input : spec.inputs) {
@@ -48,6 +49,10 @@ Result<PredictionResult> PredictProgram(const ProgramSpec& spec,
                              int64_t gi, int64_t gj, int64_t gk) {
       TuneOptions tune;
       tune.sim = sim;
+      // Probe simulations are what-if runs, not the predicted schedule;
+      // keep them out of the trace and the metrics.
+      tune.sim.tracer = nullptr;
+      tune.sim.metrics = nullptr;
       tune.job_startup_seconds = job_startup;
       const TileLayout a(gi * tile, gk * tile, tile, tile);
       const TileLayout b(gk * tile, gj * tile, tile, tile);
@@ -68,11 +73,15 @@ Result<PredictionResult> PredictProgram(const ProgramSpec& spec,
   SimEngineOptions sim = options.sim;
   sim.noise_sigma = 0.0;  // the predictor is the noise-free simulation
   sim.replication = options.dfs_replication;
+  if (options.tracer != nullptr) sim.tracer = options.tracer;
+  if (options.metrics != nullptr) sim.metrics = options.metrics;
   SimEngine engine(cluster, sim);
 
   ExecutorOptions exec_options;
   exec_options.real_mode = false;
   exec_options.job_startup_seconds = options.job_startup_seconds;
+  if (options.tracer != nullptr) exec_options.tracer = options.tracer;
+  if (options.metrics != nullptr) exec_options.metrics = options.metrics;
   Executor executor(&store, &engine, &options.cost, exec_options);
 
   PredictionResult result;

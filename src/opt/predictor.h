@@ -41,6 +41,17 @@ struct PredictorOptions {
   /// opt/job_tuner.h) instead of using lowering.mm_params / the default.
   /// Overrides lowering.mm_params when set.
   bool tune_mm_per_job = false;
+
+  /// Records the simulated schedule as per-job/per-task spans on the
+  /// virtual clock (the trace's total span equals the predicted time).
+  /// Wired into both the sim engine and the executor; the tuner's probe
+  /// simulations never trace. Borrowed; off when null.
+  Tracer* tracer = nullptr;
+
+  /// Destination of the dfs.*/engine.*/exec.* metrics of the prediction
+  /// run. Borrowed; off when null (the executor still keeps its private
+  /// registry for PlanStats::metrics).
+  MetricsRegistry* metrics = nullptr;
 };
 
 /// Predicts the wall time and dollar cost of running `spec` on `cluster`:

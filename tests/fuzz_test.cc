@@ -19,6 +19,7 @@
 #include "lang/lowering.h"
 #include "matrix/dense_matrix.h"
 #include "matrix/tiled_matrix.h"
+#include "obs/trace.h"
 
 namespace cumulon {
 namespace {
@@ -217,6 +218,62 @@ TEST_P(LeveledFuzzTest, LeveledExecutionMatchesInterpreter) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, LeveledFuzzTest,
                          ::testing::Range<uint64_t>(1, 9));
+
+/// Tracing must be pure observation: the same random program run with a
+/// global tracer installed has to produce bit-identical tiles to the
+/// untraced run.
+class TracedFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TracedFuzzTest, TracingDoesNotPerturbResults) {
+  const uint64_t seed = GetParam();
+
+  // One run of the generated program; returns the dense outputs. The same
+  // seed regenerates the same program and inputs each call.
+  auto run = [&]() -> std::map<std::string, DenseMatrix> {
+    ExprGenerator generator(seed);
+    Program program;
+    program.Assign("out1", generator.Generate(3, 16, 24));
+    program.Assign("out2", generator.Generate(2, 24, 8));
+
+    InMemoryTileStore store;
+    std::map<std::string, TiledMatrix> bindings;
+    CUMULON_CHECK(generator.Materialize(&store, &bindings).ok());
+    LoweringOptions lowering;
+    lowering.tile_dim = kTile;
+    auto lowered = Lower(program, bindings, lowering);
+    CUMULON_CHECK(lowered.ok()) << lowered.status();
+
+    RealEngine engine(ClusterConfig{MachineProfile{}, 2, 2},
+                      RealEngineOptions{});
+    TileOpCostModel cost;
+    Executor executor(&store, &engine, &cost, ExecutorOptions{});
+    CUMULON_CHECK(executor.Run(lowered->plan).ok());
+
+    std::map<std::string, DenseMatrix> out;
+    for (const char* target : {"out1", "out2"}) {
+      auto loaded = LoadDense(lowered->outputs.at(target), &store);
+      CUMULON_CHECK(loaded.ok()) << loaded.status();
+      out.insert({target, std::move(loaded).value()});
+    }
+    return out;
+  };
+
+  Tracer tracer(Tracer::ClockDomain::kWall);
+  SetGlobalTracer(&tracer);
+  const std::map<std::string, DenseMatrix> traced = run();
+  SetGlobalTracer(nullptr);
+  const std::map<std::string, DenseMatrix> plain = run();
+
+  EXPECT_GT(tracer.span_count(), 0) << "tracing never engaged; vacuous";
+  for (const char* target : {"out1", "out2"}) {
+    auto diff = plain.at(target).MaxAbsDiff(traced.at(target));
+    ASSERT_TRUE(diff.ok());
+    EXPECT_EQ(diff.value(), 0.0) << target << " differs with tracing on";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TracedFuzzTest,
+                         ::testing::Range<uint64_t>(1, 6));
 
 }  // namespace
 }  // namespace cumulon

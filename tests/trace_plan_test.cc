@@ -1,0 +1,179 @@
+// Golden structural test of the execution trace for a fixed plan: predict
+// RSVD-1 in simulation mode with a tracer attached and check the trace's
+// shape against the plan's own stats — span counts, job/task nesting,
+// per-lane exclusivity, and the total-span-equals-predicted-time contract
+// the --trace CLI flag advertises.
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lang/logical_optimizer.h"
+#include "lang/programs.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "opt/predictor.h"
+
+namespace cumulon {
+namespace {
+
+constexpr int64_t kTile = 256;
+
+ProgramSpec SmallRsvd() {
+  RsvdSpec s;
+  s.m = 2048;
+  s.n = 512;
+  s.l = 64;
+  ProgramSpec spec;
+  spec.program = OptimizeProgram(BuildRsvd1(s));
+  spec.inputs = {{"A", TileLayout::Square(s.m, s.n, kTile)},
+                 {"Omega", TileLayout::Square(s.n, s.l, kTile)}};
+  return spec;
+}
+
+ClusterConfig SmallCluster() {
+  return ClusterConfig{MachineProfile{}, 4, 2};
+}
+
+Result<PredictionResult> PredictTraced(Tracer* tracer,
+                                       MetricsRegistry* metrics,
+                                       bool tune_mm = false) {
+  PredictorOptions options;
+  options.lowering.tile_dim = kTile;
+  options.tune_mm_per_job = tune_mm;
+  options.tracer = tracer;
+  options.metrics = metrics;
+  return PredictProgram(SmallRsvd(), SmallCluster(), options);
+}
+
+std::vector<TraceSpan> SpansOf(const Tracer& tracer,
+                               const std::string& category) {
+  std::vector<TraceSpan> out;
+  for (const TraceSpan& s : tracer.spans()) {
+    if (s.category == category) out.push_back(s);
+  }
+  return out;
+}
+
+TEST(TracePlanTest, SpanCountsMatchPlanStats) {
+  Tracer tracer(Tracer::ClockDomain::kVirtual);
+  auto prediction = PredictTraced(&tracer, nullptr);
+  ASSERT_TRUE(prediction.ok()) << prediction.status();
+  const PlanStats& stats = prediction->stats;
+
+  EXPECT_EQ(SpansOf(tracer, "task").size(),
+            static_cast<size_t>(stats.total_tasks));
+  EXPECT_EQ(SpansOf(tracer, "job").size(), stats.jobs.size());
+  // Sim mode also records one startup span per job on the driver lane.
+  EXPECT_EQ(SpansOf(tracer, "startup").size(), stats.jobs.size());
+}
+
+TEST(TracePlanTest, JobSpansNestTheirTaskSpans) {
+  Tracer tracer(Tracer::ClockDomain::kVirtual);
+  auto prediction = PredictTraced(&tracer, nullptr);
+  ASSERT_TRUE(prediction.ok()) << prediction.status();
+
+  std::map<int64_t, TraceSpan> jobs;
+  for (const TraceSpan& j : SpansOf(tracer, "job")) jobs[j.id] = j;
+  const std::vector<TraceSpan> tasks = SpansOf(tracer, "task");
+  ASSERT_FALSE(tasks.empty());
+
+  constexpr double kEps = 1e-9;
+  for (const TraceSpan& t : tasks) {
+    ASSERT_NE(jobs.find(t.parent_id), jobs.end())
+        << "task '" << t.name << "' is not parented to a job span";
+    const TraceSpan& j = jobs.at(t.parent_id);
+    EXPECT_GE(t.start_seconds, j.start_seconds - kEps) << t.name;
+    EXPECT_LE(t.end_seconds(), j.end_seconds() + kEps) << t.name;
+  }
+  for (const auto& [id, j] : jobs) {
+    EXPECT_EQ(j.parent_id, 0) << "job spans must be top level";
+  }
+}
+
+TEST(TracePlanTest, NoTwoSpansOverlapOnOneLane) {
+  Tracer tracer(Tracer::ClockDomain::kVirtual);
+  auto prediction = PredictTraced(&tracer, nullptr);
+  ASSERT_TRUE(prediction.ok()) << prediction.status();
+
+  // Group task spans by (machine, slot) lane; within a lane, sorted by
+  // start, each span must end before the next begins.
+  std::map<std::pair<int, int>, std::vector<TraceSpan>> lanes;
+  for (const TraceSpan& t : SpansOf(tracer, "task")) {
+    lanes[{t.machine, t.slot}].push_back(t);
+  }
+  ASSERT_FALSE(lanes.empty());
+  constexpr double kEps = 1e-9;
+  for (auto& [lane, spans] : lanes) {
+    std::sort(spans.begin(), spans.end(),
+              [](const TraceSpan& a, const TraceSpan& b) {
+                return a.start_seconds < b.start_seconds;
+              });
+    for (size_t i = 1; i < spans.size(); ++i) {
+      EXPECT_LE(spans[i - 1].end_seconds(), spans[i].start_seconds + kEps)
+          << "lane (" << lane.first << "," << lane.second
+          << "): span '" << spans[i - 1].name << "' overlaps '"
+          << spans[i].name << "'";
+    }
+  }
+}
+
+TEST(TracePlanTest, TotalSpanMatchesPredictedTime) {
+  Tracer tracer(Tracer::ClockDomain::kVirtual);
+  auto prediction = PredictTraced(&tracer, nullptr);
+  ASSERT_TRUE(prediction.ok()) << prediction.status();
+
+  double max_end = 0.0;
+  for (const TraceSpan& s : tracer.spans()) {
+    max_end = std::max(max_end, s.end_seconds());
+  }
+  const double predicted = prediction->stats.total_seconds;
+  ASSERT_GT(predicted, 0.0);
+  EXPECT_NEAR(max_end, predicted, 0.01 * predicted)
+      << "trace timeline diverges from the predicted plan time";
+  EXPECT_DOUBLE_EQ(tracer.time_offset(), predicted);
+}
+
+TEST(TracePlanTest, TunerProbeSimulationsDoNotPolluteTheTrace) {
+  Tracer tracer(Tracer::ClockDomain::kVirtual);
+  auto prediction = PredictTraced(&tracer, nullptr, /*tune_mm=*/true);
+  ASSERT_TRUE(prediction.ok()) << prediction.status();
+  // Probe runs execute whole candidate jobs; if they leaked into the
+  // trace, the task-span count would exceed the plan's task count.
+  EXPECT_EQ(SpansOf(tracer, "task").size(),
+            static_cast<size_t>(prediction->stats.total_tasks));
+  EXPECT_EQ(SpansOf(tracer, "job").size(), prediction->stats.jobs.size());
+}
+
+TEST(TracePlanTest, MetricsAgreeWithPlanStats) {
+  Tracer tracer(Tracer::ClockDomain::kVirtual);
+  MetricsRegistry metrics;
+  auto prediction = PredictTraced(&tracer, &metrics);
+  ASSERT_TRUE(prediction.ok()) << prediction.status();
+  const PlanStats& stats = prediction->stats;
+
+  const MetricsSnapshot snapshot = metrics.Snapshot();
+  EXPECT_EQ(snapshot.counters.at("engine.tasks"), stats.total_tasks);
+  EXPECT_EQ(snapshot.counters.at("exec.tasks"), stats.total_tasks);
+  EXPECT_EQ(snapshot.counters.at("engine.jobs"),
+            static_cast<int64_t>(stats.jobs.size()));
+  EXPECT_EQ(snapshot.counters.at("exec.tasks.nonlocal"),
+            stats.non_local_tasks);
+  EXPECT_EQ(snapshot.counters.at("exec.bytes.read"), stats.bytes_read);
+  EXPECT_EQ(snapshot.counters.at("exec.bytes.written"), stats.bytes_written);
+  // PlanStats carries the same delta.
+  EXPECT_EQ(stats.metrics.CounterOr("exec.tasks", -1), stats.total_tasks);
+}
+
+TEST(TracePlanTest, TraceIsDeterministicAcrossRuns) {
+  Tracer first(Tracer::ClockDomain::kVirtual);
+  Tracer second(Tracer::ClockDomain::kVirtual);
+  ASSERT_TRUE(PredictTraced(&first, nullptr).ok());
+  ASSERT_TRUE(PredictTraced(&second, nullptr).ok());
+  EXPECT_EQ(first.ToChromeJson(), second.ToChromeJson());
+}
+
+}  // namespace
+}  // namespace cumulon

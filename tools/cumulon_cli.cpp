@@ -4,6 +4,8 @@
 //       Benchmark this host's kernels and print the fitted cost models.
 //   cumulon predict --workload rsvd --type m1.large --machines 8 [--slots 2]
 //       Predict time and dollar cost of one workload on one cluster.
+//       --trace out.json writes the simulated schedule as a Chrome
+//       trace_event file; --metrics 1 prints the run's counters.
 //   cumulon plan --workload gnmf [--deadline MIN] [--budget DOLLARS]
 //       Search the deployment space; print the Pareto frontier and the
 //       constrained optimum.
@@ -160,6 +162,14 @@ int RunPredict(const Args& args) {
   PredictorOptions options;
   options.lowering.tile_dim = 2048;
   options.tune_mm_per_job = !args.Has("no-tuner");
+  // --trace records the simulated schedule on the virtual clock;
+  // --metrics prints the run's counters. Either one turns the shared
+  // registry on so dfs.* traffic is attributed too.
+  Tracer tracer(Tracer::ClockDomain::kVirtual);
+  MetricsRegistry metrics;
+  const std::string trace_path = args.Get("trace", "");
+  if (!trace_path.empty()) options.tracer = &tracer;
+  if (!trace_path.empty() || args.Has("metrics")) options.metrics = &metrics;
   auto prediction = PredictProgram(*spec, cluster, options);
   if (!prediction.ok()) {
     std::fprintf(stderr, "%s\n", prediction.status().ToString().c_str());
@@ -172,6 +182,19 @@ int RunPredict(const Args& args) {
   std::printf("  predicted cost: %s (hourly billing)\n",
               FormatMoney(prediction->dollars).c_str());
   std::printf("%s", FormatPlanStats(prediction->stats).c_str());
+  if (!trace_path.empty()) {
+    Status st = tracer.WriteChromeJson(trace_path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "writing trace failed: %s\n",
+                   st.ToString().c_str());
+      return 1;
+    }
+    std::printf("trace: %zu spans -> %s (chrome://tracing)\n",
+                tracer.span_count(), trace_path.c_str());
+  }
+  if (args.Has("metrics")) {
+    std::printf("metrics:\n%s", FormatMetrics(metrics.Snapshot()).c_str());
+  }
   return 0;
 }
 
@@ -217,7 +240,7 @@ void PrintUsage() {
                "usage: cumulon <command> [flags]\n"
                "  calibrate\n"
                "  predict --workload W [--type T] [--machines N] [--slots S]"
-               " [--scale F] [--no-tuner 1]\n"
+               " [--scale F] [--no-tuner 1] [--trace FILE] [--metrics 1]\n"
                "  plan    --workload W [--deadline MIN] [--budget DOLLARS]"
                " [--scale F]\n");
 }
