@@ -1,0 +1,175 @@
+// E15 — multi-tenant workload scheduling: policy x load sweep over the
+// workload manager. An adversarial mix — long batch plans with loose
+// deadlines submitted first, short interactive plans with tight deadlines
+// arriving behind them — is replayed under each scheduling policy on one
+// simulated cluster, measuring throughput, queue wait, deadline-miss
+// rate, and Jain's fairness index over per-plan slowdown.
+//
+// Expectation: FIFO drains the batch plans first and misses the
+// interactive deadlines; EDF reorders the queue by effective deadline and
+// meets them; fair-share lands between, interleaving tenants. Run with
+// --trace e15.json to see each plan's lane on the virtual timeline.
+
+#include "bench/bench_util.h"
+
+namespace cumulon::bench {
+namespace {
+
+constexpr int64_t kTile = 2048;
+constexpr int64_t kShortDim = 4096;
+constexpr int64_t kLongDim = 8192;
+
+void RegisterInput(DfsTileStore* store, const TiledMatrix& m) {
+  for (int64_t r = 0; r < m.layout.grid_rows(); ++r) {
+    for (int64_t c = 0; c < m.layout.grid_cols(); ++c) {
+      const int64_t bytes =
+          16 + m.layout.TileRowsAt(r) * m.layout.TileColsAt(c) * 8;
+      CUMULON_CHECK(store->PutMeta(m.name, TileId{r, c}, bytes, -1).ok());
+    }
+  }
+}
+
+/// One C = A * B plan over `dim`-square inputs, every matrix (including
+/// temporaries) namespaced by `tag` so plans can share the store.
+PhysicalPlan MakePlan(DfsTileStore* store, const std::string& tag,
+                      int64_t dim) {
+  const TiledMatrix a{StrCat(tag, "_A"), TileLayout::Square(dim, dim, kTile)};
+  const TiledMatrix b{StrCat(tag, "_B"), TileLayout::Square(dim, dim, kTile)};
+  RegisterInput(store, a);
+  RegisterInput(store, b);
+  Program program;
+  program.Assign(StrCat(tag, "_C"),
+                 Expr::Input(a.name, dim, dim) * Expr::Input(b.name, dim, dim));
+  LoweringOptions lowering;
+  lowering.tile_dim = kTile;
+  lowering.temp_prefix = StrCat(tag, "_tmp");
+  auto lowered = Lower(program, {{a.name, a}, {b.name, b}}, lowering);
+  CUMULON_CHECK(lowered.ok()) << lowered.status();
+  return std::move(lowered->plan);
+}
+
+/// Solo (uncontended) simulated seconds of one plan of size `dim`.
+double SoloSeconds(const ClusterConfig& cluster, int64_t dim) {
+  SimWorld world(cluster);
+  return world.Run(MakePlan(world.store(), "solo", dim)).total_seconds;
+}
+
+struct CellResult {
+  double makespan = 0.0;
+  double mean_wait = 0.0;
+  double miss_rate = 0.0;
+  double jain = 0.0;
+};
+
+/// Replays the adversarial mix (`load`/2 long plans, then `load`/2 short
+/// ones) under `policy` and folds the outcomes.
+CellResult RunCell(SchedPolicy policy, int load, double solo_long,
+                   double solo_short) {
+  const ClusterConfig cluster = DefaultCluster(16);
+  SimWorld world(cluster);
+
+  WorkloadManagerOptions options;
+  options.policy = policy;
+  options.max_concurrent_plans = 1;  // deterministic policy-order replay
+  options.admission_control = false;  // measure misses, don't reject
+  options.virtual_time = true;
+  options.defer_start = true;  // whole mix queued before scheduling
+  options.executor.real_mode = false;
+  options.tracer = GlobalTracer();
+  WorkloadManager manager(world.store(), world.engine(), &world.cost(),
+                          options);
+
+  const int n_long = load / 2;
+  const int n_short = load - n_long;
+  // Loose batch deadlines (met under any order); tight interactive ones
+  // (only met when the policy lets shorts overtake the queued batch).
+  const double long_deadline = (solo_long + solo_short) * load * 4.0;
+  const double short_deadline = solo_short * n_short * 2.0;
+  std::map<int64_t, double> solo_of;  // plan id -> solo seconds
+
+  auto submit = [&](const std::string& tag, const std::string& tenant,
+                    int64_t dim, double deadline, double solo) {
+    Submission submission;
+    submission.name = tag;
+    submission.tenant = tenant;
+    submission.deadline_seconds = deadline;
+    submission.estimate = {solo, 0.0, true};
+    submission.plan = MakePlan(world.store(), tag, dim);
+    auto id = manager.Submit(std::move(submission));
+    CUMULON_CHECK(id.ok()) << id.status();
+    solo_of[*id] = solo;
+  };
+  for (int i = 0; i < n_long; ++i) {
+    submit(StrCat("batch", i), "batch", kLongDim, long_deadline, solo_long);
+  }
+  for (int i = 0; i < n_short; ++i) {
+    submit(StrCat("inter", i), "interactive", kShortDim, short_deadline,
+           solo_short);
+  }
+
+  manager.Start();
+  const std::vector<PlanOutcome> outcomes = manager.Drain();
+
+  CellResult cell;
+  double wait_sum = 0.0;
+  int misses = 0;
+  double slowdown_sum = 0.0, slowdown_sq = 0.0;
+  for (const PlanOutcome& outcome : outcomes) {
+    CUMULON_CHECK(outcome.state == PlanState::kDone) << outcome.status;
+    cell.makespan = std::max(cell.makespan, outcome.finish_seconds);
+    wait_sum += outcome.queue_wait_seconds();
+    if (!outcome.deadline_met) ++misses;
+    const double slowdown =
+        outcome.turnaround_seconds() / solo_of.at(outcome.plan_id);
+    slowdown_sum += slowdown;
+    slowdown_sq += slowdown * slowdown;
+  }
+  const double n = static_cast<double>(outcomes.size());
+  cell.mean_wait = wait_sum / n;
+  cell.miss_rate = misses / n;
+  cell.jain = slowdown_sum * slowdown_sum / (n * slowdown_sq);
+  return cell;
+}
+
+void Run() {
+  const ClusterConfig cluster = DefaultCluster(16);
+  const double solo_long = SoloSeconds(cluster, kLongDim);
+  const double solo_short = SoloSeconds(cluster, kShortDim);
+  PrintHeader(StrCat("E15: scheduling policy x load (", cluster.ToString(),
+                     "; batch plan ", FormatDuration(solo_long),
+                     ", interactive plan ", FormatDuration(solo_short), ")"));
+  std::printf("%-6s %4s %12s %12s %10s %10s %10s\n", "policy", "load",
+              "makespan", "mean wait", "miss rate", "fairness", "plans/hr");
+  PrintRule();
+
+  const SchedPolicy policies[] = {SchedPolicy::kFifo, SchedPolicy::kFairShare,
+                                  SchedPolicy::kEdf};
+  double fifo_misses = 0.0, edf_misses = 0.0;
+  for (const int load : {4, 8, 16}) {
+    for (const SchedPolicy policy : policies) {
+      const CellResult cell = RunCell(policy, load, solo_long, solo_short);
+      std::printf("%-6s %4d %12s %12s %9.0f%% %10.3f %10.1f\n",
+                  SchedPolicyName(policy), load,
+                  FormatDuration(cell.makespan).c_str(),
+                  FormatDuration(cell.mean_wait).c_str(),
+                  cell.miss_rate * 100.0, cell.jain,
+                  load / cell.makespan * 3600.0);
+      if (policy == SchedPolicy::kFifo) fifo_misses += cell.miss_rate;
+      if (policy == SchedPolicy::kEdf) edf_misses += cell.miss_rate;
+    }
+    PrintRule();
+  }
+  std::printf("deadline-miss rate, summed over loads: fifo %.2f, edf %.2f "
+              "(%s)\n",
+              fifo_misses, edf_misses,
+              edf_misses < fifo_misses ? "EDF wins" : "NO IMPROVEMENT");
+}
+
+}  // namespace
+}  // namespace cumulon::bench
+
+int main(int argc, char** argv) {
+  cumulon::bench::ObsSession obs(argc, argv);
+  cumulon::bench::Run();
+  return 0;
+}

@@ -5,9 +5,12 @@
 #include <mutex>
 #include <vector>
 
+#include <condition_variable>
+
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "common/strings.h"
+#include "sched/slot_pool.h"
 
 namespace cumulon {
 
@@ -81,7 +84,28 @@ Result<JobStats> RealEngine::RunJob(const JobSpec& job) {
   Status first_error;
   Stopwatch job_clock;
 
+  // Per-job completion latch: with concurrent plans sharing the pool,
+  // ThreadPool::WaitIdle would wait for *everyone's* tasks, so each RunJob
+  // counts down only its own.
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  size_t remaining = 0;
+
+  bool cancelled = false;
+  size_t submitted = 0;
   for (size_t i = 0; i < job.tasks.size(); ++i) {
+    if (job.cancel != nullptr &&
+        job.cancel->load(std::memory_order_relaxed)) {
+      cancelled = true;
+      break;
+    }
+    // Multi-tenant mode: lease one slot per in-flight task. This driver
+    // thread blocks while the plan is at its share; workers never block.
+    if (job.slot_pool != nullptr &&
+        !job.slot_pool->Acquire(job.plan_id, job.cancel)) {
+      cancelled = true;  // cancel flag flipped while waiting for a slot
+      break;
+    }
     const Task& task = job.tasks[i];
     const int machine = placement[i];
     TaskRunInfo* run = &stats.task_runs[i];
@@ -95,7 +119,12 @@ Result<JobStats> RealEngine::RunJob(const JobSpec& job) {
     stats.bytes_read += task.cost.bytes_read;
     stats.bytes_written += task.cost.bytes_written;
     stats.shuffle_bytes += task.cost.shuffle_bytes;
-    pool_->Submit([&, run, machine, tracer, trace_t0]() {
+    {
+      std::lock_guard<std::mutex> lock(done_mu);
+      ++remaining;
+    }
+    ++submitted;
+    pool_->Submit([&, run, machine, tracer, trace_t0, &task = task]() {
       Stopwatch task_clock;
       run->start_seconds = job_clock.ElapsedSeconds();
       // Tasks are all submitted up front, so the time a task spent waiting
@@ -122,8 +151,11 @@ Result<JobStats> RealEngine::RunJob(const JobSpec& job) {
       run->duration_seconds = task_clock.ElapsedSeconds();
       if (tracer != nullptr) {
         TraceSpan span;
-        span.name = task.name;
+        span.name = job.plan_tag.empty()
+                        ? task.name
+                        : StrCat(job.plan_tag, "/", task.name);
         span.category = "task";
+        span.parent_id = job.trace_parent_span;
         span.machine = machine;
         span.slot = run->slot;
         span.start_seconds = trace_t0 + run->start_seconds;
@@ -134,12 +166,26 @@ Result<JobStats> RealEngine::RunJob(const JobSpec& job) {
             {"bytes_written", static_cast<double>(task.cost.bytes_written)},
             {"attempts", static_cast<double>(attempts_used)},
             {"local", run->local ? 1.0 : 0.0}};
+        if (job.plan_id >= 0) {
+          span.args.emplace_back("plan", static_cast<double>(job.plan_id));
+        }
         tracer->AddSpan(std::move(span));
       }
+      if (job.slot_pool != nullptr) job.slot_pool->Release(job.plan_id);
+      std::lock_guard<std::mutex> lock(done_mu);
+      if (--remaining == 0) done_cv.notify_all();
     });
   }
-  pool_->WaitIdle();
+  {
+    std::unique_lock<std::mutex> lock(done_mu);
+    done_cv.wait(lock, [&] { return remaining == 0; });
+  }
 
+  if (cancelled) {
+    return Status::Cancelled(
+        StrCat("job '", job.name, "' cancelled after ", submitted, " of ",
+               job.tasks.size(), " tasks"));
+  }
   if (!first_error.ok()) return first_error;
 
   stats.duration_seconds = job_clock.ElapsedSeconds();

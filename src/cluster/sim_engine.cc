@@ -7,6 +7,7 @@
 
 #include "common/logging.h"
 #include "common/strings.h"
+#include "sched/slot_pool.h"
 
 namespace cumulon {
 
@@ -69,8 +70,25 @@ double SimEngine::TaskDuration(const TaskCost& cost, bool local_read) const {
 }
 
 Result<JobStats> SimEngine::RunJob(const JobSpec& job) {
+  // One simulated job at a time: concurrent plans' virtual clocks cannot
+  // interleave, so runs serialize and contention is expressed through the
+  // slot-share restriction below.
+  std::lock_guard<std::mutex> run_lock(run_mu_);
+
+  if (job.cancel != nullptr && job.cancel->load(std::memory_order_relaxed)) {
+    return Status::Cancelled(StrCat("job '", job.name, "' cancelled"));
+  }
+
   const int machines = config_.num_machines;
-  const int slots = config_.slots_per_machine;
+  int slots = config_.slots_per_machine;
+  // Under a slot pool the plan only gets its fair share of the cluster;
+  // model that as proportionally fewer slots per machine (at least one in
+  // total, rounded up so a share never silently widens).
+  if (job.slot_pool != nullptr) {
+    const int allowed = std::clamp(job.slot_pool->FairShare(job.plan_id), 1,
+                                   config_.total_slots());
+    slots = std::max(1, (allowed + machines - 1) / machines);
+  }
 
   Tracer* tracer =
       options_.tracer != nullptr ? options_.tracer : GlobalTracer();
@@ -99,6 +117,11 @@ Result<JobStats> SimEngine::RunJob(const JobSpec& job) {
   };
 
   for (const Task& task : job.tasks) {
+    if (job.cancel != nullptr &&
+        job.cancel->load(std::memory_order_relaxed)) {
+      return Status::Cancelled(
+          StrCat("job '", job.name, "' cancelled mid-schedule"));
+    }
     // Globally earliest slot.
     int best_machine = 0;
     int best_slot = earliest_slot(0);
@@ -191,8 +214,10 @@ Result<JobStats> SimEngine::RunJob(const JobSpec& job) {
 
     if (tracer != nullptr) {
       TraceSpan span;
-      span.name = task.name;
+      span.name = job.plan_tag.empty() ? task.name
+                                       : StrCat(job.plan_tag, "/", task.name);
       span.category = "task";
+      span.parent_id = job.trace_parent_span;
       span.machine = chosen_machine;
       span.slot = chosen_slot;
       span.start_seconds = trace_t0 + start;
@@ -208,6 +233,9 @@ Result<JobStats> SimEngine::RunJob(const JobSpec& job) {
                    {"shuffle_bytes",
                     static_cast<double>(task.cost.shuffle_bytes)},
                    {"local", local ? 1.0 : 0.0}};
+      if (job.plan_id >= 0) {
+        span.args.emplace_back("plan", static_cast<double>(job.plan_id));
+      }
       tracer->AddSpan(std::move(span));
     }
   }

@@ -2,6 +2,7 @@
 #define CUMULON_CLUSTER_SIM_ENGINE_H_
 
 #include <memory>
+#include <mutex>
 
 #include "cluster/engine.h"
 #include "common/rng.h"
@@ -89,6 +90,12 @@ struct SimEngineOptions {
 /// is what makes slots-per-machine a real optimization knob (experiment
 /// E3). Scheduling is greedy list scheduling over all slots with optional
 /// locality preference. A virtual clock advances; nothing executes.
+///
+/// RunJob is safe to call from concurrent plans: runs serialize on an
+/// internal mutex (virtual clocks cannot interleave task-by-task), and a
+/// job arriving with a JobSpec::slot_pool is simulated on the plan's fair
+/// share of the slots instead of the whole cluster, which is how slot
+/// contention between concurrent tenants is modeled.
 class SimEngine : public Engine {
  public:
   SimEngine(const ClusterConfig& config, const SimEngineOptions& options);
@@ -109,6 +116,7 @@ class SimEngine : public Engine {
  private:
   ClusterConfig config_;
   SimEngineOptions options_;
+  std::mutex run_mu_;  // serializes RunJob (rng_, tracer time offset)
   Rng rng_;
   std::unique_ptr<TileCacheGroup> caches_;
 };

@@ -1,6 +1,7 @@
 #ifndef CUMULON_CLUSTER_TASK_H_
 #define CUMULON_CLUSTER_TASK_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -9,6 +10,8 @@
 #include "common/status.h"
 
 namespace cumulon {
+
+class SlotPool;  // sched/slot_pool.h; engines only hold a borrowed pointer
 
 /// Declared resource demands of one task, used by the simulator / cost
 /// model to derive its duration on a given machine.
@@ -45,9 +48,33 @@ struct Task {
 
 /// A Cumulon job: a named bag of independent tasks (map-only; the paper's
 /// execution model deliberately has no shuffle barrier inside a job).
+///
+/// The multi-tenant fields below are filled by the executor when the job
+/// belongs to a plan running under a WorkloadManager; with their defaults
+/// the engines behave exactly as before (exclusive slots, untagged spans).
 struct JobSpec {
   std::string name;
   std::vector<Task> tasks;
+
+  /// Identity of the submitting plan. plan_id tags engine metrics/span
+  /// args; plan_tag prefixes task span names so concurrent runs are
+  /// distinguishable in the Chrome trace export. plan_id < 0 = untagged.
+  int64_t plan_id = -1;
+  std::string plan_tag;
+
+  /// Arbitrates the cluster's slots across concurrently running plans.
+  /// The real engine leases one slot per in-flight task; the sim engine
+  /// simulates on the plan's fair share. Borrowed; null = exclusive slots.
+  SlotPool* slot_pool = nullptr;
+
+  /// Checked between tasks: when it flips true the engine stops launching
+  /// work and returns Status::Cancelled. Borrowed; null = not cancellable.
+  const std::atomic<bool>* cancel = nullptr;
+
+  /// Trace span id of the enclosing job span (Executor::BeginJobTrace);
+  /// engines stamp it as every task span's parent so nesting stays correct
+  /// when several plans trace concurrently. 0 = let the tracer infer.
+  int64_t trace_parent_span = 0;
 };
 
 /// Where and when one task ran.

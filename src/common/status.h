@@ -20,6 +20,7 @@ enum class StatusCode {
   kResourceExhausted,
   kInternal,
   kUnimplemented,
+  kCancelled,
 };
 
 /// Returns a short human-readable name ("InvalidArgument", ...) for a code.
@@ -57,6 +58,9 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -13,6 +13,7 @@
 ///   exec     - Cumulon physical operators, plans, executor
 ///   lang     - logical matrix algebra, optimizer, lowering, workloads
 ///   baseline - MapReduce-style RMM/CPMM comparison strategies
+///   sched    - slot arbitration and the multi-tenant workload manager
 ///   opt      - deployment predictor and time/budget-constrained search
 ///   obs      - metrics registry and execution tracer (cross-cutting)
 
@@ -52,5 +53,7 @@
 #include "opt/job_tuner.h"
 #include "opt/predictor.h"
 #include "opt/search.h"
+#include "sched/slot_pool.h"
+#include "sched/workload_manager.h"
 
 #endif  // CUMULON_CUMULON_H_

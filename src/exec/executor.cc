@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "common/strings.h"
+#include "sched/slot_pool.h"
 
 namespace cumulon {
 
@@ -54,18 +55,52 @@ Status Executor::DropTemporaries(const PhysicalPlan& plan) {
   return Status::OK();
 }
 
+Status Executor::CheckCancelled() const {
+  if (options_.cancel != nullptr &&
+      options_.cancel->load(std::memory_order_relaxed)) {
+    return Status::Cancelled(
+        StrCat("plan '", options_.plan_tag, "' cancelled"));
+  }
+  return Status::OK();
+}
+
+void Executor::TagJobSpec(JobSpec* spec, int64_t trace_parent) const {
+  spec->plan_id = options_.plan_id;
+  spec->plan_tag = options_.plan_tag;
+  spec->slot_pool = options_.slot_pool;
+  spec->cancel = options_.cancel;
+  spec->trace_parent_span = trace_parent;
+}
+
 Result<PlanStats> Executor::Run(const PhysicalPlan& plan) {
+  // exec.* counters of this run go to a private registry as well as the
+  // shared one: with concurrent Run calls the shared before/after delta
+  // would fold other plans' activity in, so PlanStats::metrics takes its
+  // exec.* values from the per-run registry instead.
+  MetricsRegistry run_metrics;
   const MetricsSnapshot before = metrics_->Snapshot();
   CUMULON_ASSIGN_OR_RETURN(PlanStats stats,
                            options_.parallelize_independent_jobs
-                               ? RunLeveled(plan)
-                               : RunSequential(plan));
+                               ? RunLeveled(plan, &run_metrics)
+                               : RunSequential(plan, &run_metrics));
   if (TileCacheGroup* caches = engine_->tile_caches()) {
     const TileCacheStats totals = caches->TotalStats();
     metrics_->gauge("cache.resident_bytes")->Set(totals.resident_bytes);
     metrics_->gauge("cache.resident_tiles")->Set(totals.resident_tiles);
   }
   stats.metrics = SnapshotDelta(before, metrics_->Snapshot());
+  // Replace the shared-delta exec.* counters with the per-run exact ones.
+  for (auto it = stats.metrics.counters.begin();
+       it != stats.metrics.counters.end();) {
+    if (it->first.rfind("exec.", 0) == 0) {
+      it = stats.metrics.counters.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (const auto& [name, value] : run_metrics.Snapshot().counters) {
+    stats.metrics.counters[name] = value;
+  }
   return stats;
 }
 
@@ -88,21 +123,31 @@ Executor::JobTraceScope Executor::BeginJobTrace(
   scope.tracer =
       options_.tracer != nullptr ? options_.tracer : GlobalTracer();
   if (scope.tracer == nullptr) return scope;
+  // Concurrent plans render on one driver lane each, keyed by plan id;
+  // serial runs keep the classic lane 0.
+  const int lane =
+      options_.plan_id > 0 ? static_cast<int>(options_.plan_id) : 0;
   // Sim mode charges every job a scheduling/setup latency before any task
   // starts; putting it on the timeline keeps the trace's total span equal
   // to the predicted plan time. Real mode never waits it out, so its
   // timeline carries only measured execution.
   if (!options_.real_mode && options_.job_startup_seconds > 0.0) {
     TraceSpan startup;
-    startup.name = "job startup";
+    startup.name = options_.plan_tag.empty()
+                       ? std::string("job startup")
+                       : StrCat(options_.plan_tag, "/job startup");
     startup.category = "startup";
+    startup.parent_id = -1;  // never under another plan's open job
     startup.machine = -1;
+    startup.slot = lane;
     startup.start_seconds = scope.tracer->time_offset();
     startup.duration_seconds = options_.job_startup_seconds;
     scope.tracer->AdvanceTime(options_.job_startup_seconds);
     scope.tracer->AddSpan(std::move(startup));
   }
-  scope.job_id = scope.tracer->BeginJob(name);
+  scope.job_id = scope.tracer->BeginJob(
+      options_.plan_tag.empty() ? name : StrCat(options_.plan_tag, "/", name),
+      lane);
   scope.offset_before = scope.tracer->time_offset();
   return scope;
 }
@@ -117,7 +162,8 @@ void Executor::EndJobTrace(const JobTraceScope& scope,
 }
 
 void Executor::FoldJobStats(const std::string& name, JobStats stats,
-                            PlanStats* totals) {
+                            PlanStats* totals,
+                            MetricsRegistry* run_metrics) {
   totals->total_seconds +=
       stats.duration_seconds + options_.job_startup_seconds;
   totals->bytes_read += stats.bytes_read;
@@ -128,15 +174,26 @@ void Executor::FoldJobStats(const std::string& name, JobStats stats,
   totals->cache_misses += stats.cache_misses;
   totals->bytes_read_cached += stats.bytes_read_cached;
 
-  metrics_->counter("exec.jobs")->Increment();
-  metrics_->counter("exec.tasks")->Add(stats.num_tasks);
-  metrics_->counter("exec.tasks.nonlocal")->Add(stats.num_non_local_tasks);
-  metrics_->counter("exec.bytes.read")->Add(stats.bytes_read);
-  metrics_->counter("exec.bytes.written")->Add(stats.bytes_written);
-  metrics_->counter("exec.bytes.shuffle")->Add(stats.shuffle_bytes);
-  metrics_->counter("exec.cache.hits")->Add(stats.cache_hits);
-  metrics_->counter("exec.cache.misses")->Add(stats.cache_misses);
-  metrics_->counter("exec.cache.hit_bytes")->Add(stats.bytes_read_cached);
+  // Every exec.* counter goes to the shared registry (global totals), the
+  // per-run registry (PlanStats::metrics), and — when the plan is tagged —
+  // a plan.<tag>.exec.* copy so concurrent tenants stay distinguishable.
+  auto add = [&](const char* metric, int64_t delta) {
+    metrics_->counter(metric)->Add(delta);
+    run_metrics->counter(metric)->Add(delta);
+    if (!options_.plan_tag.empty()) {
+      metrics_->counter(StrCat("plan.", options_.plan_tag, ".", metric))
+          ->Add(delta);
+    }
+  };
+  add("exec.jobs", 1);
+  add("exec.tasks", stats.num_tasks);
+  add("exec.tasks.nonlocal", stats.num_non_local_tasks);
+  add("exec.bytes.read", stats.bytes_read);
+  add("exec.bytes.written", stats.bytes_written);
+  add("exec.bytes.shuffle", stats.shuffle_bytes);
+  add("exec.cache.hits", stats.cache_hits);
+  add("exec.cache.misses", stats.cache_misses);
+  add("exec.cache.hit_bytes", stats.bytes_read_cached);
 
   totals->jobs.push_back(JobRecord{name, std::move(stats)});
 }
@@ -155,16 +212,19 @@ void Executor::RecordCacheActivity(const TileCacheStats& before,
   }
 }
 
-Result<PlanStats> Executor::RunSequential(const PhysicalPlan& plan) {
+Result<PlanStats> Executor::RunSequential(const PhysicalPlan& plan,
+                                          MetricsRegistry* run_metrics) {
   const BuildContext ctx = MakeBuildContext();
 
   PlanStats totals;
   for (const auto& job : plan.jobs) {
+    CUMULON_RETURN_IF_ERROR(CheckCancelled());
     CUMULON_ASSIGN_OR_RETURN(BuiltJob built, job->Build(ctx));
     const TileCacheStats cache_before =
         engine_->tile_caches() != nullptr ? engine_->tile_caches()->TotalStats()
                                           : TileCacheStats{};
     const JobTraceScope trace = BeginJobTrace(job->name());
+    TagJobSpec(&built.spec, trace.job_id);
     CUMULON_ASSIGN_OR_RETURN(JobStats stats, engine_->RunJob(built.spec));
     EndJobTrace(trace, stats);
     RecordCacheActivity(cache_before, &stats);
@@ -181,14 +241,15 @@ Result<PlanStats> Executor::RunSequential(const PhysicalPlan& plan) {
       }
     }
 
-    FoldJobStats(job->name(), std::move(stats), &totals);
+    FoldJobStats(job->name(), std::move(stats), &totals, run_metrics);
   }
 
   CUMULON_RETURN_IF_ERROR(DropTemporaries(plan));
   return totals;
 }
 
-Result<PlanStats> Executor::RunLeveled(const PhysicalPlan& plan) {
+Result<PlanStats> Executor::RunLeveled(const PhysicalPlan& plan,
+                                       MetricsRegistry* run_metrics) {
   const BuildContext ctx = MakeBuildContext();
 
   const std::vector<int> levels = JobLevels(plan);
@@ -197,6 +258,7 @@ Result<PlanStats> Executor::RunLeveled(const PhysicalPlan& plan) {
 
   PlanStats totals;
   for (int level = 0; level <= max_level; ++level) {
+    CUMULON_RETURN_IF_ERROR(CheckCancelled());
     // Merge this level's independent jobs into one scheduling round: their
     // tasks share the cluster's slots, which is how concurrently submitted
     // Hadoop jobs behave.
@@ -221,6 +283,7 @@ Result<PlanStats> Executor::RunLeveled(const PhysicalPlan& plan) {
         engine_->tile_caches() != nullptr ? engine_->tile_caches()->TotalStats()
                                           : TileCacheStats{};
     const JobTraceScope trace = BeginJobTrace(merged.name);
+    TagJobSpec(&merged, trace.job_id);
     CUMULON_ASSIGN_OR_RETURN(JobStats stats, engine_->RunJob(merged));
     EndJobTrace(trace, stats);
     RecordCacheActivity(cache_before, &stats);
@@ -234,7 +297,7 @@ Result<PlanStats> Executor::RunLeveled(const PhysicalPlan& plan) {
         }
       }
     }
-    FoldJobStats(merged.name, std::move(stats), &totals);
+    FoldJobStats(merged.name, std::move(stats), &totals, run_metrics);
   }
 
   CUMULON_RETURN_IF_ERROR(DropTemporaries(plan));

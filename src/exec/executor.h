@@ -1,6 +1,7 @@
 #ifndef CUMULON_EXEC_EXECUTOR_H_
 #define CUMULON_EXEC_EXECUTOR_H_
 
+#include <atomic>
 #include <string>
 #include <vector>
 
@@ -13,6 +14,8 @@
 #include "obs/trace.h"
 
 namespace cumulon {
+
+class SlotPool;  // sched/slot_pool.h
 
 struct ExecutorOptions {
   /// true: attach work closures and actually compute tiles (RealEngine).
@@ -42,10 +45,32 @@ struct ExecutorOptions {
   /// options for task-level spans.
   Tracer* tracer = nullptr;
 
-  /// Destination of the exec.* metrics; PlanStats::metrics is the delta of
-  /// this registry across Run(). Borrowed; the executor owns a private
-  /// registry when null.
+  /// Destination of the exec.* metrics. PlanStats::metrics scopes its
+  /// exec.* counters to this run (a private per-run registry), so two
+  /// concurrent Run calls sharing this registry never double-count each
+  /// other's deltas; non-exec names (engine.*, dfs.*) are still the shared
+  /// registry's delta and are best-effort under concurrency. Borrowed; the
+  /// executor owns a private registry when null.
   MetricsRegistry* metrics = nullptr;
+
+  // --- Multi-tenant scheduling (sched/workload_manager.h) ---------------
+  // Defaults preserve the classic exclusive-engine behavior.
+
+  /// Identity of the plan this executor runs on behalf of. plan_tag
+  /// prefixes job/task span names and scopes tagged metric copies
+  /// (plan.<tag>.exec.*); plan_id picks the driver trace lane and tags
+  /// span args. plan_id < 0 = untagged.
+  int64_t plan_id = -1;
+  std::string plan_tag;
+
+  /// Slot arbiter shared with concurrently running plans, forwarded to the
+  /// engine with every job. Borrowed; null = exclusive slots.
+  SlotPool* slot_pool = nullptr;
+
+  /// Cooperative cancellation: checked before each job and forwarded to
+  /// the engine (checked between tasks). When it flips true, Run returns
+  /// Status::Cancelled. Borrowed; null = not cancellable.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 struct JobRecord {
@@ -68,10 +93,12 @@ struct PlanStats {
   int64_t cache_misses = 0;
   int64_t bytes_read_cached = 0;
 
-  /// Metrics recorded during this run (delta of the executor's registry
-  /// across Run()): the exec.* counters mirroring the fields above, plus
-  /// whatever engine.*/dfs.* metrics share the registry. FormatPlanStats
-  /// reads its cache/locality figures from here.
+  /// Metrics recorded during this run: the exec.* counters mirroring the
+  /// fields above come from a per-run registry (exact even when other
+  /// plans run concurrently against the same shared registry), while
+  /// engine.*/dfs.* names are the shared registry's delta across Run()
+  /// (best-effort under concurrency). FormatPlanStats reads its
+  /// cache/locality figures from here.
   MetricsSnapshot metrics;
 };
 
@@ -79,6 +106,13 @@ struct PlanStats {
 /// serves both real execution (validation, small scales) and simulated
 /// execution (cluster-scale what-if runs and the optimizer's predictor),
 /// selected by ExecutorOptions::real_mode and the Engine implementation.
+///
+/// Run is safe to call concurrently (same or different Executor instances
+/// over one shared engine/store): all per-run state lives on the stack,
+/// exec.* deltas are scoped to a per-run registry, and the engines
+/// arbitrate slots through ExecutorOptions::slot_pool. The per-job cache
+/// deltas in JobRecord::stats are best-effort under concurrency (the
+/// engine's cache counters are shared).
 class Executor {
  public:
   /// All pointers are borrowed and must outlive the executor.
@@ -102,9 +136,18 @@ class Executor {
     double offset_before = 0.0;
   };
 
-  Result<PlanStats> RunSequential(const PhysicalPlan& plan);
-  Result<PlanStats> RunLeveled(const PhysicalPlan& plan);
+  Result<PlanStats> RunSequential(const PhysicalPlan& plan,
+                                  MetricsRegistry* run_metrics);
+  Result<PlanStats> RunLeveled(const PhysicalPlan& plan,
+                               MetricsRegistry* run_metrics);
   Status DropTemporaries(const PhysicalPlan& plan);
+
+  /// Status::Cancelled when options_.cancel has flipped, OK otherwise.
+  Status CheckCancelled() const;
+
+  /// Stamps the plan identity / slot pool / cancel flag / trace parent
+  /// onto a job spec about to be handed to the engine.
+  void TagJobSpec(JobSpec* spec, int64_t trace_parent) const;
 
   /// Shared Build inputs, including the engine's node-cache budget so the
   /// declared task costs model the cache the engine actually has.
@@ -124,9 +167,11 @@ class Executor {
   void EndJobTrace(const JobTraceScope& scope, const JobStats& stats) const;
 
   /// Accumulates one job's stats into the plan totals and the exec.*
-  /// metrics.
+  /// metrics: the shared registry (global totals, plus plan.<tag>.exec.*
+  /// copies when tagged) and the per-run registry backing
+  /// PlanStats::metrics.
   void FoldJobStats(const std::string& name, JobStats stats,
-                    PlanStats* totals);
+                    PlanStats* totals, MetricsRegistry* run_metrics);
 
   TileStore* store_;
   Engine* engine_;

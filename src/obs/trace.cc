@@ -69,13 +69,15 @@ int64_t Tracer::AddSpan(TraceSpan span) {
   span.id = next_id_++;
   if (span.parent_id == 0 && !open_jobs_.empty()) {
     span.parent_id = open_jobs_.back();
+  } else if (span.parent_id < 0) {
+    span.parent_id = 0;
   }
   const int64_t id = span.id;
   spans_.push_back(std::move(span));
   return id;
 }
 
-int64_t Tracer::BeginJob(const std::string& name) {
+int64_t Tracer::BeginJob(const std::string& name, int lane) {
   std::lock_guard<std::mutex> lock(mu_);
   TraceSpan span;
   span.id = next_id_++;
@@ -83,7 +85,7 @@ int64_t Tracer::BeginJob(const std::string& name) {
   span.name = name;
   span.category = "job";
   span.machine = -1;
-  span.slot = 0;
+  span.slot = lane;
   span.start_seconds = time_offset_;
   open_jobs_.push_back(span.id);
   spans_.push_back(std::move(span));
@@ -157,10 +159,15 @@ std::string Tracer::ToChromeJson() const {
                 pid, "}}"));
   }
   for (const auto& [machine, slot] : lanes) {
+    // Driver lane 0 is the classic serial "jobs" lane; concurrent plans
+    // get one driver lane each, keyed by plan id.
+    const std::string lane_name =
+        machine >= 0 ? StrCat("slot ", slot)
+                     : (slot == 0 ? std::string("jobs")
+                                  : StrCat("plan ", slot));
     emit(StrCat("{\"ph\":\"M\",\"pid\":", MachinePid(machine), ",\"tid\":",
                 slot, ",\"name\":\"thread_name\",\"args\":{\"name\":\"",
-                machine < 0 ? std::string("jobs") : StrCat("slot ", slot),
-                "\"}}"));
+                lane_name, "\"}}"));
   }
 
   for (const TraceSpan& span : spans) {

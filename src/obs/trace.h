@@ -17,8 +17,13 @@ namespace cumulon {
 /// real mode, virtual-clock seconds in sim mode — both offset by the
 /// tracer's running time offset so consecutive jobs line up end to end.
 struct TraceSpan {
-  int64_t id = 0;         // assigned by the tracer, > 0
-  int64_t parent_id = 0;  // enclosing job span, 0 = top level
+  int64_t id = 0;  // assigned by the tracer, > 0
+  /// Enclosing job span. 0 = unknown: the tracer parents the span under
+  /// the innermost open job, which is only right when one plan traces at a
+  /// time — concurrent producers pass the job span id explicitly
+  /// (JobSpec::trace_parent_span). -1 = explicitly top level (recorded as
+  /// 0, never inferred).
+  int64_t parent_id = 0;
   std::string name;
   std::string category;  // "job", "task", "startup"
   int machine = -1;      // -1 = driver/coordinator lane
@@ -58,8 +63,11 @@ class Tracer {
   int64_t AddSpan(TraceSpan span);
 
   /// Opens a job span starting at the current time offset. Task spans
-  /// recorded until the matching EndJob are parented under it.
-  int64_t BeginJob(const std::string& name);
+  /// recorded until the matching EndJob are parented under it (unless they
+  /// carry an explicit parent_id). `lane` selects the driver-row lane the
+  /// job span renders on: concurrent plans pass their plan id so their job
+  /// spans do not interleave on one lane (serial runs keep lane 0).
+  int64_t BeginJob(const std::string& name, int lane = 0);
 
   /// Closes the job span: its duration becomes the time-offset advance
   /// since BeginJob (the engine advanced the offset by the job makespan).

@@ -8,6 +8,25 @@
 
 namespace cumulon {
 
+Result<LoweredProgram> PrepareProgram(const ProgramSpec& spec,
+                                      TileStore* store,
+                                      const LoweringOptions& lowering) {
+  std::map<std::string, TiledMatrix> bindings;
+  for (const TiledMatrix& input : spec.inputs) {
+    const TileLayout& layout = input.layout;
+    for (int64_t gr = 0; gr < layout.grid_rows(); ++gr) {
+      for (int64_t gc = 0; gc < layout.grid_cols(); ++gc) {
+        const int64_t bytes =
+            16 + layout.TileRowsAt(gr) * layout.TileColsAt(gc) * 8;
+        CUMULON_RETURN_IF_ERROR(
+            store->PutMeta(input.name, TileId{gr, gc}, bytes, /*writer=*/-1));
+      }
+    }
+    bindings.insert_or_assign(input.name, input);
+  }
+  return Lower(spec.program, bindings, lowering);
+}
+
 Result<PredictionResult> PredictProgram(const ProgramSpec& spec,
                                         const ClusterConfig& cluster,
                                         const PredictorOptions& options) {
@@ -20,20 +39,6 @@ Result<PredictionResult> PredictProgram(const ProgramSpec& spec,
   SimDfs dfs(dfs_options);
   DfsTileStore store(&dfs);
   if (options.metrics != nullptr) store.AttachMetrics(options.metrics);
-
-  std::map<std::string, TiledMatrix> bindings;
-  for (const TiledMatrix& input : spec.inputs) {
-    const TileLayout& layout = input.layout;
-    for (int64_t gr = 0; gr < layout.grid_rows(); ++gr) {
-      for (int64_t gc = 0; gc < layout.grid_cols(); ++gc) {
-        const int64_t bytes =
-            16 + layout.TileRowsAt(gr) * layout.TileColsAt(gc) * 8;
-        CUMULON_RETURN_IF_ERROR(
-            store.PutMeta(input.name, TileId{gr, gc}, bytes, /*writer=*/-1));
-      }
-    }
-    bindings.insert_or_assign(input.name, input);
-  }
 
   LoweringOptions lowering = options.lowering;
   if (options.tune_mm_per_job) {
@@ -68,7 +73,7 @@ Result<PredictionResult> PredictProgram(const ProgramSpec& spec,
   }
 
   CUMULON_ASSIGN_OR_RETURN(LoweredProgram lowered,
-                           Lower(spec.program, bindings, lowering));
+                           PrepareProgram(spec, &store, lowering));
 
   SimEngineOptions sim = options.sim;
   sim.noise_sigma = 0.0;  // the predictor is the noise-free simulation
@@ -90,6 +95,22 @@ Result<PredictionResult> PredictProgram(const ProgramSpec& spec,
   result.dollars = ClusterDollarCost(cluster.machine, cluster.num_machines,
                                      result.seconds, options.billing);
   return result;
+}
+
+Result<AdmissionEstimate> EstimateForAdmission(
+    const ProgramSpec& spec, const ClusterConfig& cluster,
+    const PredictorOptions& options) {
+  PredictorOptions quick = options;
+  quick.tune_mm_per_job = false;
+  quick.tracer = nullptr;
+  quick.metrics = nullptr;
+  CUMULON_ASSIGN_OR_RETURN(PredictionResult prediction,
+                           PredictProgram(spec, cluster, quick));
+  AdmissionEstimate estimate;
+  estimate.seconds = prediction.seconds;
+  estimate.dollars = prediction.dollars;
+  estimate.valid = true;
+  return estimate;
 }
 
 }  // namespace cumulon

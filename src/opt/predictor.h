@@ -10,6 +10,7 @@
 #include "cost/cost_model.h"
 #include "exec/executor.h"
 #include "lang/lowering.h"
+#include "sched/workload_manager.h"
 
 namespace cumulon {
 
@@ -62,6 +63,22 @@ struct PredictorOptions {
 Result<PredictionResult> PredictProgram(const ProgramSpec& spec,
                                         const ClusterConfig& cluster,
                                         const PredictorOptions& options);
+
+/// Registers `spec.inputs`' tile metadata into `store` (the placement a
+/// load step would have left behind) and lowers the program against those
+/// bindings. This is PredictProgram's front half, exposed so callers can
+/// obtain the executable plan itself — e.g. to Submit it to a
+/// WorkloadManager running against a shared store.
+Result<LoweredProgram> PrepareProgram(const ProgramSpec& spec,
+                                      TileStore* store,
+                                      const LoweringOptions& lowering);
+
+/// The predictor repackaged for WorkloadManager admission control: one
+/// PredictProgram run with per-job tuning, tracing, and metrics forced off,
+/// so concurrent Submit calls stay cheap and side-effect free.
+Result<AdmissionEstimate> EstimateForAdmission(const ProgramSpec& spec,
+                                               const ClusterConfig& cluster,
+                                               const PredictorOptions& options);
 
 }  // namespace cumulon
 

@@ -1,0 +1,109 @@
+#include "sched/slot_pool.h"
+
+#include <chrono>
+
+#include "common/logging.h"
+
+namespace cumulon {
+
+SlotPool::SlotPool(int total_slots)
+    : total_slots_(total_slots), free_(total_slots) {
+  CUMULON_CHECK_GT(total_slots, 0);
+}
+
+void SlotPool::RegisterPlan(int64_t plan_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  held_.emplace(plan_id, 0);
+}
+
+void SlotPool::UnregisterPlan(int64_t plan_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = held_.find(plan_id);
+  if (it == held_.end()) return;
+  free_ += it->second;
+  held_.erase(it);
+  // Fewer registered plans means a larger fair share for everyone else.
+  cv_.notify_all();
+}
+
+int SlotPool::FairShareLocked() const {
+  const int plans = static_cast<int>(held_.size());
+  if (plans <= 1) return total_slots_;
+  const int share = (total_slots_ + plans - 1) / plans;
+  return share > 0 ? share : 1;
+}
+
+bool SlotPool::CanGrantLocked(int64_t plan_id) const {
+  if (free_ <= 0) return false;
+  auto it = held_.find(plan_id);
+  const int mine = it == held_.end() ? 0 : it->second;
+  if (mine < FairShareLocked()) return true;
+  // Work conservation: over-share grants are fine while nobody else waits.
+  for (const auto& [other, count] : waiting_) {
+    if (other != plan_id && count > 0) return false;
+  }
+  return true;
+}
+
+bool SlotPool::Acquire(int64_t plan_id, const std::atomic<bool>* cancel) {
+  std::unique_lock<std::mutex> lock(mu_);
+  CUMULON_CHECK(held_.count(plan_id) > 0)
+      << "plan " << plan_id << " not registered with the slot pool";
+  if (!CanGrantLocked(plan_id)) {
+    ++contended_waits_;
+    ++waiting_[plan_id];
+    // Poll the cancel flag: cancellation is rare and never notifies cv_.
+    while (!CanGrantLocked(plan_id)) {
+      if (cancel != nullptr &&
+          cancel->load(std::memory_order_relaxed)) {
+        if (--waiting_[plan_id] == 0) waiting_.erase(plan_id);
+        return false;
+      }
+      cv_.wait_for(lock, std::chrono::milliseconds(20));
+    }
+    if (--waiting_[plan_id] == 0) waiting_.erase(plan_id);
+  }
+  --free_;
+  ++held_[plan_id];
+  ++acquires_;
+  return true;
+}
+
+void SlotPool::Release(int64_t plan_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = held_.find(plan_id);
+  CUMULON_CHECK(it != held_.end() && it->second > 0)
+      << "plan " << plan_id << " released a slot it does not hold";
+  --it->second;
+  ++free_;
+  cv_.notify_all();
+}
+
+int SlotPool::FairShare(int64_t plan_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (held_.count(plan_id) == 0) return total_slots_;
+  return FairShareLocked();
+}
+
+int SlotPool::free_slots() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return free_;
+}
+
+int SlotPool::held(int64_t plan_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = held_.find(plan_id);
+  return it == held_.end() ? 0 : it->second;
+}
+
+int SlotPool::registered_plans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(held_.size());
+}
+
+SlotPool::PoolStats SlotPool::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return PoolStats{acquires_, contended_waits_};
+}
+
+}  // namespace cumulon

@@ -1,0 +1,89 @@
+#ifndef CUMULON_SCHED_SLOT_POOL_H_
+#define CUMULON_SCHED_SLOT_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+
+namespace cumulon {
+
+/// Arbitrates a cluster's task slots across concurrently running plans.
+///
+/// Historically the engines assumed exclusive ownership of every slot: one
+/// Executor::Run at a time used config().total_slots(). A SlotPool makes
+/// the slot count a shared, leased resource so several executors can drive
+/// the same engine at once:
+///
+///  - The real engine acquires one lease per in-flight task (the plan's
+///    driver thread blocks in Acquire while the cluster is saturated), so
+///    the sum of concurrently executing tasks never exceeds the pool.
+///  - The sim engine asks for the plan's current FairShare() and simulates
+///    the job on that many slots — virtual clocks of concurrent plans
+///    cannot interleave task-by-task, so contention is modeled as a
+///    proportionally narrower cluster.
+///
+/// Grants are fair-share and work-conserving: while any *other* registered
+/// plan is waiting for a slot, a plan already holding its share
+/// (ceil(total / registered plans)) waits; when nobody else wants slots, a
+/// single plan may take the whole pool.
+///
+/// Thread-safe. Plans are identified by the WorkloadManager's plan id; any
+/// unique int64 works.
+class SlotPool {
+ public:
+  explicit SlotPool(int total_slots);
+
+  SlotPool(const SlotPool&) = delete;
+  SlotPool& operator=(const SlotPool&) = delete;
+
+  /// Enters `plan_id` into the share accounting. Idempotent.
+  void RegisterPlan(int64_t plan_id);
+
+  /// Removes `plan_id` and returns any slots it still holds to the pool.
+  void UnregisterPlan(int64_t plan_id);
+
+  /// Blocks until one slot is leased to `plan_id`. Returns false without a
+  /// lease if `cancel` (optional) becomes true while waiting. The plan
+  /// must be registered.
+  bool Acquire(int64_t plan_id, const std::atomic<bool>* cancel = nullptr);
+
+  /// Returns one of `plan_id`'s leased slots to the pool.
+  void Release(int64_t plan_id);
+
+  /// Slots `plan_id` may use under the current load: its fair share of the
+  /// pool among registered plans (ceil(total/plans), at least 1), or the
+  /// whole pool when it is the only registered plan.
+  int FairShare(int64_t plan_id) const;
+
+  int total_slots() const { return total_slots_; }
+  int free_slots() const;
+  int held(int64_t plan_id) const;
+  int registered_plans() const;
+
+  struct PoolStats {
+    int64_t acquires = 0;         // granted leases
+    int64_t contended_waits = 0;  // Acquire calls that had to block
+  };
+  PoolStats stats() const;
+
+ private:
+  /// Grant policy, under mu_: a free slot exists and either the plan is
+  /// under its fair share or no other plan is waiting.
+  bool CanGrantLocked(int64_t plan_id) const;
+  int FairShareLocked() const;
+
+  const int total_slots_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  int free_;
+  std::map<int64_t, int> held_;     // registered plan -> leased slots
+  std::map<int64_t, int> waiting_;  // plan -> threads blocked in Acquire
+  int64_t acquires_ = 0;
+  int64_t contended_waits_ = 0;
+};
+
+}  // namespace cumulon
+
+#endif  // CUMULON_SCHED_SLOT_POOL_H_

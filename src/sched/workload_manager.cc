@@ -1,0 +1,402 @@
+#include "sched/workload_manager.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace cumulon {
+
+const char* SchedPolicyName(SchedPolicy policy) {
+  switch (policy) {
+    case SchedPolicy::kFifo:
+      return "fifo";
+    case SchedPolicy::kFairShare:
+      return "fair";
+    case SchedPolicy::kEdf:
+      return "edf";
+  }
+  return "unknown";
+}
+
+Result<SchedPolicy> ParseSchedPolicy(const std::string& name) {
+  if (name == "fifo") return SchedPolicy::kFifo;
+  if (name == "fair" || name == "fair-share") return SchedPolicy::kFairShare;
+  if (name == "edf") return SchedPolicy::kEdf;
+  return Status::InvalidArgument(
+      StrCat("unknown scheduling policy '", name,
+             "' (expected fifo|fair|edf)"));
+}
+
+const char* PlanStateName(PlanState state) {
+  switch (state) {
+    case PlanState::kQueued:
+      return "queued";
+    case PlanState::kRunning:
+      return "running";
+    case PlanState::kDone:
+      return "done";
+    case PlanState::kFailed:
+      return "failed";
+    case PlanState::kCancelled:
+      return "cancelled";
+  }
+  return "unknown";
+}
+
+WorkloadManager::WorkloadManager(TileStore* store, Engine* engine,
+                                 const TileOpCostModel* cost,
+                                 const WorkloadManagerOptions& options)
+    : store_(store),
+      engine_(engine),
+      cost_(cost),
+      options_(options),
+      metrics_(options.metrics != nullptr ? options.metrics
+                                          : &owned_metrics_),
+      slot_pool_(engine->config().total_slots()),
+      started_(!options.defer_start),
+      wall_start_(std::chrono::steady_clock::now()) {
+  CUMULON_CHECK(store_ != nullptr);
+  CUMULON_CHECK(engine_ != nullptr);
+  CUMULON_CHECK(cost_ != nullptr);
+  CUMULON_CHECK_GT(options_.max_concurrent_plans, 0);
+  workers_.reserve(options_.max_concurrent_plans);
+  for (int i = 0; i < options_.max_concurrent_plans; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+WorkloadManager::~WorkloadManager() {
+  Drain();
+}
+
+double WorkloadManager::NowSecondsLocked() const {
+  if (options_.virtual_time) return virtual_now_seconds_;
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       wall_start_)
+      .count();
+}
+
+double WorkloadManager::NowSeconds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return NowSecondsLocked();
+}
+
+double WorkloadManager::BacklogSecondsLocked() const {
+  double backlog = 0.0;
+  for (const auto& [id, entry] : plans_) {
+    if (entry->terminal) continue;
+    if (entry->outcome.state != PlanState::kQueued &&
+        entry->outcome.state != PlanState::kRunning) {
+      continue;
+    }
+    if (entry->submission.estimate.valid) {
+      backlog += entry->submission.estimate.seconds;
+    }
+  }
+  return backlog / options_.max_concurrent_plans;
+}
+
+Result<int64_t> WorkloadManager::Submit(Submission submission) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stopping_) {
+    return Status::FailedPrecondition("workload manager is draining");
+  }
+  metrics_->counter("sched.submitted")->Increment();
+
+  const AdmissionEstimate& est = submission.estimate;
+  if (options_.admission_control && est.valid) {
+    if (submission.budget_dollars > 0.0 &&
+        est.dollars > submission.budget_dollars) {
+      metrics_->counter("sched.rejected")->Increment();
+      metrics_->counter("sched.rejected.budget")->Increment();
+      return Status::ResourceExhausted(StrCat(
+          "submission '", submission.name, "' rejected: estimated cost $",
+          est.dollars, " exceeds budget $", submission.budget_dollars));
+    }
+    if (submission.deadline_seconds > 0.0) {
+      const double projected = BacklogSecondsLocked() +
+                               est.seconds * options_.admission_slack;
+      if (projected > submission.deadline_seconds) {
+        metrics_->counter("sched.rejected")->Increment();
+        metrics_->counter("sched.rejected.deadline")->Increment();
+        return Status::ResourceExhausted(StrCat(
+            "submission '", submission.name, "' rejected: estimated ",
+            est.seconds, " s (", projected,
+            " s with queued work ahead) cannot meet the ",
+            submission.deadline_seconds, " s deadline"));
+      }
+    }
+  }
+
+  const int64_t id = next_plan_id_++;
+  auto entry = std::make_unique<PlanEntry>();
+  entry->outcome.plan_id = id;
+  entry->outcome.name =
+      submission.name.empty() ? StrCat("plan", id) : submission.name;
+  entry->outcome.tenant = submission.tenant.empty() ? entry->outcome.name
+                                                    : submission.tenant;
+  entry->outcome.estimate = est;
+  entry->outcome.submit_seconds = NowSecondsLocked();
+  if (submission.deadline_seconds > 0.0) {
+    entry->outcome.deadline_abs_seconds =
+        entry->outcome.submit_seconds + submission.deadline_seconds;
+  }
+  entry->submission = std::move(submission);
+
+  metrics_->counter("sched.admitted")->Increment();
+  metrics_->counter(StrCat("sched.tenant.", entry->outcome.tenant,
+                           ".submitted"))
+      ->Increment();
+  queue_.push_back(id);
+  plans_.emplace(id, std::move(entry));
+  metrics_->gauge("sched.queued")->Set(static_cast<int64_t>(queue_.size()));
+  work_cv_.notify_all();
+  return id;
+}
+
+void WorkloadManager::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  started_ = true;
+  work_cv_.notify_all();
+}
+
+Status WorkloadManager::Cancel(int64_t plan_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = plans_.find(plan_id);
+  if (it == plans_.end()) {
+    return Status::NotFound(StrCat("no plan with id ", plan_id));
+  }
+  PlanEntry* entry = it->second.get();
+  if (entry->terminal) {
+    return Status::FailedPrecondition(
+        StrCat("plan ", plan_id, " already ",
+               PlanStateName(entry->outcome.state)));
+  }
+  entry->cancel.store(true, std::memory_order_relaxed);
+  if (entry->outcome.state == PlanState::kQueued) {
+    queue_.erase(std::remove(queue_.begin(), queue_.end(), plan_id),
+                 queue_.end());
+    metrics_->gauge("sched.queued")->Set(static_cast<int64_t>(queue_.size()));
+    const double now = NowSecondsLocked();
+    entry->outcome.state = PlanState::kCancelled;
+    entry->outcome.status = Status::Cancelled("cancelled while queued");
+    entry->outcome.start_seconds = now;
+    entry->outcome.finish_seconds = now;
+    entry->terminal = true;
+    metrics_->counter("sched.cancelled")->Increment();
+    terminal_cv_.notify_all();
+  }
+  // Running plans: the executor/engine observe the flag at the next task
+  // boundary and resolve through FinishPlanLocked.
+  return Status::OK();
+}
+
+PlanOutcome WorkloadManager::Wait(int64_t plan_id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = plans_.find(plan_id);
+  CUMULON_CHECK(it != plans_.end()) << "no plan with id " << plan_id;
+  PlanEntry* entry = it->second.get();
+  terminal_cv_.wait(lock, [&] { return entry->terminal; });
+  return entry->outcome;
+}
+
+std::vector<PlanOutcome> WorkloadManager::Drain() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    started_ = true;  // a deferred queue must flush before shutdown
+    work_cv_.notify_all();
+    terminal_cv_.wait(lock, [&] {
+      return queue_.empty() && running_ == 0;
+    });
+    stopping_ = true;
+    work_cv_.notify_all();
+  }
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  std::vector<PlanOutcome> outcomes;
+  std::lock_guard<std::mutex> lock(mu_);
+  outcomes.reserve(plans_.size());
+  for (const auto& [id, entry] : plans_) {
+    outcomes.push_back(entry->outcome);
+  }
+  return outcomes;
+}
+
+int WorkloadManager::queued_plans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(queue_.size());
+}
+
+int WorkloadManager::running_plans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_;
+}
+
+WorkloadManager::PlanEntry* WorkloadManager::PickNextLocked() {
+  if (queue_.empty()) return nullptr;
+  const double now = NowSecondsLocked();
+  auto best = queue_.end();
+  double best_key = std::numeric_limits<double>::infinity();
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    PlanEntry* entry = plans_.at(*it).get();
+    double key = 0.0;
+    switch (options_.policy) {
+      case SchedPolicy::kFifo:
+        key = static_cast<double>(entry->outcome.plan_id);
+        break;
+      case SchedPolicy::kFairShare: {
+        // Least-served tenant first; FIFO within a tenant via the id
+        // tiebreak below.
+        auto served = tenant_service_seconds_.find(entry->outcome.tenant);
+        key = served == tenant_service_seconds_.end() ? 0.0 : served->second;
+        break;
+      }
+      case SchedPolicy::kEdf: {
+        const double effective_deadline =
+            entry->outcome.deadline_abs_seconds > 0.0
+                ? entry->outcome.deadline_abs_seconds
+                : entry->outcome.submit_seconds +
+                      options_.no_deadline_horizon_seconds;
+        const double waited = now - entry->outcome.submit_seconds;
+        key = effective_deadline - options_.aging_rate * waited;
+        break;
+      }
+    }
+    if (best == queue_.end() || key < best_key ||
+        (key == best_key && *it < *best)) {
+      best = it;
+      best_key = key;
+    }
+  }
+  PlanEntry* chosen = plans_.at(*best).get();
+  queue_.erase(best);
+  metrics_->gauge("sched.queued")->Set(static_cast<int64_t>(queue_.size()));
+  return chosen;
+}
+
+void WorkloadManager::FinishPlanLocked(PlanEntry* entry, PlanState state,
+                                       Status status, PlanStats stats,
+                                       double start, double duration) {
+  PlanOutcome& out = entry->outcome;
+  out.state = state;
+  out.status = std::move(status);
+  out.stats = std::move(stats);
+  out.start_seconds = start;
+  out.finish_seconds = start + duration;
+  if (options_.virtual_time) {
+    virtual_now_seconds_ = std::max(virtual_now_seconds_, out.finish_seconds);
+  }
+  out.deadline_met = out.deadline_abs_seconds <= 0.0 ||
+                     out.finish_seconds <= out.deadline_abs_seconds;
+  tenant_service_seconds_[out.tenant] += duration;
+  entry->terminal = true;
+
+  switch (state) {
+    case PlanState::kDone:
+      metrics_->counter("sched.completed")->Increment();
+      break;
+    case PlanState::kFailed:
+      metrics_->counter("sched.failed")->Increment();
+      break;
+    case PlanState::kCancelled:
+      metrics_->counter("sched.cancelled")->Increment();
+      break;
+    default:
+      break;
+  }
+  if (out.deadline_abs_seconds > 0.0 && state == PlanState::kDone) {
+    metrics_->counter(out.deadline_met ? "sched.deadline.met"
+                                       : "sched.deadline.missed")
+        ->Increment();
+  }
+  metrics_->histogram("sched.queue_wait_seconds")
+      ->Observe(out.queue_wait_seconds());
+  metrics_->histogram("sched.run_seconds")->Observe(duration);
+  metrics_->histogram("sched.turnaround_seconds")
+      ->Observe(out.turnaround_seconds());
+  metrics_->counter(StrCat("sched.tenant.", out.tenant, ".finished"))
+      ->Increment();
+
+  Tracer* tracer = options_.tracer;
+  if (tracer != nullptr) {
+    TraceSpan span;
+    span.name = StrCat("plan ", out.name, " [", PlanStateName(state), "]");
+    span.category = "plan";
+    span.parent_id = -1;
+    span.machine = -1;
+    span.slot = static_cast<int>(out.plan_id);
+    span.start_seconds = out.start_seconds;
+    span.duration_seconds = duration;
+    span.args = {
+        {"plan", static_cast<double>(out.plan_id)},
+        {"queue_wait_seconds", out.queue_wait_seconds()},
+        {"deadline_abs_seconds", out.deadline_abs_seconds},
+        {"deadline_met", out.deadline_met ? 1.0 : 0.0},
+        {"estimate_seconds", out.estimate.valid ? out.estimate.seconds : 0.0},
+    };
+    tracer->AddSpan(std::move(span));
+  }
+  terminal_cv_.notify_all();
+}
+
+void WorkloadManager::WorkerLoop() {
+  for (;;) {
+    PlanEntry* entry = nullptr;
+    double start = 0.0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return stopping_ || (started_ && !queue_.empty());
+      });
+      if (stopping_ && queue_.empty()) return;
+      entry = PickNextLocked();
+      if (entry == nullptr) continue;
+      entry->outcome.state = PlanState::kRunning;
+      ++running_;
+      metrics_->gauge("sched.running")->Set(running_);
+      start = NowSecondsLocked();
+    }
+
+    slot_pool_.RegisterPlan(entry->outcome.plan_id);
+    ExecutorOptions exec_options = options_.executor;
+    exec_options.plan_id = entry->outcome.plan_id;
+    exec_options.plan_tag = entry->outcome.name;
+    exec_options.slot_pool = &slot_pool_;
+    exec_options.cancel = &entry->cancel;
+    if (exec_options.metrics == nullptr) exec_options.metrics = metrics_;
+    if (exec_options.tracer == nullptr) exec_options.tracer = options_.tracer;
+    Executor executor(store_, engine_, cost_, exec_options);
+
+    const auto wall_before = std::chrono::steady_clock::now();
+    Result<PlanStats> result = executor.Run(entry->submission.plan);
+    const double wall_duration =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall_before)
+            .count();
+    slot_pool_.UnregisterPlan(entry->outcome.plan_id);
+
+    std::lock_guard<std::mutex> lock(mu_);
+    --running_;
+    metrics_->gauge("sched.running")->Set(running_);
+    if (result.ok()) {
+      // Virtual time: the plan occupied the cluster for its simulated
+      // duration; wall time: for as long as it really ran.
+      const double duration =
+          options_.virtual_time ? result->total_seconds : wall_duration;
+      FinishPlanLocked(entry, PlanState::kDone, Status::OK(),
+                       std::move(result).value(), start, duration);
+    } else if (result.status().code() == StatusCode::kCancelled) {
+      FinishPlanLocked(entry, PlanState::kCancelled, result.status(),
+                       PlanStats{}, start, wall_duration);
+    } else {
+      FinishPlanLocked(entry, PlanState::kFailed, result.status(),
+                       PlanStats{}, start, wall_duration);
+    }
+    work_cv_.notify_all();
+  }
+}
+
+}  // namespace cumulon

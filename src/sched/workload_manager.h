@@ -1,0 +1,241 @@
+#ifndef CUMULON_SCHED_WORKLOAD_MANAGER_H_
+#define CUMULON_SCHED_WORKLOAD_MANAGER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/engine.h"
+#include "common/result.h"
+#include "cost/cost_model.h"
+#include "exec/executor.h"
+#include "matrix/tile_store.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "sched/slot_pool.h"
+
+namespace cumulon {
+
+/// Order in which queued plans are dispatched.
+///  - kFifo: submission order (stock Hadoop job queue).
+///  - kFairShare: tenant with the least accumulated service time first
+///    (FIFO within a tenant), so a heavy tenant cannot starve light ones.
+///  - kEdf: earliest effective deadline first, with priority aging —
+///    every second a plan waits tightens its effective deadline by
+///    aging_rate seconds, so deadline-less plans (assigned
+///    no_deadline_horizon_seconds) cannot starve.
+enum class SchedPolicy { kFifo, kFairShare, kEdf };
+
+const char* SchedPolicyName(SchedPolicy policy);
+Result<SchedPolicy> ParseSchedPolicy(const std::string& name);
+
+/// The predictor's estimate of one submission, used by admission control
+/// (opt/predictor.h produces one; any estimator works).
+struct AdmissionEstimate {
+  double seconds = 0.0;
+  double dollars = 0.0;
+  bool valid = false;  // false = no estimate; admission waves it through
+};
+
+/// One plan handed to the manager, with the tenant's constraints.
+struct Submission {
+  /// Plan tag: names trace spans and the plan.<tag>.exec.* metric copies.
+  std::string name;
+  /// Fair-share accounting group; defaults to `name` when empty.
+  std::string tenant;
+  PhysicalPlan plan;
+  /// Wall (or virtual) seconds after submission the plan must finish by;
+  /// 0 = no deadline.
+  double deadline_seconds = 0.0;
+  /// Maximum predicted dollar cost the tenant will pay; 0 = no budget.
+  double budget_dollars = 0.0;
+  /// Predictor estimate backing the admission decision.
+  AdmissionEstimate estimate;
+};
+
+enum class PlanState { kQueued, kRunning, kDone, kFailed, kCancelled };
+
+const char* PlanStateName(PlanState state);
+
+/// Terminal record of one admitted plan.
+struct PlanOutcome {
+  int64_t plan_id = 0;
+  std::string name;
+  std::string tenant;
+  PlanState state = PlanState::kQueued;
+  Status status;    // executor status for kFailed/kCancelled
+  PlanStats stats;  // empty unless the plan ran to completion
+  AdmissionEstimate estimate;
+
+  // Manager-clock timeline (seconds since the manager started; virtual
+  // in sim mode, wall in real mode).
+  double submit_seconds = 0.0;
+  double start_seconds = 0.0;
+  double finish_seconds = 0.0;
+  double deadline_abs_seconds = 0.0;  // 0 = none
+  bool deadline_met = true;
+
+  double queue_wait_seconds() const { return start_seconds - submit_seconds; }
+  double turnaround_seconds() const {
+    return finish_seconds - submit_seconds;
+  }
+};
+
+struct WorkloadManagerOptions {
+  SchedPolicy policy = SchedPolicy::kFifo;
+
+  /// Plans executing at once; their slot use is arbitrated by the pool.
+  int max_concurrent_plans = 2;
+
+  /// Reject submissions whose deadline/budget is infeasible given the
+  /// predictor's estimate and the current backlog (the paper's constraint
+  /// check, applied online per submission). Estimate-less submissions are
+  /// always admitted.
+  bool admission_control = true;
+
+  /// Safety multiplier on the estimated run time in the admission
+  /// projection (> 1 = conservative).
+  double admission_slack = 1.0;
+
+  /// EDF priority aging: effective deadline tightens by this many seconds
+  /// per second of queue wait.
+  double aging_rate = 0.1;
+
+  /// Effective deadline assigned to deadline-less plans under EDF.
+  double no_deadline_horizon_seconds = 3600.0;
+
+  /// Manager clock: false = wall clock (real engines); true = virtual —
+  /// time advances to each plan's simulated completion (sim engines), so
+  /// deadline accounting and the policy's notion of "now" live in the
+  /// same clock domain as the predicted durations.
+  bool virtual_time = false;
+
+  /// Hold queued submissions until Start() — lets tests and benches load
+  /// the whole queue before the policy picks an order.
+  bool defer_start = false;
+
+  /// Template for every plan's executor (real_mode, startup latency,
+  /// parallelize_independent_jobs, ...). Its plan_id/plan_tag/slot_pool/
+  /// cancel fields are overwritten per plan; its metrics/tracer default to
+  /// the manager's when null.
+  ExecutorOptions executor;
+
+  /// Destination of the sched.* metrics (and, via the executors, the
+  /// exec.* and plan.<tag>.exec.* ones). Borrowed; the manager owns a
+  /// private registry when null.
+  MetricsRegistry* metrics = nullptr;
+
+  /// Records one "plan" span per admitted plan (driver row, one lane per
+  /// plan id) plus the executors' job/task spans. Borrowed; may be null.
+  Tracer* tracer = nullptr;
+};
+
+/// Accepts many concurrent plan submissions — each with an optional
+/// deadline and dollar budget — and executes them against one shared
+/// engine: cost-based admission control at Submit, policy-ordered dispatch
+/// onto max_concurrent_plans worker threads, slot arbitration through a
+/// SlotPool, cooperative cancellation, and per-tenant sched.* metrics.
+///
+/// This lifts the paper's one-shot time/budget-constrained optimization
+/// into an online service: the same predictor estimate that picked the
+/// deployment now gates whether a submission can meet its constraints
+/// under current load.
+///
+/// Thread-safe; Submit/Cancel/Wait may be called from any thread.
+class WorkloadManager {
+ public:
+  /// All pointers are borrowed and must outlive the manager.
+  WorkloadManager(TileStore* store, Engine* engine,
+                  const TileOpCostModel* cost,
+                  const WorkloadManagerOptions& options);
+  ~WorkloadManager();
+
+  WorkloadManager(const WorkloadManager&) = delete;
+  WorkloadManager& operator=(const WorkloadManager&) = delete;
+
+  /// Admission control + enqueue. Returns the plan id, or:
+  ///  - ResourceExhausted when the deadline is infeasible under current
+  ///    load (message carries the predictor's estimate and the projection)
+  ///  - ResourceExhausted when the estimated cost exceeds the budget.
+  Result<int64_t> Submit(Submission submission);
+
+  /// Releases the queue when options.defer_start was set. Idempotent.
+  void Start();
+
+  /// Requests cancellation: a queued plan is dropped; a running plan stops
+  /// at the next task boundary and resolves to kCancelled. NotFound for
+  /// unknown ids; FailedPrecondition if the plan already finished.
+  Status Cancel(int64_t plan_id);
+
+  /// Blocks until the plan reaches a terminal state and returns its
+  /// outcome. CHECK-fails on unknown ids.
+  PlanOutcome Wait(int64_t plan_id);
+
+  /// Waits for everything submitted so far, stops the workers, and
+  /// returns all outcomes ordered by plan id. The manager accepts no
+  /// further submissions.
+  std::vector<PlanOutcome> Drain();
+
+  /// Seconds since the manager started, in the configured clock domain.
+  double NowSeconds() const;
+
+  SlotPool* slot_pool() { return &slot_pool_; }
+  MetricsRegistry* metrics() { return metrics_; }
+  int queued_plans() const;
+  int running_plans() const;
+
+ private:
+  struct PlanEntry {
+    Submission submission;
+    PlanOutcome outcome;
+    std::atomic<bool> cancel{false};
+    bool terminal = false;
+  };
+
+  void WorkerLoop();
+
+  /// Policy step, under mu_: the queued entry to dispatch next, or null.
+  PlanEntry* PickNextLocked();
+
+  /// Admission projection, under mu_: estimated seconds of queued +
+  /// running work ahead of a new submission, spread over the workers.
+  double BacklogSecondsLocked() const;
+
+  double NowSecondsLocked() const;
+  void FinishPlanLocked(PlanEntry* entry, PlanState state, Status status,
+                        PlanStats stats, double start, double duration);
+
+  TileStore* store_;
+  Engine* engine_;
+  const TileOpCostModel* cost_;
+  WorkloadManagerOptions options_;
+  MetricsRegistry* metrics_;  // options_.metrics or &owned_metrics_
+  MetricsRegistry owned_metrics_;
+  SlotPool slot_pool_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;      // queue released / new entry / stop
+  std::condition_variable terminal_cv_;  // a plan reached a terminal state
+  bool started_;
+  bool stopping_ = false;
+  int64_t next_plan_id_ = 1;
+  std::deque<int64_t> queue_;  // admitted, not yet running (FIFO backbone)
+  std::map<int64_t, std::unique_ptr<PlanEntry>> plans_;
+  std::map<std::string, double> tenant_service_seconds_;
+  int running_ = 0;
+  double virtual_now_seconds_ = 0.0;
+  std::chrono::steady_clock::time_point wall_start_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace cumulon
+
+#endif  // CUMULON_SCHED_WORKLOAD_MANAGER_H_

@@ -9,6 +9,14 @@
 //   cumulon plan --workload gnmf [--deadline MIN] [--budget DOLLARS]
 //       Search the deployment space; print the Pareto frontier and the
 //       constrained optimum.
+//   cumulon submit --workloads rsvd,gnmf,linreg [--deadline-seconds S]
+//                  [--budget-dollars D] [--policy fifo|fair|edf]
+//       Submit several workloads to the multi-tenant workload manager on
+//       one simulated cluster: each is admission-checked against its
+//       deadline/budget using the predictor's estimate, then scheduled by
+//       the chosen policy. --deadline-seconds/--budget-dollars accept one
+//       value for all submissions or a comma list matched by position
+//       (0 = unconstrained).
 //
 // Workloads: rsvd, gnmf, linreg, pagerank, logreg (paper-family programs
 // at cloud scale; see src/lang/programs.h).
@@ -18,6 +26,7 @@
 #include <cstring>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "cumulon/cumulon.h"
 
@@ -198,6 +207,168 @@ int RunPredict(const Args& args) {
   return 0;
 }
 
+std::vector<std::string> SplitCommas(const std::string& list) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (start <= list.size()) {
+    const size_t comma = list.find(',', start);
+    if (comma == std::string::npos) {
+      if (start < list.size()) parts.push_back(list.substr(start));
+      break;
+    }
+    if (comma > start) parts.push_back(list.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return parts;
+}
+
+/// i-th value of a broadcastable comma list: one entry applies to every
+/// submission, otherwise entries match submissions by position.
+double ListValue(const std::vector<std::string>& values, size_t i,
+                 double fallback) {
+  if (values.empty()) return fallback;
+  const size_t index = values.size() == 1 ? 0 : i;
+  if (index >= values.size()) return fallback;
+  return std::atof(values[index].c_str());
+}
+
+int RunSubmit(const Args& args) {
+  const std::vector<std::string> workloads =
+      SplitCommas(args.Get("workloads", args.Get("workload", "rsvd,gnmf")));
+  if (workloads.empty()) {
+    std::fprintf(stderr, "no workloads given\n");
+    return 1;
+  }
+  auto machine = FindMachine(args.Get("type", "m1.large"));
+  if (!machine.ok()) {
+    std::fprintf(stderr, "%s\n", machine.status().ToString().c_str());
+    return 1;
+  }
+  ClusterConfig cluster{machine.value(), args.GetInt("machines", 8),
+                        args.GetInt("slots", 2 * machine->cores)};
+  auto policy = ParseSchedPolicy(args.Get("policy", "edf"));
+  if (!policy.ok()) {
+    std::fprintf(stderr, "%s\n", policy.status().ToString().c_str());
+    return 1;
+  }
+  const std::vector<std::string> deadlines =
+      SplitCommas(args.Get("deadline-seconds", ""));
+  const std::vector<std::string> budgets =
+      SplitCommas(args.Get("budget-dollars", ""));
+
+  // One shared simulated cluster for every admitted plan.
+  PredictorOptions predictor;
+  predictor.lowering.tile_dim = 2048;
+  DfsOptions dfs_options;
+  dfs_options.num_nodes = cluster.num_machines;
+  dfs_options.replication = predictor.dfs_replication;
+  dfs_options.seed = predictor.seed;
+  SimDfs dfs(dfs_options);
+  DfsTileStore store(&dfs);
+  SimEngineOptions sim;
+  sim.replication = predictor.dfs_replication;
+  sim.noise_sigma = 0.0;
+  Tracer tracer(Tracer::ClockDomain::kVirtual);
+  MetricsRegistry metrics;
+  const std::string trace_path = args.Get("trace", "");
+  if (!trace_path.empty()) sim.tracer = &tracer;
+  SimEngine engine(cluster, sim);
+  TileOpCostModel cost = predictor.cost;
+
+  WorkloadManagerOptions manager_options;
+  manager_options.policy = *policy;
+  manager_options.max_concurrent_plans = args.GetInt("concurrent", 2);
+  manager_options.virtual_time = true;  // sim engine = virtual clock
+  manager_options.defer_start = true;   // queue everything, then schedule
+  manager_options.executor.real_mode = false;
+  manager_options.executor.job_startup_seconds =
+      predictor.job_startup_seconds;
+  manager_options.metrics = &metrics;
+  if (!trace_path.empty()) manager_options.tracer = &tracer;
+  WorkloadManager manager(&store, &engine, &cost, manager_options);
+
+  std::printf("cluster %s, policy %s:\n", cluster.ToString().c_str(),
+              SchedPolicyName(*policy));
+  std::vector<int64_t> admitted;
+  for (size_t i = 0; i < workloads.size(); ++i) {
+    auto spec = MakeWorkload(workloads[i], args.GetDouble("scale", 1.0));
+    if (!spec.ok()) {
+      std::fprintf(stderr, "%s\n", spec.status().ToString().c_str());
+      return 1;
+    }
+    Submission submission;
+    submission.name = StrCat(workloads[i], "-", i + 1);
+    submission.tenant = workloads[i];
+    submission.deadline_seconds = ListValue(deadlines, i, 0.0);
+    submission.budget_dollars = ListValue(budgets, i, 0.0);
+    auto estimate = EstimateForAdmission(*spec, cluster, predictor);
+    if (!estimate.ok()) {
+      std::fprintf(stderr, "%s\n", estimate.status().ToString().c_str());
+      return 1;
+    }
+    submission.estimate = *estimate;
+    // Namespace this plan's temporaries so concurrent plans sharing the
+    // store never collide (or drop each other's intermediates).
+    LoweringOptions lowering = predictor.lowering;
+    lowering.temp_prefix = StrCat(submission.name, "_tmp");
+    auto lowered = PrepareProgram(*spec, &store, lowering);
+    if (!lowered.ok()) {
+      std::fprintf(stderr, "%s\n", lowered.status().ToString().c_str());
+      return 1;
+    }
+    submission.plan = std::move(lowered->plan);
+    auto id = manager.Submit(std::move(submission));
+    if (id.ok()) {
+      std::printf("  ADMIT  %s-%zu as plan %lld (est %s, %s)\n",
+                  workloads[i].c_str(), i + 1,
+                  static_cast<long long>(*id),
+                  FormatDuration(estimate->seconds).c_str(),
+                  FormatMoney(estimate->dollars).c_str());
+      admitted.push_back(*id);
+    } else {
+      std::printf("  REJECT %s-%zu: %s\n", workloads[i].c_str(), i + 1,
+                  id.status().message().c_str());
+    }
+  }
+
+  manager.Start();
+  const std::vector<PlanOutcome> outcomes = manager.Drain();
+  std::printf("schedule (%s clock):\n",
+              manager_options.virtual_time ? "virtual" : "wall");
+  for (const PlanOutcome& outcome : outcomes) {
+    std::printf("  plan %lld %-12s %-9s start %8.1fs finish %8.1fs"
+                " wait %6.1fs%s\n",
+                static_cast<long long>(outcome.plan_id),
+                outcome.name.c_str(), PlanStateName(outcome.state),
+                outcome.start_seconds, outcome.finish_seconds,
+                outcome.queue_wait_seconds(),
+                outcome.deadline_abs_seconds > 0.0
+                    ? (outcome.deadline_met ? "  deadline met"
+                                            : "  DEADLINE MISSED")
+                    : "");
+  }
+  const MetricsSnapshot snapshot = metrics.Snapshot();
+  std::printf("admitted %lld, rejected %lld, completed %lld, "
+              "deadline misses %lld\n",
+              static_cast<long long>(snapshot.CounterOr("sched.admitted", 0)),
+              static_cast<long long>(snapshot.CounterOr("sched.rejected", 0)),
+              static_cast<long long>(snapshot.CounterOr("sched.completed", 0)),
+              static_cast<long long>(
+                  snapshot.CounterOr("sched.deadline.missed", 0)));
+  if (!trace_path.empty()) {
+    Status st = tracer.WriteChromeJson(trace_path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "writing trace failed: %s\n",
+                   st.ToString().c_str());
+      return 1;
+    }
+    std::printf("trace: %lld spans -> %s (chrome://tracing)\n",
+                static_cast<long long>(tracer.span_count()),
+                trace_path.c_str());
+  }
+  return 0;
+}
+
 int RunPlan(const Args& args) {
   auto spec = MakeWorkload(args.Get("workload", "rsvd"),
                            args.GetDouble("scale", 1.0));
@@ -242,7 +413,11 @@ void PrintUsage() {
                "  predict --workload W [--type T] [--machines N] [--slots S]"
                " [--scale F] [--no-tuner 1] [--trace FILE] [--metrics 1]\n"
                "  plan    --workload W [--deadline MIN] [--budget DOLLARS]"
-               " [--scale F]\n");
+               " [--scale F]\n"
+               "  submit  --workloads W1,W2,... [--deadline-seconds S[,S2..]]"
+               " [--budget-dollars D[,D2..]] [--policy fifo|fair|edf]"
+               " [--concurrent N] [--type T] [--machines N] [--slots S]"
+               " [--scale F] [--trace FILE]\n");
 }
 
 }  // namespace
@@ -257,6 +432,7 @@ int main(int argc, char** argv) {
   if (args->command == "calibrate") return RunCalibrate();
   if (args->command == "predict") return RunPredict(*args);
   if (args->command == "plan") return RunPlan(*args);
+  if (args->command == "submit") return RunSubmit(*args);
   std::fprintf(stderr, "unknown command '%s'\n", args->command.c_str());
   PrintUsage();
   return 2;
