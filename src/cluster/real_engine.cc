@@ -10,6 +10,7 @@
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "common/strings.h"
+#include "common/task_io_stats.h"
 #include "sched/slot_pool.h"
 
 namespace cumulon {
@@ -130,6 +131,10 @@ Result<JobStats> RealEngine::RunJob(const JobSpec& job) {
       // Tasks are all submitted up front, so the time a task spent waiting
       // for a worker is its start offset within the job.
       run->slot = ThreadPool::CurrentWorkerIndex();
+      // Thread-local I/O wait accounting: the task body (TileFuture::Await,
+      // TaskTileReader sync reads) accumulates into it on this worker.
+      TaskIoStats* io = TaskIoStats::Current();
+      io->Reset();
       int attempts_used = 0;
       if (task.work) {
         Status st;
@@ -149,6 +154,7 @@ Result<JobStats> RealEngine::RunJob(const JobSpec& job) {
         }
       }
       run->duration_seconds = task_clock.ElapsedSeconds();
+      run->stall_seconds = io->total_wait_seconds();
       if (tracer != nullptr) {
         TraceSpan span;
         span.name = job.plan_tag.empty()
@@ -165,6 +171,7 @@ Result<JobStats> RealEngine::RunJob(const JobSpec& job) {
             {"bytes_read", static_cast<double>(task.cost.bytes_read)},
             {"bytes_written", static_cast<double>(task.cost.bytes_written)},
             {"attempts", static_cast<double>(attempts_used)},
+            {"stall_seconds", run->stall_seconds},
             {"local", run->local ? 1.0 : 0.0}};
         if (job.plan_id >= 0) {
           span.args.emplace_back("plan", static_cast<double>(job.plan_id));
@@ -191,6 +198,7 @@ Result<JobStats> RealEngine::RunJob(const JobSpec& job) {
   stats.duration_seconds = job_clock.ElapsedSeconds();
   for (const TaskRunInfo& run : stats.task_runs) {
     stats.total_task_seconds += run.duration_seconds;
+    stats.stall_seconds += run.stall_seconds;
   }
   if (tracer != nullptr) tracer->AdvanceTime(stats.duration_seconds);
 
@@ -201,9 +209,11 @@ Result<JobStats> RealEngine::RunJob(const JobSpec& job) {
     m->counter("engine.tasks.nonlocal")->Add(stats.num_non_local_tasks);
     Histogram* task_seconds = m->histogram("engine.task.seconds");
     Histogram* queue_wait = m->histogram("engine.task.queue_wait_seconds");
+    Histogram* stall = m->histogram("engine.task.stall_seconds");
     for (const TaskRunInfo& run : stats.task_runs) {
       task_seconds->Observe(run.duration_seconds);
       queue_wait->Observe(run.start_seconds);
+      stall->Observe(run.stall_seconds);
     }
   }
   return stats;

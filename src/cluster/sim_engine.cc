@@ -7,6 +7,7 @@
 
 #include "common/logging.h"
 #include "common/strings.h"
+#include "cost/cost_model.h"
 #include "sched/slot_pool.h"
 
 namespace cumulon {
@@ -27,7 +28,8 @@ SimEngine::SimEngine(const ClusterConfig& config,
   }
 }
 
-double SimEngine::TaskDuration(const TaskCost& cost, bool local_read) const {
+double SimEngine::TaskDuration(const TaskCost& cost, bool local_read,
+                               double* stall_seconds) const {
   const MachineProfile& m = config_.machine;
   const int s = config_.slots_per_machine;
 
@@ -66,7 +68,17 @@ double SimEngine::TaskDuration(const TaskCost& cost, bool local_read) const {
                             extra_replicas * cost.bytes_written / net_bw +
                             cost.local_spill_bytes / disk_bw;
 
-  return options_.task_startup_seconds + cpu + read_time + write_time;
+  // The prefetch pipeline overlaps DFS reads with compute; only the
+  // residual read time extends the task. Startup and write-back are
+  // serial either way.
+  if (stall_seconds != nullptr) {
+    *stall_seconds =
+        ResidualStallSeconds(cpu, read_time, options_.io_overlap_fraction);
+  }
+  return options_.task_startup_seconds +
+         PipelinedPhaseSeconds(cpu, read_time,
+                               options_.io_overlap_fraction) +
+         write_time;
 }
 
 Result<JobStats> SimEngine::RunJob(const JobSpec& job) {
@@ -168,7 +180,9 @@ Result<JobStats> SimEngine::RunJob(const JobSpec& job) {
       }
     }
 
-    const double base_duration = TaskDuration(task.cost, local);
+    double modeled_stall = 0.0;
+    const double base_duration =
+        TaskDuration(task.cost, local, &modeled_stall);
     double duration = base_duration;
     if (options_.noise_sigma > 0.0) {
       // Lognormal with mean 1: mu = -sigma^2/2.
@@ -209,8 +223,9 @@ Result<JobStats> SimEngine::RunJob(const JobSpec& job) {
     stats.shuffle_bytes += task.cost.shuffle_bytes;
     stats.bytes_read_cached += task.cost.bytes_read_cached;
     if (!local) ++stats.num_non_local_tasks;
-    stats.task_runs.push_back(
-        TaskRunInfo{chosen_machine, chosen_slot, start, duration, local});
+    stats.stall_seconds += modeled_stall;
+    stats.task_runs.push_back(TaskRunInfo{chosen_machine, chosen_slot, start,
+                                          duration, local, modeled_stall});
 
     if (tracer != nullptr) {
       TraceSpan span;
@@ -232,6 +247,7 @@ Result<JobStats> SimEngine::RunJob(const JobSpec& job) {
                     static_cast<double>(task.cost.bytes_read_cached)},
                    {"shuffle_bytes",
                     static_cast<double>(task.cost.shuffle_bytes)},
+                   {"stall_seconds", modeled_stall},
                    {"local", local ? 1.0 : 0.0}};
       if (job.plan_id >= 0) {
         span.args.emplace_back("plan", static_cast<double>(job.plan_id));
@@ -254,9 +270,11 @@ Result<JobStats> SimEngine::RunJob(const JobSpec& job) {
     m->counter("engine.tasks.nonlocal")->Add(stats.num_non_local_tasks);
     Histogram* task_seconds = m->histogram("engine.task.seconds");
     Histogram* queue_wait = m->histogram("engine.task.queue_wait_seconds");
+    Histogram* stall = m->histogram("engine.task.stall_seconds");
     for (const TaskRunInfo& run : stats.task_runs) {
       task_seconds->Observe(run.duration_seconds);
       queue_wait->Observe(run.start_seconds);
+      stall->Observe(run.stall_seconds);
     }
   }
   return stats;

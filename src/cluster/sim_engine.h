@@ -65,6 +65,14 @@ struct SimEngineOptions {
   /// Overrides the derived per-machine cache size when > 0.
   int64_t cache_bytes_per_node = 0;
 
+  /// Models the asynchronous tile-prefetch pipeline: the fraction of the
+  /// overlappable window — min(cpu, read) — that tasks hide by fetching
+  /// split k+1 while computing split k. 0 keeps the historical serial
+  /// model (cpu + read); 1 is a perfect pipeline (max(cpu, read)).
+  /// Startup and write-back never overlap. See cost/cost_model.h
+  /// (PipelinedPhaseSeconds).
+  double io_overlap_fraction = 0.0;
+
   /// Records one span per task, stamped from the *virtual clock* (plus the
   /// tracer's running offset), so simulated schedules become inspectable
   /// timelines. Borrowed; falls back to GlobalTracer() when null.
@@ -110,8 +118,12 @@ class SimEngine : public Engine {
   /// Duration of a single task on a machine of this cluster, given whether
   /// its reads are local. Bytes the task expects from the node-local cache
   /// (cost.bytes_read_cached) are served from memory — no disk or net
-  /// charge. Exposed for the cost model and tests.
-  double TaskDuration(const TaskCost& cost, bool local_read) const;
+  /// charge. With io_overlap_fraction > 0 the read phase overlaps compute
+  /// per the pipelined cost model; `stall_seconds`, when non-null,
+  /// receives the residual (unhidden) read time. Exposed for the cost
+  /// model and tests.
+  double TaskDuration(const TaskCost& cost, bool local_read,
+                      double* stall_seconds = nullptr) const;
 
  private:
   ClusterConfig config_;

@@ -87,6 +87,11 @@ struct TaskRunInfo {
   double start_seconds = 0.0;
   double duration_seconds = 0.0;
   bool local = true;  // were its preferred machines honored?
+
+  /// Time the task spent blocked on tile I/O: measured wait (async awaits
+  /// + synchronous Gets) in real mode, the cost model's residual read time
+  /// under the configured overlap fraction in sim mode.
+  double stall_seconds = 0.0;
 };
 
 /// Outcome of running a job on an engine.
@@ -106,6 +111,10 @@ struct JobStats {
   int64_t cache_hits = 0;
   int64_t cache_misses = 0;
   int64_t bytes_read_cached = 0;
+
+  /// Sum of TaskRunInfo::stall_seconds over the job — how much task time
+  /// was I/O wait the prefetch pipeline did not hide.
+  double stall_seconds = 0.0;
 
   std::vector<TaskRunInfo> task_runs;
 };

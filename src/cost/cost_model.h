@@ -1,9 +1,31 @@
 #ifndef CUMULON_COST_COST_MODEL_H_
 #define CUMULON_COST_COST_MODEL_H_
 
+#include <algorithm>
 #include <cstdint>
 
 namespace cumulon {
+
+/// Combined time of a task's compute and DFS-read phases when an
+/// asynchronous prefetcher overlaps them. `overlap_fraction` in [0, 1] is
+/// the fraction of the overlappable window the pipeline actually hides:
+/// 0 models fully serial execution (cpu + read, the pre-prefetch engines),
+/// 1 a perfect double-buffered pipeline (max(cpu, read)). Startup and
+/// write-back are not overlappable and stay outside this term.
+inline double PipelinedPhaseSeconds(double cpu_seconds, double read_seconds,
+                                    double overlap_fraction) {
+  const double f = std::clamp(overlap_fraction, 0.0, 1.0);
+  return cpu_seconds + read_seconds -
+         f * std::min(cpu_seconds, read_seconds);
+}
+
+/// Of `read_seconds`, the part that still blocks the task's compute under
+/// the same overlap model — the task's modeled IO stall.
+inline double ResidualStallSeconds(double cpu_seconds, double read_seconds,
+                                   double overlap_fraction) {
+  const double f = std::clamp(overlap_fraction, 0.0, 1.0);
+  return read_seconds - f * std::min(cpu_seconds, read_seconds);
+}
 
 /// Per-tile-operation time models, expressed in seconds on the *reference
 /// machine*, which by definition sustains 1.0 effective GFLOP/s of dense

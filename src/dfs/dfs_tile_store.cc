@@ -1,7 +1,11 @@
 #include "dfs/dfs_tile_store.h"
 
+#include <algorithm>
+#include <utility>
+
 #include "common/strings.h"
 #include "matrix/tile_io.h"
+#include "obs/trace.h"
 
 namespace cumulon {
 
@@ -29,6 +33,132 @@ void DfsTileStore::AttachMetrics(MetricsRegistry* metrics) {
   counters_.cache_hits = metrics->counter("cache.hits");
   counters_.cache_misses = metrics->counter("cache.misses");
   counters_.cache_hit_bytes = metrics->counter("cache.hit_bytes");
+  counters_.prefetch_issued = metrics->counter("prefetch.issued");
+  counters_.prefetch_hits = metrics->counter("prefetch.hit");
+  counters_.prefetch_coalesced = metrics->counter("prefetch.coalesced");
+  counters_.prefetch_stall_ns = metrics->counter("prefetch.stall_ns");
+  counters_.prefetch_stall_seconds =
+      metrics->histogram("prefetch.stall_seconds");
+}
+
+void DfsTileStore::EnablePrefetch(int num_threads) {
+  if (prefetch_pool_ != nullptr) return;
+  prefetch_clock_.Restart();
+  if (Tracer* tracer = GlobalTracer()) {
+    prefetch_trace_base_ = tracer->time_offset();
+  }
+  prefetch_pool_ = std::make_unique<ThreadPool>(std::max(num_threads, 1));
+}
+
+std::shared_ptr<const Tile> DfsTileStore::CacheLookup(const std::string& path,
+                                                      int reader_node,
+                                                      bool count_miss) {
+  TileCache* cache = caches_ != nullptr ? caches_->node(reader_node) : nullptr;
+  if (cache == nullptr) return nullptr;
+  if (std::shared_ptr<const Tile> cached = cache->Get(path)) {
+    if (counters_.cache_hits != nullptr) {
+      counters_.cache_hits->Increment();
+      counters_.cache_hit_bytes->Add(cached->SizeBytes());
+    }
+    return cached;
+  }
+  if (count_miss && counters_.cache_misses != nullptr) {
+    counters_.cache_misses->Increment();
+  }
+  return nullptr;
+}
+
+std::shared_ptr<TileFetchState> DfsTileStore::StartFetch(
+    const std::string& matrix, TileId id, int reader_node, bool add_waiter) {
+  auto key = std::make_pair(TilePath(matrix, id), reader_node);
+  std::shared_ptr<TileFetchState> state;
+  {
+    std::lock_guard<std::mutex> lock(prefetch_mu_);
+    auto it = in_flight_.find(key);
+    if (it != in_flight_.end()) {
+      if (add_waiter) it->second->AddWaiter();
+      if (counters_.prefetch_coalesced != nullptr) {
+        counters_.prefetch_coalesced->Increment();
+      }
+      return it->second;
+    }
+    state = std::make_shared<TileFetchState>();
+    // Prefetch hints create the state with one implicit waiter that never
+    // cancels, so hinted fetches always run; GetAsync's first future is
+    // that waiter and CAN withdraw it.
+    state->stall_callback = [this](double seconds) {
+      if (counters_.prefetch_stall_ns != nullptr) {
+        counters_.prefetch_stall_ns->Add(
+            static_cast<int64_t>(seconds * 1e9));
+      }
+      if (counters_.prefetch_stall_seconds != nullptr) {
+        counters_.prefetch_stall_seconds->Observe(seconds);
+      }
+    };
+    in_flight_.emplace(key, state);
+    if (counters_.prefetch_issued != nullptr) {
+      counters_.prefetch_issued->Increment();
+    }
+  }
+  prefetch_pool_->Submit([this, state, key = std::move(key), matrix, id,
+                          reader_node] {
+    if (state->abandoned()) {
+      state->Resolve(Status::Cancelled(
+          StrCat("prefetch of tile ", id, " of '", matrix, "' cancelled")));
+    } else {
+      const double t0 = prefetch_clock_.ElapsedSeconds();
+      state->Resolve(Get(matrix, id, reader_node));
+      if (Tracer* tracer = GlobalTracer()) {
+        TraceSpan span;
+        span.name = StrCat("prefetch ", key.first);
+        span.category = "prefetch";
+        span.parent_id = -1;  // pool work is not nested under any job span
+        span.machine = reader_node;
+        span.slot = 1000 + ThreadPool::CurrentWorkerIndex();
+        span.start_seconds = prefetch_trace_base_ + t0;
+        span.duration_seconds = prefetch_clock_.ElapsedSeconds() - t0;
+        tracer->AddSpan(std::move(span));
+      }
+    }
+    std::lock_guard<std::mutex> lock(prefetch_mu_);
+    auto it = in_flight_.find(key);
+    if (it != in_flight_.end() && it->second == state) in_flight_.erase(it);
+  });
+  return state;
+}
+
+TileFuture DfsTileStore::GetAsync(const std::string& matrix, TileId id,
+                                  int reader_node) {
+  if (prefetch_pool_ == nullptr) {
+    return TileFuture::Ready(Get(matrix, id, reader_node));
+  }
+  // Cache fast path: resolved futures for resident tiles, no pool hop.
+  if (std::shared_ptr<const Tile> cached =
+          CacheLookup(TilePath(matrix, id), reader_node,
+                      /*count_miss=*/false)) {
+    if (counters_.prefetch_hits != nullptr) {
+      counters_.prefetch_hits->Increment();
+    }
+    return TileFuture::Ready(std::move(cached));
+  }
+  // Coalescing onto an existing fetch registers one more waiter so this
+  // future's Cancel cannot abandon the fetch for the others; a freshly
+  // created state already counts its creator as the first waiter.
+  return TileFuture::FromState(
+      StartFetch(matrix, id, reader_node, /*add_waiter=*/true));
+}
+
+void DfsTileStore::Prefetch(const std::string& matrix, TileId id,
+                            int reader_node) {
+  if (prefetch_pool_ == nullptr) return;
+  if (CacheLookup(TilePath(matrix, id), reader_node, /*count_miss=*/false) !=
+      nullptr) {
+    if (counters_.prefetch_hits != nullptr) {
+      counters_.prefetch_hits->Increment();
+    }
+    return;  // already resident on the reader
+  }
+  StartFetch(matrix, id, reader_node, /*add_waiter=*/false);
 }
 
 Status DfsTileStore::Put(const std::string& matrix, TileId id,
@@ -55,19 +185,9 @@ Status DfsTileStore::Put(const std::string& matrix, TileId id,
 Result<std::shared_ptr<const Tile>> DfsTileStore::Get(
     const std::string& matrix, TileId id, int reader_node) {
   const std::string path = TilePath(matrix, id);
-  TileCache* cache =
-      caches_ != nullptr ? caches_->node(reader_node) : nullptr;
-  if (cache != nullptr) {
-    if (std::shared_ptr<const Tile> cached = cache->Get(path)) {
-      if (counters_.cache_hits != nullptr) {
-        counters_.cache_hits->Increment();
-        counters_.cache_hit_bytes->Add(cached->SizeBytes());
-      }
-      return cached;  // verified at miss time; no DFS traffic
-    }
-    if (counters_.cache_misses != nullptr) {
-      counters_.cache_misses->Increment();
-    }
+  if (std::shared_ptr<const Tile> cached =
+          CacheLookup(path, reader_node, /*count_miss=*/true)) {
+    return cached;  // verified at miss time; no DFS traffic
   }
   CUMULON_ASSIGN_OR_RETURN(std::shared_ptr<const void> payload,
                            dfs_->Read(path, reader_node));
@@ -98,7 +218,9 @@ Result<std::shared_ptr<const Tile>> DfsTileStore::Get(
                  "' (corrupted block)"));
     }
   }
-  if (cache != nullptr) cache->Put(path, tile);
+  if (caches_ != nullptr) {
+    if (TileCache* cache = caches_->node(reader_node)) cache->Put(path, tile);
+  }
   return tile;
 }
 

@@ -6,8 +6,11 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
 #include "dfs/sim_dfs.h"
 #include "dfs/tile_cache.h"
 #include "matrix/tile_store.h"
@@ -48,10 +51,24 @@ class DfsTileStore : public TileStore {
   /// relaxed atomic adds.
   void AttachMetrics(MetricsRegistry* metrics);
 
+  /// Turns on the asynchronous prefetch path: GetAsync/Prefetch fetch on a
+  /// bounded background pool instead of the calling thread, and concurrent
+  /// requests for one (tile, node) coalesce onto a single DFS read whose
+  /// result lands in the reader's tile cache. Without this call, GetAsync
+  /// degrades to a synchronous Get wrapped in a ready future. Futures and
+  /// hints issued through the async API must not outlive the store.
+  void EnablePrefetch(int num_threads = 4);
+
+  bool prefetch_enabled() const { return prefetch_pool_ != nullptr; }
+
   Status Put(const std::string& matrix, TileId id,
              std::shared_ptr<const Tile> tile, int writer_node) override;
   Result<std::shared_ptr<const Tile>> Get(const std::string& matrix,
                                           TileId id, int reader_node) override;
+  TileFuture GetAsync(const std::string& matrix, TileId id,
+                      int reader_node) override;
+  void Prefetch(const std::string& matrix, TileId id,
+                int reader_node) override;
   Status DeleteMatrix(const std::string& matrix) override;
   std::vector<int> PreferredNodes(const std::string& matrix,
                                   TileId id) override;
@@ -74,7 +91,27 @@ class DfsTileStore : public TileStore {
     Counter* cache_hits = nullptr;
     Counter* cache_misses = nullptr;
     Counter* cache_hit_bytes = nullptr;
+    Counter* prefetch_issued = nullptr;
+    Counter* prefetch_hits = nullptr;
+    Counter* prefetch_coalesced = nullptr;
+    Counter* prefetch_stall_ns = nullptr;
+    Histogram* prefetch_stall_seconds = nullptr;
   };
+
+  /// Reading node's cached copy of `path`, or null. Bumps cache.hits on a
+  /// hit; misses are counted only when `count_miss` (the async fast path
+  /// leaves the miss to the pool worker's Get so each lookup miss is
+  /// counted once).
+  std::shared_ptr<const Tile> CacheLookup(const std::string& path,
+                                          int reader_node, bool count_miss);
+
+  /// Returns the (possibly coalesced) in-flight fetch state for
+  /// (matrix tile, reader node), submitting a pool worker for new fetches.
+  /// `add_waiter` distinguishes GetAsync (a future will Await/Cancel) from
+  /// fire-and-forget Prefetch hints.
+  std::shared_ptr<TileFetchState> StartFetch(const std::string& matrix,
+                                             TileId id, int reader_node,
+                                             bool add_waiter);
 
   SimDfs* dfs_;
   bool verify_checksums_;
@@ -82,6 +119,15 @@ class DfsTileStore : public TileStore {
   StoreCounters counters_;
   std::mutex checksum_mu_;
   std::map<std::string, uint64_t> checksums_;
+
+  // Prefetch state. The pool is declared last so its destructor joins the
+  // workers before the in-flight map (and the rest of the store) goes away.
+  std::mutex prefetch_mu_;
+  std::map<std::pair<std::string, int>, std::shared_ptr<TileFetchState>>
+      in_flight_;
+  Stopwatch prefetch_clock_;       // span timestamps, restarted at enable
+  double prefetch_trace_base_ = 0; // tracer offset at enable time
+  std::unique_ptr<ThreadPool> prefetch_pool_;
 };
 
 }  // namespace cumulon

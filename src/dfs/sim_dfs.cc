@@ -1,6 +1,8 @@
 #include "dfs/sim_dfs.h"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 
 #include "common/logging.h"
 #include "common/strings.h"
@@ -125,34 +127,56 @@ Status SimDfs::Write(const std::string& path, int64_t size, int writer_node,
 
 Result<std::shared_ptr<const void>> SimDfs::Read(const std::string& path,
                                                  int reader_node) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = files_.find(path);
-  if (it == files_.end()) {
-    return Status::NotFound(StrCat("DFS file not found: ", path));
-  }
-  for (const BlockInfo& block : it->second.info.blocks) {
-    if (block.replicas.empty()) {
-      return Status::FailedPrecondition(
-          StrCat("block of ", path, " lost all replicas (node failures)"));
+  std::shared_ptr<const void> payload;
+  double service_seconds = 0.0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = files_.find(path);
+    if (it == files_.end()) {
+      return Status::NotFound(StrCat("DFS file not found: ", path));
+    }
+    for (const BlockInfo& block : it->second.info.blocks) {
+      if (block.replicas.empty()) {
+        return Status::FailedPrecondition(
+            StrCat("block of ", path, " lost all replicas (node failures)"));
+      }
+    }
+    total_.reads += 1;
+    const bool known_node =
+        reader_node >= 0 && reader_node < options_.num_nodes;
+    if (known_node) per_node_[reader_node].reads += 1;
+    for (const BlockInfo& block : it->second.info.blocks) {
+      const bool local =
+          known_node && std::find(block.replicas.begin(),
+                                  block.replicas.end(),
+                                  reader_node) != block.replicas.end();
+      if (local) {
+        total_.bytes_read_local += block.size;
+        per_node_[reader_node].bytes_read_local += block.size;
+      } else {
+        total_.bytes_read_remote += block.size;
+        if (known_node) {
+          per_node_[reader_node].bytes_read_remote += block.size;
+        }
+      }
+    }
+    payload = it->second.payload;
+    // Injected service time for payload reads only; metadata reads stay
+    // instant. Computed under the lock, slept outside it so concurrent
+    // readers overlap their service times like independent disks would.
+    if (payload != nullptr) {
+      service_seconds = options_.read_latency_seconds;
+      if (options_.read_bytes_per_sec > 0.0) {
+        service_seconds += static_cast<double>(it->second.info.size) /
+                           options_.read_bytes_per_sec;
+      }
     }
   }
-  total_.reads += 1;
-  const bool known_node =
-      reader_node >= 0 && reader_node < options_.num_nodes;
-  if (known_node) per_node_[reader_node].reads += 1;
-  for (const BlockInfo& block : it->second.info.blocks) {
-    const bool local =
-        known_node && std::find(block.replicas.begin(), block.replicas.end(),
-                                reader_node) != block.replicas.end();
-    if (local) {
-      total_.bytes_read_local += block.size;
-      per_node_[reader_node].bytes_read_local += block.size;
-    } else {
-      total_.bytes_read_remote += block.size;
-      if (known_node) per_node_[reader_node].bytes_read_remote += block.size;
-    }
+  if (service_seconds > 0.0) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(service_seconds));
   }
-  return it->second.payload;
+  return payload;
 }
 
 Status SimDfs::Delete(const std::string& path) {

@@ -20,6 +20,16 @@ struct DfsOptions {
   int replication = 3;                       // replicas per block
   int64_t block_size = 64LL * 1024 * 1024;   // HDFS-style 64 MiB blocks
   uint64_t seed = 42;                        // replica placement randomness
+
+  /// Injected service time of payload reads: each Read that returns data
+  /// sleeps read_latency_seconds + size / read_bytes_per_sec (term skipped
+  /// when the respective knob is 0). The in-process DFS is otherwise
+  /// instant, which makes real-engine IO/compute-overlap experiments
+  /// meaningless — these knobs recreate the disk/network latency a real
+  /// DFS read would have. Metadata-only reads (simulation mode) never
+  /// sleep, so predictor runs are unaffected.
+  double read_latency_seconds = 0.0;
+  double read_bytes_per_sec = 0.0;
 };
 
 /// One block of a file and the nodes holding its replicas.

@@ -110,6 +110,9 @@ BuildContext Executor::MakeBuildContext() const {
   ctx.cost = cost_;
   ctx.attach_work = options_.real_mode;
   ctx.query_locality = options_.query_locality;
+  if (options_.real_mode) {
+    ctx.prefetch_budget_bytes = options_.prefetch_budget_bytes;
+  }
   if (TileCacheGroup* caches = engine_->tile_caches()) {
     ctx.node_cache_bytes = caches->bytes_per_node();
     ctx.cache_nodes = engine_->config().num_machines;
@@ -173,6 +176,7 @@ void Executor::FoldJobStats(const std::string& name, JobStats stats,
   totals->cache_hits += stats.cache_hits;
   totals->cache_misses += stats.cache_misses;
   totals->bytes_read_cached += stats.bytes_read_cached;
+  totals->stall_seconds += stats.stall_seconds;
 
   // Every exec.* counter goes to the shared registry (global totals), the
   // per-run registry (PlanStats::metrics), and — when the plan is tagged —

@@ -33,6 +33,14 @@ struct ExecutorOptions {
   /// Delete `plan.temporaries` matrices after a successful run.
   bool drop_temporaries = true;
 
+  /// Per-task in-flight budget of the asynchronous tile-prefetch pipeline
+  /// (exec/prefetch_pipeline.h): task bodies hint their reads in compute
+  /// order and keep up to this many bytes downloading ahead of the
+  /// computation. <= 0 disables prefetching (plain blocking Gets). Only
+  /// meaningful in real mode with a store whose GetAsync is actually
+  /// asynchronous (DfsTileStore::EnablePrefetch).
+  int64_t prefetch_budget_bytes = 64LL << 20;
+
   /// Schedule the plan as a DAG: jobs with no data dependency run
   /// concurrently, sharing the cluster's slots (their tasks interleave in
   /// one scheduling round per dependency level). Off = one job at a time,
@@ -92,6 +100,11 @@ struct PlanStats {
   int64_t cache_hits = 0;
   int64_t cache_misses = 0;
   int64_t bytes_read_cached = 0;
+
+  /// Total task time spent blocked on tile I/O (sum of the jobs'
+  /// JobStats::stall_seconds): measured waits in real mode, the overlap
+  /// model's residual read time in sim mode.
+  double stall_seconds = 0.0;
 
   /// Metrics recorded during this run: the exec.* counters mirroring the
   /// fields above come from a per-run registry (exact even when other

@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "common/strings.h"
+#include "exec/prefetch_pipeline.h"
 
 namespace cumulon {
 
@@ -70,16 +71,45 @@ void AddEwStepsCost(const std::vector<EwStep>& steps, const TileLayout& layout,
   }
 }
 
+/// Serialized size of a binary step's operand tile for output grid
+/// position (same shapes AddEwStepsCost charges).
+int64_t EwOperandBytes(const EwStep& step, const TileLayout& layout,
+                       int64_t gr, int64_t gc) {
+  switch (step.operand) {
+    case EwStep::Operand::kFull:
+      return TileBytes(layout, gr, gc);
+    case EwStep::Operand::kRowVector:
+      return 16 + layout.TileColsAt(gc) * 8;
+    case EwStep::Operand::kColVector:
+      return 16 + layout.TileRowsAt(gr) * 8;
+  }
+  return 0;
+}
+
+/// Declares the operand reads RunEwSteps will issue for output tile `id`
+/// to the prefetch pipeline, in step order.
+void HintEwStepOperands(const std::vector<EwStep>& steps,
+                        const TileLayout& layout, TileId id,
+                        TaskTileReader* reader) {
+  for (const EwStep& step : steps) {
+    if (step.kind != EwStep::Kind::kBinary) continue;
+    reader->Hint(step.other_matrix, OperandTileId(step, id),
+                 EwOperandBytes(step, layout, id.row, id.col));
+  }
+}
+
 /// Runs `steps` on `value` (grid position `id`), fetching binary operands
-/// from the store.
-Status RunEwSteps(const std::vector<EwStep>& steps, TileStore* store,
-                  TileId id, int machine, Tile* value) {
+/// through the task's reader. Operands are memoized per task: broadcast
+/// vectors recur for every output tile, and the memo turns those repeats
+/// into local-memory lookups instead of cache-lock round trips.
+Status RunEwSteps(const std::vector<EwStep>& steps, TaskTileReader* reader,
+                  TileId id, Tile* value) {
   for (const EwStep& step : steps) {
     std::shared_ptr<const Tile> other;
     if (step.kind == EwStep::Kind::kBinary) {
       CUMULON_ASSIGN_OR_RETURN(
           other,
-          store->Get(step.other_matrix, OperandTileId(step, id), machine));
+          reader->ReadMemoized(step.other_matrix, OperandTileId(step, id)));
     }
     CUMULON_RETURN_IF_ERROR(ApplyEwStep(step, value, other.get()));
   }
@@ -310,23 +340,42 @@ Result<BuiltJob> MatMulJob::Build(const BuildContext& ctx) const {
           const TileLayout out_layout = lc;
           const std::vector<EwStep> epilogue =
               apply_epilogue ? epilogue_ : std::vector<EwStep>{};
+          const int64_t budget = ctx.prefetch_budget_bytes;
           task.work = [store, a, b, out_layout, out_name, epilogue, ib, i1,
-                       jb, j1, k0, k1](int machine) -> Status {
+                       jb, j1, k0, k1, budget](int machine) -> Status {
+            // Double-buffered pipeline: hint every read in compute order,
+            // then compute — output block (i,j+1)'s tiles download while
+            // (i,j) multiplies. A and B tiles recur across the block
+            // (A per j, B per i), so they go through the memo, which
+            // bounds the task's live set to exactly the bi*bk + bk*bj
+            // tiles TaskMemoryBytes budgets for.
+            TaskTileReader reader(store, machine, budget);
+            for (int64_t i = ib; i < i1; ++i) {
+              for (int64_t j = jb; j < j1; ++j) {
+                for (int64_t k = k0; k < k1; ++k) {
+                  reader.Hint(a.name, TileId{i, k},
+                              TileBytes(a.layout, i, k));
+                  reader.Hint(b.name, TileId{k, j},
+                              TileBytes(b.layout, k, j));
+                }
+                HintEwStepOperands(epilogue, out_layout, TileId{i, j},
+                                   &reader);
+              }
+            }
             for (int64_t i = ib; i < i1; ++i) {
               for (int64_t j = jb; j < j1; ++j) {
                 Tile acc(out_layout.TileRowsAt(i), out_layout.TileColsAt(j));
                 for (int64_t k = k0; k < k1; ++k) {
                   CUMULON_ASSIGN_OR_RETURN(
                       std::shared_ptr<const Tile> ta,
-                      store->Get(a.name, TileId{i, k}, machine));
+                      reader.ReadMemoized(a.name, TileId{i, k}));
                   CUMULON_ASSIGN_OR_RETURN(
                       std::shared_ptr<const Tile> tb,
-                      store->Get(b.name, TileId{k, j}, machine));
+                      reader.ReadMemoized(b.name, TileId{k, j}));
                   CUMULON_RETURN_IF_ERROR(Gemm(*ta, *tb, 1.0, 1.0, &acc));
                 }
-                CUMULON_RETURN_IF_ERROR(RunEwSteps(epilogue, store,
-                                                   TileId{i, j}, machine,
-                                                   &acc));
+                CUMULON_RETURN_IF_ERROR(RunEwSteps(epilogue, &reader,
+                                                   TileId{i, j}, &acc));
                 CUMULON_RETURN_IF_ERROR(
                     store->Put(out_name, TileId{i, j},
                                std::make_shared<Tile>(std::move(acc)),
@@ -412,18 +461,25 @@ Result<BuiltJob> SumJob::Build(const BuildContext& ctx) const {
       const std::string out_name = out_.name;
       const TileLayout out_layout = lc;
       const std::vector<EwStep> epilogue = epilogue_;
-      task.work = [store, parts, out_name, out_layout, epilogue,
-                   group](int machine) -> Status {
+      const int64_t budget = ctx.prefetch_budget_bytes;
+      task.work = [store, parts, out_name, out_layout, epilogue, group,
+                   budget](int machine) -> Status {
+        TaskTileReader reader(store, machine, budget);
+        for (const TileId& id : group) {
+          for (const std::string& part : parts) {
+            reader.Hint(part, id, TileBytes(out_layout, id.row, id.col));
+          }
+          HintEwStepOperands(epilogue, out_layout, id, &reader);
+        }
         for (const TileId& id : group) {
           Tile acc(out_layout.TileRowsAt(id.row),
                    out_layout.TileColsAt(id.col));
           for (const std::string& part : parts) {
             CUMULON_ASSIGN_OR_RETURN(std::shared_ptr<const Tile> t,
-                                     store->Get(part, id, machine));
+                                     reader.Read(part, id));
             CUMULON_RETURN_IF_ERROR(AccumulateInto(*t, &acc));
           }
-          CUMULON_RETURN_IF_ERROR(
-              RunEwSteps(epilogue, store, id, machine, &acc));
+          CUMULON_RETURN_IF_ERROR(RunEwSteps(epilogue, &reader, id, &acc));
           CUMULON_RETURN_IF_ERROR(
               store->Put(out_name, id,
                          std::make_shared<Tile>(std::move(acc)), machine));
@@ -497,15 +553,21 @@ Result<BuiltJob> EwChainJob::Build(const BuildContext& ctx) const {
       TileStore* store = ctx.store;
       const std::string in_name = in_.name;
       const std::string out_name = out_.name;
+      const TileLayout out_layout = lc;
       const std::vector<EwStep> steps = steps_;
-      task.work = [store, in_name, out_name, steps,
-                   group](int machine) -> Status {
+      const int64_t budget = ctx.prefetch_budget_bytes;
+      task.work = [store, in_name, out_name, out_layout, steps, group,
+                   budget](int machine) -> Status {
+        TaskTileReader reader(store, machine, budget);
+        for (const TileId& id : group) {
+          reader.Hint(in_name, id, TileBytes(out_layout, id.row, id.col));
+          HintEwStepOperands(steps, out_layout, id, &reader);
+        }
         for (const TileId& id : group) {
           CUMULON_ASSIGN_OR_RETURN(std::shared_ptr<const Tile> t,
-                                   store->Get(in_name, id, machine));
+                                   reader.Read(in_name, id));
           Tile value = *t;
-          CUMULON_RETURN_IF_ERROR(
-              RunEwSteps(steps, store, id, machine, &value));
+          CUMULON_RETURN_IF_ERROR(RunEwSteps(steps, &reader, id, &value));
           CUMULON_RETURN_IF_ERROR(
               store->Put(out_name, id,
                          std::make_shared<Tile>(std::move(value)), machine));
@@ -618,8 +680,19 @@ Result<BuiltJob> AggregateJob::Build(const BuildContext& ctx) const {
       const TileLayout out_layout = lo;
       const std::vector<EwStep> epilogue = epilogue_;
       const bool rows_mode = row_sums;
+      const int64_t budget = ctx.prefetch_budget_bytes;
       task.work = [store, in_name, out_name, in_layout, out_layout, epilogue,
-                   rows_mode, s0, s1, cross](int machine) -> Status {
+                   rows_mode, s0, s1, cross, budget](int machine) -> Status {
+        TaskTileReader reader(store, machine, budget);
+        for (int64_t s = s0; s < s1; ++s) {
+          for (int64_t x = 0; x < cross; ++x) {
+            const TileId in_id = rows_mode ? TileId{s, x} : TileId{x, s};
+            reader.Hint(in_name, in_id,
+                        TileBytes(in_layout, in_id.row, in_id.col));
+          }
+          const TileId out_id = rows_mode ? TileId{s, 0} : TileId{0, s};
+          HintEwStepOperands(epilogue, out_layout, out_id, &reader);
+        }
         for (int64_t s = s0; s < s1; ++s) {
           const TileId out_id = rows_mode ? TileId{s, 0} : TileId{0, s};
           Tile acc(out_layout.TileRowsAt(out_id.row),
@@ -627,12 +700,12 @@ Result<BuiltJob> AggregateJob::Build(const BuildContext& ctx) const {
           for (int64_t x = 0; x < cross; ++x) {
             const TileId in_id = rows_mode ? TileId{s, x} : TileId{x, s};
             CUMULON_ASSIGN_OR_RETURN(std::shared_ptr<const Tile> t,
-                                     store->Get(in_name, in_id, machine));
+                                     reader.Read(in_name, in_id));
             CUMULON_RETURN_IF_ERROR(rows_mode ? RowSumsInto(*t, &acc)
                                               : ColSumsInto(*t, &acc));
           }
           CUMULON_RETURN_IF_ERROR(
-              RunEwSteps(epilogue, store, out_id, machine, &acc));
+              RunEwSteps(epilogue, &reader, out_id, &acc));
           CUMULON_RETURN_IF_ERROR(
               store->Put(out_name, out_id,
                          std::make_shared<Tile>(std::move(acc)), machine));
@@ -705,12 +778,20 @@ Result<BuiltJob> TransposeJob::Build(const BuildContext& ctx) const {
       const std::string in_name = in_.name;
       const std::string out_name = out_.name;
       const TileLayout out_layout = lc;
-      task.work = [store, in_name, out_name, out_layout,
-                   group](int machine) -> Status {
+      const int64_t budget = ctx.prefetch_budget_bytes;
+      task.work = [store, in_name, out_name, out_layout, group,
+                   budget](int machine) -> Status {
+        TaskTileReader reader(store, machine, budget);
+        for (const TileId& id : group) {
+          // Input tile (j,i) has the transposed shape of output (i,j),
+          // which is the same serialized size.
+          reader.Hint(in_name, TileId{id.col, id.row},
+                      TileBytes(out_layout, id.row, id.col));
+        }
         for (const TileId& id : group) {
           CUMULON_ASSIGN_OR_RETURN(
               std::shared_ptr<const Tile> t,
-              store->Get(in_name, TileId{id.col, id.row}, machine));
+              reader.Read(in_name, TileId{id.col, id.row}));
           Tile out_tile(out_layout.TileRowsAt(id.row),
                         out_layout.TileColsAt(id.col));
           CUMULON_RETURN_IF_ERROR(TransposeTile(*t, &out_tile));

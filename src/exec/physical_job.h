@@ -31,6 +31,14 @@ struct BuildContext {
   /// budget.
   int64_t node_cache_bytes = 0;
   int cache_nodes = 0;
+
+  /// Per-task in-flight prefetch budget in bytes for the double-buffered
+  /// task bodies (TaskTileReader): each task hints its reads in compute
+  /// order and keeps up to this many bytes downloading ahead of the
+  /// computation. <= 0 disables the pipeline (plain blocking Gets).
+  /// Only meaningful with attach_work; the executor fills it from
+  /// ExecutorOptions::prefetch_budget_bytes.
+  int64_t prefetch_budget_bytes = 0;
 };
 
 /// One output tile a task will produce; used by the executor in simulation

@@ -1,0 +1,101 @@
+#include "exec/prefetch_pipeline.h"
+
+#include <utility>
+
+#include "common/stopwatch.h"
+#include "common/strings.h"
+#include "common/task_io_stats.h"
+
+namespace cumulon {
+
+TaskTileReader::TaskTileReader(TileStore* store, int machine,
+                               int64_t budget_bytes)
+    : store_(store), machine_(machine), budget_bytes_(budget_bytes) {}
+
+TaskTileReader::~TaskTileReader() {
+  for (auto& [key, flight] : in_flight_) flight.future.Cancel();
+}
+
+std::string TaskTileReader::Key(const std::string& matrix, TileId id) {
+  return StrCat(matrix, "/", id.row, "_", id.col);
+}
+
+void TaskTileReader::Hint(const std::string& matrix, TileId id,
+                          int64_t bytes) {
+  if (budget_bytes_ <= 0) return;
+  pending_.push_back(PendingHint{Key(matrix, id), matrix, id, bytes});
+  Pump();
+}
+
+void TaskTileReader::Pump() {
+  while (!pending_.empty()) {
+    PendingHint& next = pending_.front();
+    if (memo_.count(next.key) != 0 || in_flight_.count(next.key) != 0) {
+      pending_.pop_front();  // already fetched or fetching
+      continue;
+    }
+    // The budget caps the window, but a single oversized tile must still
+    // go out or the pipeline would deadlock on it.
+    if (!in_flight_.empty() &&
+        in_flight_bytes_ + next.bytes > budget_bytes_) {
+      return;
+    }
+    InFlight flight;
+    flight.bytes = next.bytes;
+    const std::string key = next.key;
+    const std::string matrix = next.matrix;
+    const TileId id = next.id;
+    pending_.pop_front();
+    // GetAsync may itself consume a synchronous store (ready future); the
+    // bookkeeping is identical either way.
+    flight.future = store_->GetAsync(matrix, id, machine_);
+    in_flight_bytes_ += flight.bytes;
+    in_flight_.emplace(key, std::move(flight));
+  }
+}
+
+Result<std::shared_ptr<const Tile>> TaskTileReader::Read(
+    const std::string& matrix, TileId id) {
+  const std::string key = Key(matrix, id);
+  if (auto memo_it = memo_.find(key); memo_it != memo_.end()) {
+    return memo_it->second;
+  }
+  Pump();
+  auto it = in_flight_.find(key);
+  if (it != in_flight_.end()) {
+    TileFuture future = std::move(it->second.future);
+    in_flight_bytes_ -= it->second.bytes;
+    in_flight_.erase(it);
+    // Top the window back up before (possibly) blocking on this tile, so
+    // later reads keep downloading while this one waits.
+    Pump();
+    return future.Await();
+  }
+  // Never hinted (or hint still pending past the budget): fetch on the
+  // task thread. Drop a stale pending hint for the same tile so the
+  // window does not waste budget re-fetching it later.
+  for (auto pending_it = pending_.begin(); pending_it != pending_.end();
+       ++pending_it) {
+    if (pending_it->key == key) {
+      pending_.erase(pending_it);
+      break;
+    }
+  }
+  Stopwatch blocked;
+  auto result = store_->Get(matrix, id, machine_);
+  TaskIoStats* io = TaskIoStats::Current();
+  io->sync_read_seconds += blocked.ElapsedSeconds();
+  ++io->sync_reads;
+  return result;
+}
+
+Result<std::shared_ptr<const Tile>> TaskTileReader::ReadMemoized(
+    const std::string& matrix, TileId id) {
+  const std::string key = Key(matrix, id);
+  if (auto it = memo_.find(key); it != memo_.end()) return it->second;
+  auto result = Read(matrix, id);
+  if (result.ok()) memo_.emplace(key, result.value());
+  return result;
+}
+
+}  // namespace cumulon

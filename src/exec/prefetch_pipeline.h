@@ -1,0 +1,89 @@
+#ifndef CUMULON_EXEC_PREFETCH_PIPELINE_H_
+#define CUMULON_EXEC_PREFETCH_PIPELINE_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "common/result.h"
+#include "matrix/tile_store.h"
+
+namespace cumulon {
+
+/// Per-task double-buffered tile reader: the task body hints its reads in
+/// compute order up front, and the reader keeps a byte-budgeted window of
+/// them in flight through TileStore::GetAsync while the task computes —
+/// split k+1's tiles download while split k multiplies. Owned by exactly
+/// one task closure and only touched from its thread, so it needs no
+/// locks; all cross-thread coordination lives in the store's futures.
+///
+/// With a budget of 0 (prefetch off) or a store without an async path, the
+/// reader degrades to plain synchronous Gets, making it safe to use
+/// unconditionally in every job body: results are bit-identical either
+/// way, only the waiting moves.
+class TaskTileReader {
+ public:
+  /// `store` is borrowed and must outlive the reader. `budget_bytes` caps
+  /// the serialized size of in-flight prefetches; at least one hint is
+  /// kept in flight even when it alone exceeds the budget (<= 0 disables
+  /// prefetching entirely).
+  TaskTileReader(TileStore* store, int machine, int64_t budget_bytes);
+
+  /// Cancels any in-flight fetches the task never consumed.
+  ~TaskTileReader();
+
+  TaskTileReader(const TaskTileReader&) = delete;
+  TaskTileReader& operator=(const TaskTileReader&) = delete;
+
+  /// Declares an upcoming Read, in the order the task will issue them.
+  /// `bytes` is the tile's serialized size (its weight against the
+  /// budget). Duplicate hints are fine — already-fetched or in-flight
+  /// tiles are skipped at issue time.
+  void Hint(const std::string& matrix, TileId id, int64_t bytes);
+
+  /// Fetches a tile: consumes the matching in-flight prefetch when one
+  /// exists (awaiting it if needed), falls back to a synchronous Get
+  /// otherwise, and tops the prefetch window back up either way.
+  Result<std::shared_ptr<const Tile>> Read(const std::string& matrix,
+                                           TileId id);
+
+  /// Read through a per-task memo: repeated reads of one tile (broadcast
+  /// epilogue operands, A/B tiles reused across a task's output block)
+  /// return the local copy without touching the store or the cache lock.
+  Result<std::shared_ptr<const Tile>> ReadMemoized(const std::string& matrix,
+                                                   TileId id);
+
+  /// In-flight prefetched bytes right now (test hook).
+  int64_t in_flight_bytes() const { return in_flight_bytes_; }
+
+ private:
+  struct PendingHint {
+    std::string key;
+    std::string matrix;
+    TileId id;
+    int64_t bytes = 0;
+  };
+  struct InFlight {
+    TileFuture future;
+    int64_t bytes = 0;
+  };
+
+  static std::string Key(const std::string& matrix, TileId id);
+
+  /// Issues pending hints while the budget allows.
+  void Pump();
+
+  TileStore* store_;
+  int machine_;
+  int64_t budget_bytes_;
+  int64_t in_flight_bytes_ = 0;
+  std::deque<PendingHint> pending_;
+  std::unordered_map<std::string, InFlight> in_flight_;
+  std::unordered_map<std::string, std::shared_ptr<const Tile>> memo_;
+};
+
+}  // namespace cumulon
+
+#endif  // CUMULON_EXEC_PREFETCH_PIPELINE_H_

@@ -53,6 +53,21 @@ std::string FormatPlanStats(const PlanStats& stats) {
                   FormatBytes(cached_bytes).c_str());
     out += line;
   }
+  if (stats.stall_seconds > 0.0) {
+    double task_seconds = 0.0;
+    for (const JobRecord& record : stats.jobs) {
+      task_seconds += record.stats.total_task_seconds;
+    }
+    std::snprintf(line, sizeof(line),
+                  "io stall: %s blocked on tile reads (%.1f%% of %s task "
+                  "time)\n",
+                  FormatDuration(stats.stall_seconds).c_str(),
+                  task_seconds > 0.0
+                      ? 100.0 * stats.stall_seconds / task_seconds
+                      : 0.0,
+                  FormatDuration(task_seconds).c_str());
+    out += line;
+  }
   return out;
 }
 

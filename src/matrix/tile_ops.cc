@@ -114,23 +114,93 @@ Status Gemm(const Tile& a, const Tile& b, double alpha, double beta, Tile* c) {
   }
   const double* ad = a.data();
   const double* bd = b.data();
-  // i-k-j loop order with blocking: the inner j loop is a unit-stride AXPY
-  // over rows of B and C, which vectorizes well.
+  // i-k-j order with cache blocking, plus a 2x4 register block inside each
+  // cache block: two C rows and four C columns live in registers across the
+  // whole kk range, so each loaded B value feeds two FMAs and each A value
+  // four, instead of one. Every C element still receives its k terms in
+  // ascending order as separate adds (the accumulator starts from the
+  // element's current value), so results are bit-identical to the plain
+  // i-k-j loop.
   for (int64_t i0 = 0; i0 < m; i0 += kBlock) {
     const int64_t i1 = std::min(i0 + kBlock, m);
     for (int64_t k0 = 0; k0 < k; k0 += kBlock) {
       const int64_t k1 = std::min(k0 + kBlock, k);
       for (int64_t j0 = 0; j0 < n; j0 += kBlock) {
         const int64_t j1 = std::min(j0 + kBlock, n);
-        for (int64_t i = i0; i < i1; ++i) {
-          double* crow = cd + i * n;
-          const double* arow = ad + i * k;
-          for (int64_t kk = k0; kk < k1; ++kk) {
-            const double av = alpha * arow[kk];
-            const double* brow = bd + kk * n;
-            for (int64_t j = j0; j < j1; ++j) {
-              crow[j] += av * brow[j];
+        int64_t i = i0;
+        for (; i + 1 < i1; i += 2) {
+          double* __restrict c0 = cd + i * n;
+          double* __restrict c1 = cd + (i + 1) * n;
+          const double* __restrict a0 = ad + i * k;
+          const double* __restrict a1 = ad + (i + 1) * k;
+          int64_t j = j0;
+          for (; j + 3 < j1; j += 4) {
+            double s00 = c0[j], s01 = c0[j + 1];
+            double s02 = c0[j + 2], s03 = c0[j + 3];
+            double s10 = c1[j], s11 = c1[j + 1];
+            double s12 = c1[j + 2], s13 = c1[j + 3];
+            for (int64_t kk = k0; kk < k1; ++kk) {
+              const double av0 = alpha * a0[kk];
+              const double av1 = alpha * a1[kk];
+              const double* __restrict brow = bd + kk * n;
+              s00 += av0 * brow[j];
+              s01 += av0 * brow[j + 1];
+              s02 += av0 * brow[j + 2];
+              s03 += av0 * brow[j + 3];
+              s10 += av1 * brow[j];
+              s11 += av1 * brow[j + 1];
+              s12 += av1 * brow[j + 2];
+              s13 += av1 * brow[j + 3];
             }
+            c0[j] = s00;
+            c0[j + 1] = s01;
+            c0[j + 2] = s02;
+            c0[j + 3] = s03;
+            c1[j] = s10;
+            c1[j + 1] = s11;
+            c1[j + 2] = s12;
+            c1[j + 3] = s13;
+          }
+          for (; j < j1; ++j) {
+            double s0 = c0[j], s1 = c1[j];
+            for (int64_t kk = k0; kk < k1; ++kk) {
+              const double av0 = alpha * a0[kk];
+              const double av1 = alpha * a1[kk];
+              const double* __restrict brow = bd + kk * n;
+              s0 += av0 * brow[j];
+              s1 += av1 * brow[j];
+            }
+            c0[j] = s0;
+            c1[j] = s1;
+          }
+        }
+        for (; i < i1; ++i) {
+          double* __restrict crow = cd + i * n;
+          const double* __restrict arow = ad + i * k;
+          int64_t j = j0;
+          for (; j + 3 < j1; j += 4) {
+            double s0 = crow[j], s1 = crow[j + 1];
+            double s2 = crow[j + 2], s3 = crow[j + 3];
+            for (int64_t kk = k0; kk < k1; ++kk) {
+              const double av = alpha * arow[kk];
+              const double* __restrict brow = bd + kk * n;
+              s0 += av * brow[j];
+              s1 += av * brow[j + 1];
+              s2 += av * brow[j + 2];
+              s3 += av * brow[j + 3];
+            }
+            crow[j] = s0;
+            crow[j + 1] = s1;
+            crow[j + 2] = s2;
+            crow[j + 3] = s3;
+          }
+          for (; j < j1; ++j) {
+            double s = crow[j];
+            for (int64_t kk = k0; kk < k1; ++kk) {
+              const double av = alpha * arow[kk];
+              s += av * bd[kk * n + j];
+            }
+            crow[j] = s;
           }
         }
       }

@@ -1,8 +1,67 @@
 #include "matrix/tile_store.h"
 
+#include "common/stopwatch.h"
 #include "common/strings.h"
+#include "common/task_io_stats.h"
 
 namespace cumulon {
+
+void TileFetchState::Resolve(FetchResult result) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (resolved_) return;  // first resolution wins
+    result_ = std::move(result);
+    resolved_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool TileFetchState::resolved() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return resolved_;
+}
+
+bool TileFetchState::abandoned() const {
+  return cancels_.load(std::memory_order_relaxed) >=
+         waiters_.load(std::memory_order_relaxed);
+}
+
+TileFetchState::FetchResult TileFetchState::Await() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (resolved_) return *result_;  // no stall: the prefetch fully hid the IO
+  Stopwatch blocked;
+  cv_.wait(lock, [&] { return resolved_; });
+  const double stall = blocked.ElapsedSeconds();
+  TaskIoStats* io = TaskIoStats::Current();
+  io->stall_seconds += stall;
+  ++io->async_awaits;
+  if (stall_callback) stall_callback(stall);
+  return *result_;
+}
+
+TileFuture TileFuture::Ready(TileFetchState::FetchResult result) {
+  TileFuture future;
+  future.state_ = std::make_shared<TileFetchState>();
+  future.state_->Resolve(std::move(result));
+  return future;
+}
+
+TileFuture TileFuture::FromState(std::shared_ptr<TileFetchState> state) {
+  TileFuture future;
+  future.state_ = std::move(state);
+  return future;
+}
+
+TileFetchState::FetchResult TileFuture::Await() {
+  if (state_ == nullptr) {
+    return Status::Internal("Await on an invalid TileFuture");
+  }
+  return state_->Await();
+}
+
+void TileFuture::Cancel() {
+  if (state_ != nullptr) state_->Cancel();
+}
 
 Status InMemoryTileStore::Put(const std::string& matrix, TileId id,
                               std::shared_ptr<const Tile> tile,

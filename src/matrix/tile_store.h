@@ -1,9 +1,13 @@
 #ifndef CUMULON_MATRIX_TILE_STORE_H_
 #define CUMULON_MATRIX_TILE_STORE_H_
 
+#include <atomic>
+#include <condition_variable>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -14,6 +18,77 @@
 #include "matrix/tile.h"
 
 namespace cumulon {
+
+/// Shared state of one asynchronous tile fetch. A store creates one state
+/// per in-flight fetch, hands out TileFutures over it (several callers may
+/// coalesce onto one state), and calls Resolve exactly once when the fetch
+/// completes. Thread-safe.
+class TileFetchState {
+ public:
+  using FetchResult = Result<std::shared_ptr<const Tile>>;
+
+  /// Publishes the fetch outcome and wakes every Await. Call once.
+  void Resolve(FetchResult result);
+
+  bool resolved() const;
+
+  /// True when every future issued over this state cancelled before
+  /// resolution — the fetch worker may skip the actual read.
+  bool abandoned() const;
+
+  /// Blocks until Resolve, charging the wait to the calling thread's
+  /// TaskIoStats and to `stall_callback` (if set).
+  FetchResult Await();
+
+  /// One more future now shares this state (coalesced request).
+  void AddWaiter() { waiters_.fetch_add(1, std::memory_order_relaxed); }
+
+  /// A future declared it will never Await.
+  void Cancel() { cancels_.fetch_add(1, std::memory_order_relaxed); }
+
+  /// Invoked from Await with the measured blocked seconds (may be called
+  /// concurrently from several waiters). Set before sharing the state;
+  /// stores use it to export stall metrics without this header depending
+  /// on the metrics library.
+  std::function<void(double seconds)> stall_callback;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool resolved_ = false;
+  std::optional<FetchResult> result_;
+  std::atomic<int> waiters_{1};
+  std::atomic<int> cancels_{0};
+};
+
+/// Handle to an asynchronous tile fetch. Cheap to copy (shared state);
+/// default-constructed futures are invalid. Await may be called by any
+/// number of holders; Cancel only withdraws this holder's interest — the
+/// fetch is skipped only when every holder cancels before it starts.
+class TileFuture {
+ public:
+  TileFuture() = default;
+
+  /// An already-resolved future (the synchronous fallback path).
+  static TileFuture Ready(TileFetchState::FetchResult result);
+
+  /// Wraps a store-managed fetch state. Does not AddWaiter — the store
+  /// accounts for the first waiter at state creation and calls AddWaiter
+  /// itself when coalescing.
+  static TileFuture FromState(std::shared_ptr<TileFetchState> state);
+
+  bool valid() const { return state_ != nullptr; }
+  bool ready() const { return state_ != nullptr && state_->resolved(); }
+
+  /// Blocks until the fetch resolves and returns its result.
+  TileFetchState::FetchResult Await();
+
+  /// Declares this future will never be awaited (pipeline teardown).
+  void Cancel();
+
+ private:
+  std::shared_ptr<TileFetchState> state_;
+};
 
 /// Storage abstraction the execution engine reads/writes tiles through.
 /// Production deployments back this with the (simulated) DFS
@@ -37,6 +112,26 @@ class TileStore {
   virtual Result<std::shared_ptr<const Tile>> Get(const std::string& matrix,
                                                   TileId id,
                                                   int reader_node) = 0;
+
+  /// Asynchronous Get: returns a future that resolves to the tile. The
+  /// default implementation fetches synchronously and returns a ready
+  /// future, so callers can be written against the async API regardless of
+  /// the backing store; DfsTileStore overrides this with a real prefetch
+  /// pool (concurrent requests for one tile coalesce onto one fetch).
+  virtual TileFuture GetAsync(const std::string& matrix, TileId id,
+                              int reader_node) {
+    return TileFuture::Ready(Get(matrix, id, reader_node));
+  }
+
+  /// Hint that `id` will be read soon by `reader_node`. Purely advisory —
+  /// the default is a no-op; prefetch-capable stores start a background
+  /// fetch that lands in the node's tile cache.
+  virtual void Prefetch(const std::string& matrix, TileId id,
+                        int reader_node) {
+    (void)matrix;
+    (void)id;
+    (void)reader_node;
+  }
 
   /// Drops all tiles of `matrix` (used to free intermediates).
   virtual Status DeleteMatrix(const std::string& matrix) = 0;

@@ -40,6 +40,13 @@ Result<PredictionResult> PredictProgram(const ProgramSpec& spec,
   DfsTileStore store(&dfs);
   if (options.metrics != nullptr) store.AttachMetrics(options.metrics);
 
+  // One overlap setting drives the prediction run AND the tuner probes, so
+  // the splits the tuner picks are optimal for the regime being predicted.
+  SimEngineOptions sim_base = options.sim;
+  if (options.prefetch_overlap_fraction >= 0.0) {
+    sim_base.io_overlap_fraction = options.prefetch_overlap_fraction;
+  }
+
   LoweringOptions lowering = options.lowering;
   if (options.tune_mm_per_job) {
     // Per-operator optimization: choose every multiply's splits for this
@@ -48,7 +55,7 @@ Result<PredictionResult> PredictProgram(const ProgramSpec& spec,
     // not move the optimum).
     const int64_t tile = lowering.tile_dim;
     const TileOpCostModel cost = options.cost;
-    const SimEngineOptions sim = options.sim;
+    const SimEngineOptions sim = sim_base;
     const double job_startup = options.job_startup_seconds;
     lowering.mm_params = [cluster, cost, sim, job_startup, tile](
                              int64_t gi, int64_t gj, int64_t gk) {
@@ -75,7 +82,7 @@ Result<PredictionResult> PredictProgram(const ProgramSpec& spec,
   CUMULON_ASSIGN_OR_RETURN(LoweredProgram lowered,
                            PrepareProgram(spec, &store, lowering));
 
-  SimEngineOptions sim = options.sim;
+  SimEngineOptions sim = sim_base;
   sim.noise_sigma = 0.0;  // the predictor is the noise-free simulation
   sim.replication = options.dfs_replication;
   if (options.tracer != nullptr) sim.tracer = options.tracer;
