@@ -2,12 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
-#include <mutex>
 #include <vector>
 
-#include <condition_variable>
-
 #include "common/logging.h"
+#include "common/mutex.h"
 #include "common/stopwatch.h"
 #include "common/strings.h"
 #include "common/task_io_stats.h"
@@ -81,16 +79,21 @@ Result<JobStats> RealEngine::RunJob(const JobSpec& job) {
   // job stopwatch below restarts at 0.
   const double trace_t0 = tracer != nullptr ? tracer->time_offset() : 0.0;
 
-  std::mutex err_mu;
-  Status first_error;
   Stopwatch job_clock;
 
-  // Per-job completion latch: with concurrent plans sharing the pool,
-  // ThreadPool::WaitIdle would wait for *everyone's* tasks, so each RunJob
-  // counts down only its own.
-  std::mutex done_mu;
-  std::condition_variable done_cv;
-  size_t remaining = 0;
+  // Per-job completion latch and first-error slot, under one mutex: with
+  // concurrent plans sharing the pool, ThreadPool::WaitIdle would wait for
+  // *everyone's* tasks, so each RunJob counts down only its own. first_error
+  // shares the latch's mutex so the final read below is under the same lock
+  // the workers write through (it used to be read lock-free after the wait,
+  // relying on the latch's ordering alone — exactly the pattern the
+  // thread-safety annotations exist to reject).
+  struct JobSync {
+    Mutex mu{"RealEngine::JobSync::mu"};
+    CondVar done_cv;
+    size_t remaining CUMULON_GUARDED_BY(mu) = 0;
+    Status first_error CUMULON_GUARDED_BY(mu);
+  } sync;
 
   bool cancelled = false;
   size_t submitted = 0;
@@ -121,8 +124,8 @@ Result<JobStats> RealEngine::RunJob(const JobSpec& job) {
     stats.bytes_written += task.cost.bytes_written;
     stats.shuffle_bytes += task.cost.shuffle_bytes;
     {
-      std::lock_guard<std::mutex> lock(done_mu);
-      ++remaining;
+      MutexLock lock(&sync.mu);
+      ++sync.remaining;
     }
     ++submitted;
     pool_->Submit([&, run, machine, tracer, trace_t0, &task = task]() {
@@ -145,9 +148,9 @@ Result<JobStats> RealEngine::RunJob(const JobSpec& job) {
           if (st.ok()) break;
         }
         if (!st.ok()) {
-          std::lock_guard<std::mutex> lock(err_mu);
-          if (first_error.ok()) {
-            first_error = Status(
+          MutexLock lock(&sync.mu);
+          if (sync.first_error.ok()) {
+            sync.first_error = Status(
                 st.code(), StrCat("task '", task.name, "' failed after ",
                                   attempts, " attempt(s): ", st.message()));
           }
@@ -179,13 +182,15 @@ Result<JobStats> RealEngine::RunJob(const JobSpec& job) {
         tracer->AddSpan(std::move(span));
       }
       if (job.slot_pool != nullptr) job.slot_pool->Release(job.plan_id);
-      std::lock_guard<std::mutex> lock(done_mu);
-      if (--remaining == 0) done_cv.notify_all();
+      MutexLock lock(&sync.mu);
+      if (--sync.remaining == 0) sync.done_cv.NotifyAll();
     });
   }
+  Status first_error;
   {
-    std::unique_lock<std::mutex> lock(done_mu);
-    done_cv.wait(lock, [&] { return remaining == 0; });
+    MutexLock lock(&sync.mu);
+    while (sync.remaining != 0) sync.done_cv.Wait(&sync.mu);
+    first_error = sync.first_error;
   }
 
   if (cancelled) {

@@ -85,7 +85,7 @@ Result<JobStats> SimEngine::RunJob(const JobSpec& job) {
   // One simulated job at a time: concurrent plans' virtual clocks cannot
   // interleave, so runs serialize and contention is expressed through the
   // slot-share restriction below.
-  std::lock_guard<std::mutex> run_lock(run_mu_);
+  MutexLock run_lock(&run_mu_);
 
   if (job.cancel != nullptr && job.cancel->load(std::memory_order_relaxed)) {
     return Status::Cancelled(StrCat("job '", job.name, "' cancelled"));

@@ -2,9 +2,10 @@
 #define CUMULON_CLUSTER_SIM_ENGINE_H_
 
 #include <memory>
-#include <mutex>
 
 #include "cluster/engine.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/rng.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -128,8 +129,8 @@ class SimEngine : public Engine {
  private:
   ClusterConfig config_;
   SimEngineOptions options_;
-  std::mutex run_mu_;  // serializes RunJob (rng_, tracer time offset)
-  Rng rng_;
+  Mutex run_mu_{"SimEngine::run_mu_"};  // serializes RunJob (tracer offset)
+  Rng rng_ CUMULON_GUARDED_BY(run_mu_);
   std::unique_ptr<TileCacheGroup> caches_;
 };
 

@@ -78,6 +78,15 @@ struct JobSpec {
 };
 
 /// Where and when one task ran.
+///
+/// Concurrency contract: each TaskRunInfo is written by exactly one pool
+/// worker (the one executing the task) and read by the RunJob driver only
+/// after the job's completion latch observed every task finish — the latch
+/// mutex (RealEngine's JobSync) publishes the writes, so no field here
+/// needs its own guard. JobSpec is immutable while a job runs; the two
+/// borrowed channels that ARE touched concurrently are `slot_pool`
+/// (internally synchronized, sched/slot_pool.h) and `cancel` (an atomic
+/// the submitter flips while engines poll it).
 struct TaskRunInfo {
   int machine = -1;
   /// Execution lane within the machine: the scheduler slot in sim mode,

@@ -1,0 +1,206 @@
+#include "common/mutex.h"
+
+#if CUMULON_LOCK_ORDER_CHECKS
+
+#include <execinfo.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+// Debug-build lock-order validator. Every Mutex::Lock first records an edge
+// held-top -> new-lock in a global acquisition-order graph; if the new edge
+// closes a cycle, the process aborts with the acquisition stack of *this*
+// thread and the stored stack from when each reverse edge was first
+// established — a deterministic report of a potential deadlock, produced the
+// first time the two orders ever occur, on any interleaving.
+
+namespace cumulon {
+namespace lock_order_internal {
+namespace {
+
+constexpr int kMaxFrames = 32;
+
+struct Backtrace {
+  void* frames[kMaxFrames];
+  int depth = 0;
+
+  void Capture() { depth = ::backtrace(frames, kMaxFrames); }
+  void Dump() const {
+    if (depth > 0) ::backtrace_symbols_fd(frames, depth, STDERR_FILENO);
+  }
+};
+
+struct Edge {
+  const void* to = nullptr;
+  const char* to_name = nullptr;
+  Backtrace stack;  // where this ordering was first observed
+};
+
+struct Node {
+  const char* name = nullptr;
+  std::vector<Edge> out;
+};
+
+// The graph itself is guarded by a raw std::mutex: the validator cannot be
+// built on cumulon::Mutex without recursing into itself. This file is on the
+// lint allowlist for exactly that reason.
+std::mutex& GraphMu() {
+  static std::mutex* mu = new std::mutex();
+  return *mu;
+}
+
+using Graph = std::unordered_map<const void*, Node>;
+
+Graph& GetGraph() {
+  static Graph* g = new Graph();  // leaked: outlives static destructors
+  return *g;
+}
+
+struct Held {
+  const void* mu;
+  const char* name;
+};
+
+thread_local std::vector<Held>* t_held = nullptr;
+
+std::vector<Held>& HeldStack() {
+  if (t_held == nullptr) t_held = new std::vector<Held>();
+  return *t_held;
+}
+
+const char* NameOr(const char* name, const void* mu, char* buf, size_t n) {
+  if (name != nullptr) return name;
+  std::snprintf(buf, n, "<unnamed mutex %p>", mu);
+  return buf;
+}
+
+// DFS for a path from -> to through the acquisition-order graph. On success
+// fills `path` with the edges along it. Caller holds GraphMu().
+bool FindPath(const Graph& g, const void* from, const void* to,
+              std::unordered_set<const void*>& seen,
+              std::vector<const Edge*>& path) {
+  if (from == to) return true;
+  if (!seen.insert(from).second) return false;
+  auto it = g.find(from);
+  if (it == g.end()) return false;
+  for (const Edge& e : it->second.out) {
+    path.push_back(&e);
+    if (FindPath(g, e.to, to, seen, path)) return true;
+    path.pop_back();
+  }
+  return false;
+}
+
+[[noreturn]] void AbortWithCycle(const void* mu, const char* name,
+                                 const Held& top,
+                                 const std::vector<const Edge*>& reverse_path) {
+  char buf1[64], buf2[64];
+  std::fprintf(stderr,
+               "cumulon: lock-order cycle detected (potential deadlock)\n"
+               "  acquiring %s while holding %s,\n"
+               "  but the opposite order was established earlier.\n"
+               "--- acquisition stack (this thread) ---\n",
+               NameOr(name, mu, buf1, sizeof(buf1)),
+               NameOr(top.name, top.mu, buf2, sizeof(buf2)));
+  Backtrace here;
+  here.Capture();
+  here.Dump();
+  const void* hop = mu;
+  for (const Edge* e : reverse_path) {
+    char b1[64], b2[64];
+    std::fprintf(stderr,
+                 "--- stack that first ordered %s before %s ---\n",
+                 NameOr(nullptr, hop, b1, sizeof(b1)),
+                 NameOr(e->to_name, e->to, b2, sizeof(b2)));
+    e->stack.Dump();
+    hop = e->to;
+  }
+  std::abort();
+}
+
+}  // namespace
+
+void OnAcquire(const void* mu, const char* name) {
+  std::vector<Held>& held = HeldStack();
+  for (const Held& h : held) {
+    if (h.mu == mu) {
+      char buf[64];
+      std::fprintf(stderr,
+                   "cumulon: lock-order violation: recursive acquisition "
+                   "of %s (cumulon::Mutex is not reentrant)\n",
+                   NameOr(name, mu, buf, sizeof(buf)));
+      Backtrace here;
+      here.Capture();
+      here.Dump();
+      std::abort();
+    }
+  }
+  if (!held.empty()) {
+    const Held top = held.back();
+    std::lock_guard<std::mutex> g(GraphMu());
+    Graph& graph = GetGraph();
+    Node& from = graph[top.mu];
+    from.name = top.name;
+    bool have_edge = false;
+    for (const Edge& e : from.out) {
+      if (e.to == mu) {
+        have_edge = true;
+        break;
+      }
+    }
+    if (!have_edge) {
+      // New ordering top -> mu: reject it if mu -> ... -> top already exists.
+      std::unordered_set<const void*> seen;
+      std::vector<const Edge*> path;
+      if (FindPath(graph, mu, top.mu, seen, path)) {
+        AbortWithCycle(mu, name, top, path);
+      }
+      Edge e;
+      e.to = mu;
+      e.to_name = name;
+      e.stack.Capture();
+      from.out.push_back(e);
+    }
+  }
+  held.push_back({mu, name});
+}
+
+void OnRelease(const void* mu) {
+  std::vector<Held>& held = HeldStack();
+  for (auto it = held.rbegin(); it != held.rend(); ++it) {
+    if (it->mu == mu) {
+      held.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+void OnDestroy(const void* mu) {
+  // Mutexes can live on the stack (e.g. RealEngine's per-job completion
+  // latch), so addresses recur; drop the node and every edge touching it or
+  // a later unrelated mutex at the same address would inherit its history.
+  std::lock_guard<std::mutex> g(GraphMu());
+  Graph& graph = GetGraph();
+  graph.erase(mu);
+  for (auto& [from, node] : graph) {
+    (void)from;
+    auto& out = node.out;
+    for (size_t i = 0; i < out.size();) {
+      if (out[i].to == mu) {
+        out[i] = out.back();
+        out.pop_back();
+      } else {
+        ++i;
+      }
+    }
+  }
+}
+
+}  // namespace lock_order_internal
+}  // namespace cumulon
+
+#endif  // CUMULON_LOCK_ORDER_CHECKS

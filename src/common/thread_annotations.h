@@ -1,0 +1,73 @@
+#ifndef CUMULON_COMMON_THREAD_ANNOTATIONS_H_
+#define CUMULON_COMMON_THREAD_ANNOTATIONS_H_
+
+/// Macros over Clang's Thread Safety Analysis attributes
+/// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html).
+///
+/// Under Clang every annotation participates in the static analysis and the
+/// CI lane compiles with -Werror=thread-safety, so reading a GUARDED_BY
+/// field outside its lock is a build failure. Under GCC (which has no such
+/// analysis) every macro expands to nothing, so the tier-1 build is
+/// unaffected.
+///
+/// Usage convention in this repo:
+///   - shared fields:      `int x_ CUMULON_GUARDED_BY(mu_);`
+///   - `...Locked()` private helpers: `CUMULON_REQUIRES(mu_)`
+///   - public entry points that must not be called with the lock held
+///     (because they take it themselves and callbacks could re-enter):
+///     `CUMULON_EXCLUDES(mu_)`
+///   - `cumulon::Mutex` / `cumulon::MutexLock` (common/mutex.h) carry the
+///     CAPABILITY/SCOPED_CAPABILITY/ACQUIRE/RELEASE side of the contract.
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define CUMULON_THREAD_ANNOTATION_(x) __attribute__((x))
+#endif
+#endif
+
+#ifndef CUMULON_THREAD_ANNOTATION_
+#define CUMULON_THREAD_ANNOTATION_(x)  // no-op (GCC, MSVC, old Clang)
+#endif
+
+#define CUMULON_CAPABILITY(x) CUMULON_THREAD_ANNOTATION_(capability(x))
+
+#define CUMULON_SCOPED_CAPABILITY CUMULON_THREAD_ANNOTATION_(scoped_lockable)
+
+#define CUMULON_GUARDED_BY(x) CUMULON_THREAD_ANNOTATION_(guarded_by(x))
+
+#define CUMULON_PT_GUARDED_BY(x) CUMULON_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+#define CUMULON_REQUIRES(...) \
+  CUMULON_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+#define CUMULON_REQUIRES_SHARED(...) \
+  CUMULON_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+#define CUMULON_EXCLUDES(...) \
+  CUMULON_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+#define CUMULON_ACQUIRE(...) \
+  CUMULON_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+#define CUMULON_RELEASE(...) \
+  CUMULON_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+#define CUMULON_TRY_ACQUIRE(...) \
+  CUMULON_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+#define CUMULON_ACQUIRED_BEFORE(...) \
+  CUMULON_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+
+#define CUMULON_ACQUIRED_AFTER(...) \
+  CUMULON_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
+#define CUMULON_RETURN_CAPABILITY(x) \
+  CUMULON_THREAD_ANNOTATION_(lock_returned(x))
+
+#define CUMULON_ASSERT_CAPABILITY(x) \
+  CUMULON_THREAD_ANNOTATION_(assert_capability(x))
+
+#define CUMULON_NO_THREAD_SAFETY_ANALYSIS \
+  CUMULON_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif  // CUMULON_COMMON_THREAD_ANNOTATIONS_H_

@@ -20,25 +20,25 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     shutdown_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (auto& w : workers_) w.join();
 }
 
 void ThreadPool::Submit(std::function<void()> fn) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     CUMULON_CHECK(!shutdown_) << "Submit after shutdown";
     queue_.push_back(std::move(fn));
   }
-  work_cv_.notify_one();
+  work_cv_.NotifyOne();
 }
 
 void ThreadPool::WaitIdle() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  MutexLock lock(&mu_);
+  while (!(queue_.empty() && active_ == 0)) idle_cv_.Wait(&mu_);
 }
 
 void ThreadPool::WorkerLoop(int worker_index) {
@@ -46,8 +46,8 @@ void ThreadPool::WorkerLoop(int worker_index) {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      MutexLock lock(&mu_);
+      while (!shutdown_ && queue_.empty()) work_cv_.Wait(&mu_);
       if (queue_.empty()) {
         if (shutdown_) return;
         continue;
@@ -58,10 +58,10 @@ void ThreadPool::WorkerLoop(int worker_index) {
     }
     task();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       --active_;
     }
-    idle_cv_.notify_all();
+    idle_cv_.NotifyAll();
   }
 }
 

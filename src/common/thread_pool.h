@@ -1,12 +1,13 @@
 #ifndef CUMULON_COMMON_THREAD_POOL_H_
 #define CUMULON_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace cumulon {
 
@@ -36,12 +37,12 @@ class ThreadPool {
  private:
   void WorkerLoop(int worker_index);
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;   // signaled when work arrives / shutdown
-  std::condition_variable idle_cv_;   // signaled when a task finishes
-  std::deque<std::function<void()>> queue_;
-  int active_ = 0;
-  bool shutdown_ = false;
+  Mutex mu_{"ThreadPool::mu_"};
+  CondVar work_cv_;  // signaled when work arrives / shutdown
+  CondVar idle_cv_;  // signaled when a task finishes
+  std::deque<std::function<void()>> queue_ CUMULON_GUARDED_BY(mu_);
+  int active_ CUMULON_GUARDED_BY(mu_) = 0;
+  bool shutdown_ CUMULON_GUARDED_BY(mu_) = false;
   std::vector<std::thread> workers_;
 };
 

@@ -73,7 +73,7 @@ std::shared_ptr<TileFetchState> DfsTileStore::StartFetch(
   auto key = std::make_pair(TilePath(matrix, id), reader_node);
   std::shared_ptr<TileFetchState> state;
   {
-    std::lock_guard<std::mutex> lock(prefetch_mu_);
+    MutexLock lock(&prefetch_mu_);
     auto it = in_flight_.find(key);
     if (it != in_flight_.end()) {
       if (add_waiter) it->second->AddWaiter();
@@ -102,25 +102,44 @@ std::shared_ptr<TileFetchState> DfsTileStore::StartFetch(
   }
   prefetch_pool_->Submit([this, state, key = std::move(key), matrix, id,
                           reader_node] {
-    if (state->abandoned()) {
-      state->Resolve(Status::Cancelled(
-          StrCat("prefetch of tile ", id, " of '", matrix, "' cancelled")));
-    } else {
-      const double t0 = prefetch_clock_.ElapsedSeconds();
-      state->Resolve(Get(matrix, id, reader_node));
-      if (Tracer* tracer = GlobalTracer()) {
-        TraceSpan span;
-        span.name = StrCat("prefetch ", key.first);
-        span.category = "prefetch";
-        span.parent_id = -1;  // pool work is not nested under any job span
-        span.machine = reader_node;
-        span.slot = 1000 + ThreadPool::CurrentWorkerIndex();
-        span.start_seconds = prefetch_trace_base_ + t0;
-        span.duration_seconds = prefetch_clock_.ElapsedSeconds() - t0;
-        tracer->AddSpan(std::move(span));
+    // The abandon decision must be made under prefetch_mu_ and paired with
+    // unpublishing the state: AddWaiter (a coalescing GetAsync) also runs
+    // under prefetch_mu_, so once we observe "abandoned" here no new waiter
+    // can join before the state leaves in_flight_ — without this, a live
+    // request could coalesce onto the fetch an instant before it resolves
+    // as Cancelled and spuriously fail.
+    {
+      bool abandoned = false;
+      {
+        MutexLock lock(&prefetch_mu_);
+        if (state->abandoned()) {
+          abandoned = true;
+          auto it = in_flight_.find(key);
+          if (it != in_flight_.end() && it->second == state) {
+            in_flight_.erase(it);
+          }
+        }
+      }
+      if (abandoned) {
+        state->Resolve(Status::Cancelled(
+            StrCat("prefetch of tile ", id, " of '", matrix, "' cancelled")));
+        return;
       }
     }
-    std::lock_guard<std::mutex> lock(prefetch_mu_);
+    const double t0 = prefetch_clock_.ElapsedSeconds();
+    state->Resolve(Get(matrix, id, reader_node));
+    if (Tracer* tracer = GlobalTracer()) {
+      TraceSpan span;
+      span.name = StrCat("prefetch ", key.first);
+      span.category = "prefetch";
+      span.parent_id = -1;  // pool work is not nested under any job span
+      span.machine = reader_node;
+      span.slot = 1000 + ThreadPool::CurrentWorkerIndex();
+      span.start_seconds = prefetch_trace_base_ + t0;
+      span.duration_seconds = prefetch_clock_.ElapsedSeconds() - t0;
+      tracer->AddSpan(std::move(span));
+    }
+    MutexLock lock(&prefetch_mu_);
     auto it = in_flight_.find(key);
     if (it != in_flight_.end() && it->second == state) in_flight_.erase(it);
   });
@@ -166,7 +185,7 @@ Status DfsTileStore::Put(const std::string& matrix, TileId id,
   const int64_t bytes = tile->SizeBytes();
   const std::string path = TilePath(matrix, id);
   if (verify_checksums_) {
-    std::lock_guard<std::mutex> lock(checksum_mu_);
+    MutexLock lock(&checksum_mu_);
     checksums_[path] = TileChecksum(*tile);
   }
   if (caches_ != nullptr) {
@@ -205,7 +224,7 @@ Result<std::shared_ptr<const Tile>> DfsTileStore::Get(
     uint64_t expected = 0;
     bool have_expected = false;
     {
-      std::lock_guard<std::mutex> lock(checksum_mu_);
+      MutexLock lock(&checksum_mu_);
       auto it = checksums_.find(path);
       if (it != checksums_.end()) {
         expected = it->second;

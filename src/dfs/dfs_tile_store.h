@@ -4,12 +4,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/stopwatch.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "dfs/sim_dfs.h"
 #include "dfs/tile_cache.h"
@@ -117,14 +118,18 @@ class DfsTileStore : public TileStore {
   bool verify_checksums_;
   TileCacheGroup* caches_ = nullptr;
   StoreCounters counters_;
-  std::mutex checksum_mu_;
-  std::map<std::string, uint64_t> checksums_;
+  Mutex checksum_mu_{"DfsTileStore::checksum_mu_"};
+  std::map<std::string, uint64_t> checksums_ CUMULON_GUARDED_BY(checksum_mu_);
 
-  // Prefetch state. The pool is declared last so its destructor joins the
+  // Prefetch state. prefetch_mu_ serializes the in-flight map AND the
+  // abandon-or-fetch decision of pool workers: a fetch may only resolve as
+  // Cancelled after it has been unpublished from in_flight_, so a request
+  // can never coalesce onto (and then spuriously fail with) a fetch that is
+  // about to cancel. The pool is declared last so its destructor joins the
   // workers before the in-flight map (and the rest of the store) goes away.
-  std::mutex prefetch_mu_;
+  Mutex prefetch_mu_{"DfsTileStore::prefetch_mu_"};
   std::map<std::pair<std::string, int>, std::shared_ptr<TileFetchState>>
-      in_flight_;
+      in_flight_ CUMULON_GUARDED_BY(prefetch_mu_);
   Stopwatch prefetch_clock_;       // span timestamps, restarted at enable
   double prefetch_trace_base_ = 0; // tracer offset at enable time
   std::unique_ptr<ThreadPool> prefetch_pool_;

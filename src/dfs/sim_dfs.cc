@@ -41,7 +41,7 @@ std::vector<int> SimDfs::PlaceReplicasLocked(int writer_node) {
 }
 
 int64_t SimDfs::KillNode(int node) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   CUMULON_CHECK(node >= 0 && node < options_.num_nodes);
   if (!node_live_[node]) return 0;
   node_live_[node] = false;
@@ -59,7 +59,7 @@ int64_t SimDfs::KillNode(int node) {
 }
 
 int64_t SimDfs::ReReplicate() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<int> live_nodes;
   for (int n = 0; n < options_.num_nodes; ++n) {
     if (node_live_[n]) live_nodes.push_back(n);
@@ -88,13 +88,13 @@ int64_t SimDfs::ReReplicate() {
 }
 
 bool SimDfs::IsNodeLive(int node) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   CUMULON_CHECK(node >= 0 && node < options_.num_nodes);
   return node_live_[node];
 }
 
 int SimDfs::NumLiveNodes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   int live = 0;
   for (bool alive : node_live_) live += alive ? 1 : 0;
   return live;
@@ -103,7 +103,7 @@ int SimDfs::NumLiveNodes() const {
 Status SimDfs::Write(const std::string& path, int64_t size, int writer_node,
                      std::shared_ptr<const void> payload) {
   if (size < 0) return Status::InvalidArgument("negative file size");
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   FileEntry entry;
   entry.info.size = size;
   int64_t remaining = size;
@@ -130,7 +130,7 @@ Result<std::shared_ptr<const void>> SimDfs::Read(const std::string& path,
   std::shared_ptr<const void> payload;
   double service_seconds = 0.0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = files_.find(path);
     if (it == files_.end()) {
       return Status::NotFound(StrCat("DFS file not found: ", path));
@@ -180,7 +180,7 @@ Result<std::shared_ptr<const void>> SimDfs::Read(const std::string& path,
 }
 
 Status SimDfs::Delete(const std::string& path) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (files_.erase(path) == 0) {
     return Status::NotFound(StrCat("DFS file not found: ", path));
   }
@@ -188,7 +188,7 @@ Status SimDfs::Delete(const std::string& path) {
 }
 
 int64_t SimDfs::DeletePrefix(const std::string& prefix) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   int64_t count = 0;
   auto it = files_.lower_bound(prefix);
   while (it != files_.end() && it->first.compare(0, prefix.size(), prefix) == 0) {
@@ -199,12 +199,12 @@ int64_t SimDfs::DeletePrefix(const std::string& prefix) {
 }
 
 bool SimDfs::Exists(const std::string& path) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return files_.count(path) > 0;
 }
 
 Result<DfsFileInfo> SimDfs::Stat(const std::string& path) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = files_.find(path);
   if (it == files_.end()) {
     return Status::NotFound(StrCat("DFS file not found: ", path));
@@ -213,7 +213,7 @@ Result<DfsFileInfo> SimDfs::Stat(const std::string& path) const {
 }
 
 Result<std::vector<int>> SimDfs::NodesHosting(const std::string& path) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = files_.find(path);
   if (it == files_.end()) {
     return Status::NotFound(StrCat("DFS file not found: ", path));
@@ -231,36 +231,36 @@ Result<std::vector<int>> SimDfs::NodesHosting(const std::string& path) const {
 }
 
 DfsStats SimDfs::TotalStats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return total_;
 }
 
 DfsStats SimDfs::NodeStats(int node) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   CUMULON_CHECK(node >= 0 && node < options_.num_nodes);
   return per_node_[node];
 }
 
 void SimDfs::ResetStats() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   total_ = DfsStats();
   for (auto& s : per_node_) s = DfsStats();
 }
 
 int64_t SimDfs::NumFiles() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return static_cast<int64_t>(files_.size());
 }
 
 int64_t SimDfs::TotalStoredBytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   int64_t total = 0;
   for (const auto& [path, entry] : files_) total += entry.info.size;
   return total;
 }
 
 int64_t SimDfs::NodeStoredBytes(int node) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   int64_t total = 0;
   for (const auto& [path, entry] : files_) {
     for (const BlockInfo& block : entry.info.blocks) {

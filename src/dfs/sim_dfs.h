@@ -4,13 +4,14 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/result.h"
 #include "common/rng.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace cumulon {
 
@@ -132,15 +133,15 @@ class SimDfs {
     std::shared_ptr<const void> payload;
   };
 
-  std::vector<int> PlaceReplicasLocked(int writer_node);
+  std::vector<int> PlaceReplicasLocked(int writer_node) CUMULON_REQUIRES(mu_);
 
   const DfsOptions options_;
-  mutable std::mutex mu_;
-  Rng rng_;
-  std::map<std::string, FileEntry> files_;
-  DfsStats total_;
-  std::vector<DfsStats> per_node_;
-  std::vector<bool> node_live_;
+  mutable Mutex mu_{"SimDfs::mu_"};
+  Rng rng_ CUMULON_GUARDED_BY(mu_);
+  std::map<std::string, FileEntry> files_ CUMULON_GUARDED_BY(mu_);
+  DfsStats total_ CUMULON_GUARDED_BY(mu_);
+  std::vector<DfsStats> per_node_ CUMULON_GUARDED_BY(mu_);
+  std::vector<bool> node_live_ CUMULON_GUARDED_BY(mu_);
 };
 
 }  // namespace cumulon

@@ -22,7 +22,7 @@ TileCache::Shard& TileCache::ShardFor(const std::string& key) {
 
 std::shared_ptr<const Tile> TileCache::Get(const std::string& key) {
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(&shard.mu);
   auto it = shard.index.find(key);
   if (it == shard.index.end()) {
     ++shard.misses;
@@ -51,7 +51,7 @@ void TileCache::Put(const std::string& key, std::shared_ptr<const Tile> tile) {
   const int64_t bytes = tile->SizeBytes();
   if (bytes > shard_capacity_bytes_) return;  // would evict the whole shard
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(&shard.mu);
   auto it = shard.index.find(key);
   if (it != shard.index.end()) {
     shard.bytes -= it->second->bytes;
@@ -67,7 +67,7 @@ void TileCache::Put(const std::string& key, std::shared_ptr<const Tile> tile) {
 
 void TileCache::Invalidate(const std::string& key) {
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(&shard.mu);
   auto it = shard.index.find(key);
   if (it == shard.index.end()) return;
   shard.bytes -= it->second->bytes;
@@ -80,7 +80,7 @@ int64_t TileCache::InvalidatePrefix(const std::string& prefix) {
   int64_t dropped = 0;
   for (auto& shard_ptr : shards_) {
     Shard& shard = *shard_ptr;
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(&shard.mu);
     for (auto it = shard.lru.begin(); it != shard.lru.end();) {
       if (it->key.compare(0, prefix.size(), prefix) == 0) {
         shard.bytes -= it->bytes;
@@ -99,7 +99,7 @@ int64_t TileCache::InvalidatePrefix(const std::string& prefix) {
 void TileCache::Clear() {
   for (auto& shard_ptr : shards_) {
     Shard& shard = *shard_ptr;
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(&shard.mu);
     shard.lru.clear();
     shard.index.clear();
     shard.bytes = 0;
@@ -110,7 +110,7 @@ TileCacheStats TileCache::Stats() const {
   TileCacheStats stats;
   for (const auto& shard_ptr : shards_) {
     const Shard& shard = *shard_ptr;
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(&shard.mu);
     stats.hits += shard.hits;
     stats.misses += shard.misses;
     stats.insertions += shard.insertions;

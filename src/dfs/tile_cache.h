@@ -4,11 +4,12 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "matrix/tile.h"
 
 namespace cumulon {
@@ -79,20 +80,22 @@ class TileCache {
     int64_t bytes = 0;
   };
   struct Shard {
-    mutable std::mutex mu;
-    std::list<Entry> lru;  // front = most recently used
-    std::unordered_map<std::string, std::list<Entry>::iterator> index;
-    int64_t bytes = 0;
-    int64_t hits = 0;
-    int64_t misses = 0;
-    int64_t insertions = 0;
-    int64_t evictions = 0;
-    int64_t invalidations = 0;
-    int64_t hit_bytes = 0;
+    mutable Mutex mu{"TileCache::Shard::mu"};
+    std::list<Entry> lru CUMULON_GUARDED_BY(mu);  // front = most recently used
+    std::unordered_map<std::string, std::list<Entry>::iterator> index
+        CUMULON_GUARDED_BY(mu);
+    int64_t bytes CUMULON_GUARDED_BY(mu) = 0;
+    int64_t hits CUMULON_GUARDED_BY(mu) = 0;
+    int64_t misses CUMULON_GUARDED_BY(mu) = 0;
+    int64_t insertions CUMULON_GUARDED_BY(mu) = 0;
+    int64_t evictions CUMULON_GUARDED_BY(mu) = 0;
+    int64_t invalidations CUMULON_GUARDED_BY(mu) = 0;
+    int64_t hit_bytes CUMULON_GUARDED_BY(mu) = 0;
   };
 
   Shard& ShardFor(const std::string& key);
-  void EvictLockedUntilFits(Shard* shard, int64_t incoming_bytes);
+  void EvictLockedUntilFits(Shard* shard, int64_t incoming_bytes)
+      CUMULON_REQUIRES(shard->mu);
 
   int64_t capacity_bytes_;
   int64_t shard_capacity_bytes_;

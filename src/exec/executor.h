@@ -87,6 +87,15 @@ struct JobRecord {
 };
 
 /// Aggregate outcome of running a plan.
+///
+/// Concurrency contract: a PlanStats is built and read by the single driver
+/// thread of one Executor::Run — its fields need no lock. The engine-side
+/// inputs it aggregates are published to that thread with real
+/// synchronization, not convention: per-task TaskRunInfo via the engine's
+/// completion latch (RealEngine's JobSync mutex) and counter values via the
+/// internally synchronized MetricsRegistry. Anything folded in from a
+/// *shared* registry or cache under concurrent plans is best-effort, which
+/// is why the exec.* counters come from the per-run private registry.
 struct PlanStats {
   std::vector<JobRecord> jobs;
   double total_seconds = 0.0;  // job durations + per-job startup

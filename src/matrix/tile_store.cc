@@ -8,16 +8,16 @@ namespace cumulon {
 
 void TileFetchState::Resolve(FetchResult result) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (resolved_) return;  // first resolution wins
     result_ = std::move(result);
     resolved_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 bool TileFetchState::resolved() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return resolved_;
 }
 
@@ -27,10 +27,10 @@ bool TileFetchState::abandoned() const {
 }
 
 TileFetchState::FetchResult TileFetchState::Await() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (resolved_) return *result_;  // no stall: the prefetch fully hid the IO
   Stopwatch blocked;
-  cv_.wait(lock, [&] { return resolved_; });
+  while (!resolved_) cv_.Wait(&mu_);
   const double stall = blocked.ElapsedSeconds();
   TaskIoStats* io = TaskIoStats::Current();
   io->stall_seconds += stall;
@@ -66,14 +66,14 @@ void TileFuture::Cancel() {
 Status InMemoryTileStore::Put(const std::string& matrix, TileId id,
                               std::shared_ptr<const Tile> tile,
                               int /*writer_node*/) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   tiles_[{matrix, id}] = std::move(tile);
   return Status::OK();
 }
 
 Result<std::shared_ptr<const Tile>> InMemoryTileStore::Get(
     const std::string& matrix, TileId id, int /*reader_node*/) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = tiles_.find({matrix, id});
   if (it == tiles_.end()) {
     return Status::NotFound(
@@ -83,7 +83,7 @@ Result<std::shared_ptr<const Tile>> InMemoryTileStore::Get(
 }
 
 Status InMemoryTileStore::DeleteMatrix(const std::string& matrix) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = tiles_.lower_bound({matrix, TileId{0, 0}});
   while (it != tiles_.end() && it->first.first == matrix) {
     it = tiles_.erase(it);
@@ -92,7 +92,7 @@ Status InMemoryTileStore::DeleteMatrix(const std::string& matrix) {
 }
 
 int64_t InMemoryTileStore::NumTiles() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return static_cast<int64_t>(tiles_.size());
 }
 

@@ -2,18 +2,18 @@
 #define CUMULON_MATRIX_TILE_STORE_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "matrix/layout.h"
 #include "matrix/tile.h"
 
@@ -53,10 +53,10 @@ class TileFetchState {
   std::function<void(double seconds)> stall_callback;
 
  private:
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  bool resolved_ = false;
-  std::optional<FetchResult> result_;
+  mutable Mutex mu_{"TileFetchState::mu_"};
+  CondVar cv_;
+  bool resolved_ CUMULON_GUARDED_BY(mu_) = false;
+  std::optional<FetchResult> result_ CUMULON_GUARDED_BY(mu_);
   std::atomic<int> waiters_{1};
   std::atomic<int> cancels_{0};
 };
@@ -171,8 +171,9 @@ class InMemoryTileStore : public TileStore {
   int64_t NumTiles() const;
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::pair<std::string, TileId>, std::shared_ptr<const Tile>> tiles_;
+  mutable Mutex mu_{"InMemoryTileStore::mu_"};
+  std::map<std::pair<std::string, TileId>, std::shared_ptr<const Tile>> tiles_
+      CUMULON_GUARDED_BY(mu_);
 };
 
 }  // namespace cumulon

@@ -7,8 +7,10 @@
 #include <limits>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace cumulon {
 
@@ -119,10 +121,13 @@ class MetricsRegistry {
   static MetricsRegistry* Default();
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  mutable Mutex mu_{"MetricsRegistry::mu_"};
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      CUMULON_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_
+      CUMULON_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      CUMULON_GUARDED_BY(mu_);
 };
 
 }  // namespace cumulon

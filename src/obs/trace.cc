@@ -65,7 +65,7 @@ void SetGlobalTracer(Tracer* tracer) {
 }
 
 int64_t Tracer::AddSpan(TraceSpan span) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   span.id = next_id_++;
   if (span.parent_id == 0 && !open_jobs_.empty()) {
     span.parent_id = open_jobs_.back();
@@ -78,7 +78,7 @@ int64_t Tracer::AddSpan(TraceSpan span) {
 }
 
 int64_t Tracer::BeginJob(const std::string& name, int lane) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   TraceSpan span;
   span.id = next_id_++;
   span.parent_id = open_jobs_.empty() ? 0 : open_jobs_.back();
@@ -93,7 +93,7 @@ int64_t Tracer::BeginJob(const std::string& name, int lane) {
 }
 
 void Tracer::EndJob(int64_t job_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   open_jobs_.erase(std::remove(open_jobs_.begin(), open_jobs_.end(), job_id),
                    open_jobs_.end());
   for (TraceSpan& span : spans_) {
@@ -106,22 +106,22 @@ void Tracer::EndJob(int64_t job_id) {
 }
 
 void Tracer::AdvanceTime(double seconds) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (seconds > 0.0) time_offset_ += seconds;
 }
 
 double Tracer::time_offset() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return time_offset_;
 }
 
 std::vector<TraceSpan> Tracer::spans() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return spans_;
 }
 
 int64_t Tracer::span_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return static_cast<int64_t>(spans_.size());
 }
 

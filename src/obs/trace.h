@@ -2,12 +2,13 @@
 #define CUMULON_OBS_TRACE_H_
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace cumulon {
 
@@ -93,11 +94,11 @@ class Tracer {
 
  private:
   const ClockDomain domain_;
-  mutable std::mutex mu_;
-  std::vector<TraceSpan> spans_;
-  std::vector<int64_t> open_jobs_;  // innermost last
-  int64_t next_id_ = 1;
-  double time_offset_ = 0.0;
+  mutable Mutex mu_{"Tracer::mu_"};
+  std::vector<TraceSpan> spans_ CUMULON_GUARDED_BY(mu_);
+  std::vector<int64_t> open_jobs_ CUMULON_GUARDED_BY(mu_);  // innermost last
+  int64_t next_id_ CUMULON_GUARDED_BY(mu_) = 1;
+  double time_offset_ CUMULON_GUARDED_BY(mu_) = 0.0;
 };
 
 /// Process-wide tracer used by engines and executors whose options carry no

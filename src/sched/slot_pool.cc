@@ -12,18 +12,18 @@ SlotPool::SlotPool(int total_slots)
 }
 
 void SlotPool::RegisterPlan(int64_t plan_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   held_.emplace(plan_id, 0);
 }
 
 void SlotPool::UnregisterPlan(int64_t plan_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = held_.find(plan_id);
   if (it == held_.end()) return;
   free_ += it->second;
   held_.erase(it);
   // Fewer registered plans means a larger fair share for everyone else.
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 int SlotPool::FairShareLocked() const {
@@ -46,7 +46,7 @@ bool SlotPool::CanGrantLocked(int64_t plan_id) const {
 }
 
 bool SlotPool::Acquire(int64_t plan_id, const std::atomic<bool>* cancel) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   CUMULON_CHECK(held_.count(plan_id) > 0)
       << "plan " << plan_id << " not registered with the slot pool";
   if (!CanGrantLocked(plan_id)) {
@@ -59,7 +59,7 @@ bool SlotPool::Acquire(int64_t plan_id, const std::atomic<bool>* cancel) {
         if (--waiting_[plan_id] == 0) waiting_.erase(plan_id);
         return false;
       }
-      cv_.wait_for(lock, std::chrono::milliseconds(20));
+      cv_.WaitFor(&mu_, std::chrono::milliseconds(20));
     }
     if (--waiting_[plan_id] == 0) waiting_.erase(plan_id);
   }
@@ -70,39 +70,39 @@ bool SlotPool::Acquire(int64_t plan_id, const std::atomic<bool>* cancel) {
 }
 
 void SlotPool::Release(int64_t plan_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = held_.find(plan_id);
   CUMULON_CHECK(it != held_.end() && it->second > 0)
       << "plan " << plan_id << " released a slot it does not hold";
   --it->second;
   ++free_;
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 int SlotPool::FairShare(int64_t plan_id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (held_.count(plan_id) == 0) return total_slots_;
   return FairShareLocked();
 }
 
 int SlotPool::free_slots() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return free_;
 }
 
 int SlotPool::held(int64_t plan_id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = held_.find(plan_id);
   return it == held_.end() ? 0 : it->second;
 }
 
 int SlotPool::registered_plans() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return static_cast<int>(held_.size());
 }
 
 SlotPool::PoolStats SlotPool::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return PoolStats{acquires_, contended_waits_};
 }
 

@@ -2,10 +2,11 @@
 #define CUMULON_SCHED_SLOT_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <map>
-#include <mutex>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace cumulon {
 
@@ -71,17 +72,19 @@ class SlotPool {
  private:
   /// Grant policy, under mu_: a free slot exists and either the plan is
   /// under its fair share or no other plan is waiting.
-  bool CanGrantLocked(int64_t plan_id) const;
-  int FairShareLocked() const;
+  bool CanGrantLocked(int64_t plan_id) const CUMULON_REQUIRES(mu_);
+  int FairShareLocked() const CUMULON_REQUIRES(mu_);
 
   const int total_slots_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  int free_;
-  std::map<int64_t, int> held_;     // registered plan -> leased slots
-  std::map<int64_t, int> waiting_;  // plan -> threads blocked in Acquire
-  int64_t acquires_ = 0;
-  int64_t contended_waits_ = 0;
+  mutable Mutex mu_{"SlotPool::mu_"};
+  CondVar cv_;
+  int free_ CUMULON_GUARDED_BY(mu_);
+  // registered plan -> leased slots
+  std::map<int64_t, int> held_ CUMULON_GUARDED_BY(mu_);
+  // plan -> threads blocked in Acquire
+  std::map<int64_t, int> waiting_ CUMULON_GUARDED_BY(mu_);
+  int64_t acquires_ CUMULON_GUARDED_BY(mu_) = 0;
+  int64_t contended_waits_ CUMULON_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace cumulon

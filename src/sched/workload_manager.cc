@@ -79,7 +79,7 @@ double WorkloadManager::NowSecondsLocked() const {
 }
 
 double WorkloadManager::NowSeconds() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return NowSecondsLocked();
 }
 
@@ -99,7 +99,7 @@ double WorkloadManager::BacklogSecondsLocked() const {
 }
 
 Result<int64_t> WorkloadManager::Submit(Submission submission) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (stopping_) {
     return Status::FailedPrecondition("workload manager is draining");
   }
@@ -152,18 +152,18 @@ Result<int64_t> WorkloadManager::Submit(Submission submission) {
   queue_.push_back(id);
   plans_.emplace(id, std::move(entry));
   metrics_->gauge("sched.queued")->Set(static_cast<int64_t>(queue_.size()));
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   return id;
 }
 
 void WorkloadManager::Start() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   started_ = true;
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
 }
 
 Status WorkloadManager::Cancel(int64_t plan_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = plans_.find(plan_id);
   if (it == plans_.end()) {
     return Status::NotFound(StrCat("no plan with id ", plan_id));
@@ -186,7 +186,7 @@ Status WorkloadManager::Cancel(int64_t plan_id) {
     entry->outcome.finish_seconds = now;
     entry->terminal = true;
     metrics_->counter("sched.cancelled")->Increment();
-    terminal_cv_.notify_all();
+    terminal_cv_.NotifyAll();
   }
   // Running plans: the executor/engine observe the flag at the next task
   // boundary and resolve through FinishPlanLocked.
@@ -194,30 +194,28 @@ Status WorkloadManager::Cancel(int64_t plan_id) {
 }
 
 PlanOutcome WorkloadManager::Wait(int64_t plan_id) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = plans_.find(plan_id);
   CUMULON_CHECK(it != plans_.end()) << "no plan with id " << plan_id;
   PlanEntry* entry = it->second.get();
-  terminal_cv_.wait(lock, [&] { return entry->terminal; });
+  while (!entry->terminal) terminal_cv_.Wait(&mu_);
   return entry->outcome;
 }
 
 std::vector<PlanOutcome> WorkloadManager::Drain() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     started_ = true;  // a deferred queue must flush before shutdown
-    work_cv_.notify_all();
-    terminal_cv_.wait(lock, [&] {
-      return queue_.empty() && running_ == 0;
-    });
+    work_cv_.NotifyAll();
+    while (!(queue_.empty() && running_ == 0)) terminal_cv_.Wait(&mu_);
     stopping_ = true;
-    work_cv_.notify_all();
+    work_cv_.NotifyAll();
   }
   for (std::thread& worker : workers_) {
     if (worker.joinable()) worker.join();
   }
   std::vector<PlanOutcome> outcomes;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   outcomes.reserve(plans_.size());
   for (const auto& [id, entry] : plans_) {
     outcomes.push_back(entry->outcome);
@@ -226,12 +224,12 @@ std::vector<PlanOutcome> WorkloadManager::Drain() {
 }
 
 int WorkloadManager::queued_plans() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return static_cast<int>(queue_.size());
 }
 
 int WorkloadManager::running_plans() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return running_;
 }
 
@@ -339,7 +337,7 @@ void WorkloadManager::FinishPlanLocked(PlanEntry* entry, PlanState state,
     };
     tracer->AddSpan(std::move(span));
   }
-  terminal_cv_.notify_all();
+  terminal_cv_.NotifyAll();
 }
 
 void WorkloadManager::WorkerLoop() {
@@ -347,10 +345,10 @@ void WorkloadManager::WorkerLoop() {
     PlanEntry* entry = nullptr;
     double start = 0.0;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [&] {
-        return stopping_ || (started_ && !queue_.empty());
-      });
+      MutexLock lock(&mu_);
+      while (!(stopping_ || (started_ && !queue_.empty()))) {
+        work_cv_.Wait(&mu_);
+      }
       if (stopping_ && queue_.empty()) return;
       entry = PickNextLocked();
       if (entry == nullptr) continue;
@@ -378,7 +376,7 @@ void WorkloadManager::WorkerLoop() {
             .count();
     slot_pool_.UnregisterPlan(entry->outcome.plan_id);
 
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     --running_;
     metrics_->gauge("sched.running")->Set(running_);
     if (result.ok()) {
@@ -395,7 +393,7 @@ void WorkloadManager::WorkerLoop() {
       FinishPlanLocked(entry, PlanState::kFailed, result.status(),
                        PlanStats{}, start, wall_duration);
     }
-    work_cv_.notify_all();
+    work_cv_.NotifyAll();
   }
 }
 

@@ -3,18 +3,18 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "cluster/engine.h"
+#include "common/mutex.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "cost/cost_model.h"
 #include "exec/executor.h"
 #include "matrix/tile_store.h"
@@ -193,6 +193,10 @@ class WorkloadManager {
   int running_plans() const;
 
  private:
+  /// All PlanEntry fields except `cancel` (atomic, flipped by Cancel while
+  /// a worker runs the plan) are guarded by the manager's mu_; the running
+  /// worker only touches its entry's submission/plan data, which is
+  /// immutable once dispatched.
   struct PlanEntry {
     Submission submission;
     PlanOutcome outcome;
@@ -203,15 +207,16 @@ class WorkloadManager {
   void WorkerLoop();
 
   /// Policy step, under mu_: the queued entry to dispatch next, or null.
-  PlanEntry* PickNextLocked();
+  PlanEntry* PickNextLocked() CUMULON_REQUIRES(mu_);
 
   /// Admission projection, under mu_: estimated seconds of queued +
   /// running work ahead of a new submission, spread over the workers.
-  double BacklogSecondsLocked() const;
+  double BacklogSecondsLocked() const CUMULON_REQUIRES(mu_);
 
-  double NowSecondsLocked() const;
+  double NowSecondsLocked() const CUMULON_REQUIRES(mu_);
   void FinishPlanLocked(PlanEntry* entry, PlanState state, Status status,
-                        PlanStats stats, double start, double duration);
+                        PlanStats stats, double start, double duration)
+      CUMULON_REQUIRES(mu_);
 
   TileStore* store_;
   Engine* engine_;
@@ -221,17 +226,20 @@ class WorkloadManager {
   MetricsRegistry owned_metrics_;
   SlotPool slot_pool_;
 
-  mutable std::mutex mu_;
-  std::condition_variable work_cv_;      // queue released / new entry / stop
-  std::condition_variable terminal_cv_;  // a plan reached a terminal state
-  bool started_;
-  bool stopping_ = false;
-  int64_t next_plan_id_ = 1;
-  std::deque<int64_t> queue_;  // admitted, not yet running (FIFO backbone)
-  std::map<int64_t, std::unique_ptr<PlanEntry>> plans_;
-  std::map<std::string, double> tenant_service_seconds_;
-  int running_ = 0;
-  double virtual_now_seconds_ = 0.0;
+  mutable Mutex mu_{"WorkloadManager::mu_"};
+  CondVar work_cv_;      // queue released / new entry / stop
+  CondVar terminal_cv_;  // a plan reached a terminal state
+  bool started_ CUMULON_GUARDED_BY(mu_);
+  bool stopping_ CUMULON_GUARDED_BY(mu_) = false;
+  int64_t next_plan_id_ CUMULON_GUARDED_BY(mu_) = 1;
+  // admitted, not yet running (FIFO backbone)
+  std::deque<int64_t> queue_ CUMULON_GUARDED_BY(mu_);
+  std::map<int64_t, std::unique_ptr<PlanEntry>> plans_
+      CUMULON_GUARDED_BY(mu_);
+  std::map<std::string, double> tenant_service_seconds_
+      CUMULON_GUARDED_BY(mu_);
+  int running_ CUMULON_GUARDED_BY(mu_) = 0;
+  double virtual_now_seconds_ CUMULON_GUARDED_BY(mu_) = 0.0;
   std::chrono::steady_clock::time_point wall_start_;
   std::vector<std::thread> workers_;
 };

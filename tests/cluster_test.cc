@@ -318,6 +318,30 @@ TEST(RealEngineTest, PropagatesFirstTaskError) {
   EXPECT_NE(stats.status().message().find("bad"), std::string::npos);
 }
 
+TEST(RealEngineTest, ConcurrentFailuresPublishOneErrorSafely) {
+  // Regression test for the first-error hand-off: the driver used to read
+  // the error slot lock-free after the completion latch while workers
+  // wrote it under a different mutex. It now lives with the latch under
+  // one JobSync mutex. Many simultaneously failing tasks keep the write
+  // side hot; the TSan lane verifies the publication is race-free.
+  ClusterConfig c{TestMachine(), 4, 4};
+  RealEngine engine(c, RealEngineOptions{});
+  for (int round = 0; round < 10; ++round) {
+    JobSpec job;
+    for (int i = 0; i < 32; ++i) {
+      Task t;
+      t.name = "racing-failure";
+      t.work = [](int) { return Status::Internal("concurrent boom"); };
+      job.tasks.push_back(std::move(t));
+    }
+    auto stats = engine.RunJob(job);
+    ASSERT_FALSE(stats.ok());
+    EXPECT_EQ(stats.status().code(), StatusCode::kInternal);
+    EXPECT_NE(stats.status().message().find("concurrent boom"),
+              std::string::npos);
+  }
+}
+
 TEST(RealEngineTest, MaxThreadsCapsPool) {
   ClusterConfig c{TestMachine(), 16, 8};  // 128 slots
   RealEngineOptions o;

@@ -141,6 +141,35 @@ TEST(DfsPrefetchTest, CancelledQueuedFetchSkipsTheDfsRead) {
   EXPECT_EQ((*got_b)->At(0, 0), 2.0);
 }
 
+TEST(DfsPrefetchTest, CancelRacingCoalesceNeverCancelsTheOtherWaiter) {
+  // Regression test for a cancellation/coalescing race: the prefetch
+  // worker used to decide "every waiter cancelled, resolve Cancelled"
+  // without atomically unpublishing the fetch from the in-flight map, so a
+  // GetAsync arriving in that window could coalesce onto a fetch that then
+  // resolved Cancelled under it. The invariant now is that a fetch only
+  // resolves Cancelled after it is out of the map — a racer either joins a
+  // still-live fetch (its waiter count un-abandons it) or misses the map
+  // and issues its own read. Either way its Await sees the tile.
+  SimDfs dfs(SlowDfs(0.002));
+  DfsTileStore store(&dfs);
+  store.EnablePrefetch(1);
+  ASSERT_TRUE(store.Put("blk", TileId{0, 0}, MakeTile(4, 4, 1.0), 0).ok());
+  ASSERT_TRUE(store.Put("t", TileId{0, 0}, MakeTile(4, 4, 2.0), 0).ok());
+  for (int round = 0; round < 100; ++round) {
+    // The blocker occupies the single worker so "t"'s fetch is queued
+    // while the cancel and the coalescing GetAsync race below.
+    TileFuture blocker = store.GetAsync("blk", TileId{0, 0}, 1);
+    TileFuture victim = store.GetAsync("t", TileId{0, 0}, 1);
+    std::thread canceller([&] { victim.Cancel(); });
+    TileFuture racer = store.GetAsync("t", TileId{0, 0}, 1);
+    canceller.join();
+    auto got = racer.Await();
+    ASSERT_TRUE(got.ok()) << "round " << round << ": " << got.status();
+    EXPECT_EQ((*got)->At(0, 0), 2.0);
+    ASSERT_TRUE(blocker.Await().ok());
+  }
+}
+
 TEST(DfsPrefetchTest, PrefetchLandsInTileCacheAndSecondReadHits) {
   SimDfs dfs(SlowDfs(0.0));
   DfsTileStore store(&dfs);

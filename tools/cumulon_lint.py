@@ -1,0 +1,401 @@
+#!/usr/bin/env python3
+"""Repo-specific contract linter for cumulon-cpp.
+
+Checks (all run by default; exit code 0 = clean):
+
+1. Metric-name contract (docs/observability.md <-> src/): every counter /
+   gauge / histogram name used in src/ must have a row in the doc's contract
+   tables, and every doc row must correspond to a name still used in src/.
+   Dynamic names built with StrCat (e.g. "sched.tenant." + tenant +
+   ".submitted") are checked at prefix level against the doc's <wildcard>
+   rows.
+
+2. Trace-category contract: every TraceSpan category assigned in src/ must
+   appear in the doc's trace-category table, and vice versa.
+
+3. Banned APIs:
+   - raw std::mutex / std::condition_variable / std::lock_guard /
+     std::unique_lock / std::scoped_lock outside common/thread_annotations.h
+     and common/mutex.{h,cc} (all locking goes through cumulon::Mutex so the
+     Clang thread-safety lane and the lock-order validator see it),
+   - std::this_thread::sleep_for in src/ outside dfs/sim_dfs.cc (the
+     simulated-IO service clock is the only component allowed to sleep).
+
+Usage:
+  tools/cumulon_lint.py [--root REPO_ROOT]
+  tools/cumulon_lint.py --self-test
+"""
+
+import argparse
+import os
+import re
+import sys
+import tempfile
+
+METRIC_NAME_RE = re.compile(
+    r'^(exec|engine|dfs|cache|prefetch|sched|plan)\.[a-z0-9_.]+$')
+METRIC_PREFIX_RE = re.compile(
+    r'^(exec|engine|dfs|cache|prefetch|sched|plan)\.([a-z0-9_.]+\.)?$')
+STRING_LITERAL_RE = re.compile(r'"((?:[^"\\]|\\.)*)"')
+KIND_CALL_RE = re.compile(r'\b(counter|gauge|histogram)\(\s*"([^"]+)"')
+CATEGORY_RE = re.compile(r'\.category\s*=\s*"([^"]+)"')
+
+BANNED_SYNC_RE = re.compile(
+    r'std::(mutex|condition_variable|condition_variable_any|lock_guard|'
+    r'unique_lock|scoped_lock|shared_mutex|recursive_mutex)\b')
+SLEEP_RE = re.compile(r'std::this_thread::sleep_for')
+
+SYNC_ALLOWLIST = {
+    'common/thread_annotations.h',
+    'common/mutex.h',
+    'common/mutex.cc',  # the lock-order validator's own graph lock
+}
+SLEEP_ALLOWLIST = {
+    'dfs/sim_dfs.cc',  # injected read service time (the sim clock)
+}
+
+
+def strip_comments(text):
+    """Removes // and /* */ comments (string-literal aware enough for this
+    codebase: no metric name or banned API ever sits behind a quoted //)."""
+    text = re.sub(r'/\*.*?\*/', ' ', text, flags=re.S)
+    out = []
+    for line in text.splitlines():
+        # Cut at the first // that is not inside a string literal.
+        in_str = False
+        i = 0
+        while i < len(line):
+            c = line[i]
+            if c == '\\' and in_str:
+                i += 2
+                continue
+            if c == '"':
+                in_str = not in_str
+            elif not in_str and c == '/' and line[i:i + 2] == '//':
+                line = line[:i]
+                break
+            i += 1
+        out.append(line)
+    return '\n'.join(out)
+
+
+def iter_source_files(src_root):
+    for dirpath, _, filenames in os.walk(src_root):
+        for name in sorted(filenames):
+            if name.endswith(('.h', '.cc')):
+                yield os.path.join(dirpath, name)
+
+
+def collect_code_usage(src_root):
+    """Returns (names, prefixes, kinds, categories, violations).
+
+    names: dict metric-name -> first "file:line" using it.
+    prefixes: dict dynamic-name prefix (trailing '.') -> first "file:line"
+      (from StrCat'd names such as "sched.tenant.").
+    kinds: dict metric-name -> set of kinds seen at call sites where the
+      kind is syntactically evident (counter("x")).
+    categories: dict span category -> first "file:line".
+    violations: list of banned-API messages.
+    """
+    names, prefixes, kinds, categories = {}, {}, {}, {}
+    violations = []
+    for path in iter_source_files(src_root):
+        rel = os.path.relpath(path, src_root).replace(os.sep, '/')
+        with open(path, encoding='utf-8') as f:
+            raw = f.read()
+        text = strip_comments(raw)
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            where = f'{rel}:{lineno}'
+            if rel not in SYNC_ALLOWLIST:
+                m = BANNED_SYNC_RE.search(line)
+                if m:
+                    violations.append(
+                        f'{where}: banned raw std::{m.group(1)} (use '
+                        f'cumulon::Mutex/MutexLock/CondVar from '
+                        f'common/mutex.h)')
+            if rel not in SLEEP_ALLOWLIST and SLEEP_RE.search(line):
+                violations.append(
+                    f'{where}: banned std::this_thread::sleep_for outside '
+                    f'the sim clock (dfs/sim_dfs.cc)')
+            for lit in STRING_LITERAL_RE.findall(line):
+                if lit.endswith('.'):
+                    if METRIC_PREFIX_RE.match(lit):
+                        prefixes.setdefault(lit, where)
+                elif METRIC_NAME_RE.match(lit):
+                    names.setdefault(lit, where)
+            for kind, name in KIND_CALL_RE.findall(line):
+                kinds.setdefault(name, set()).add(kind)
+            for cat in CATEGORY_RE.findall(line):
+                categories.setdefault(cat, where)
+    return names, prefixes, kinds, categories, violations
+
+
+DOC_NAME_CELL_RE = re.compile(r'`([^`]+)`')
+
+
+def parse_doc_contract(doc_path):
+    """Parses docs/observability.md's contract tables.
+
+    Returns (doc_names, doc_rows, categories):
+      doc_names: dict full metric name -> kind ('counter'|'gauge'|'histogram')
+        for concrete rows; wildcard rows keep their <...>/* markers.
+      doc_rows: list of (name, kind, lineno) for the dead-row check.
+      categories: dict trace category -> lineno.
+    """
+    doc_names, doc_rows, categories = {}, [], {}
+    section = None
+    in_category_table = False
+    with open(doc_path, encoding='utf-8') as f:
+        for lineno, line in enumerate(f, start=1):
+            stripped = line.strip()
+            if stripped.startswith('#'):
+                head = stripped.lstrip('#').strip().lower()
+                if 'counter' in head:
+                    section = 'counter'
+                elif 'gauge' in head:
+                    section = 'gauge'
+                elif 'histogram' in head:
+                    section = 'histogram'
+                else:
+                    section = None
+                in_category_table = 'trace categories' in head
+                continue
+            if not stripped.startswith('|'):
+                continue
+            cells = [c.strip() for c in stripped.strip('|').split('|')]
+            if not cells or set(cells[0]) <= {'-', ' ', ':'}:
+                continue
+            if in_category_table:
+                for name in DOC_NAME_CELL_RE.findall(cells[0]):
+                    if name.lower() not in ('name', 'category'):
+                        categories[name] = lineno
+                continue
+            if section is None:
+                continue
+            # A name cell may hold several names: "`a` / `b`" and leading-dot
+            # continuations ("`sched.tenant.<t>.submitted` / `.finished`").
+            last_full = None
+            for name in DOC_NAME_CELL_RE.findall(cells[0]):
+                if name in ('Name',):
+                    continue
+                if name.startswith('.') and last_full is not None:
+                    name = last_full.rsplit('.', 1)[0] + name if (
+                        '.' in last_full) else last_full + name
+                    # Continuation replaces the last segment of the
+                    # previous name: sched.tenant.<t>.submitted + .finished
+                    # -> sched.tenant.<t>.finished.
+                else:
+                    last_full = name
+                doc_names[name] = section
+                doc_rows.append((name, section, lineno))
+    return doc_names, doc_rows, categories
+
+
+def doc_pattern_to_regex(name):
+    """Doc-row name -> regex. `<...>` and `*` are one-or-more wildcards."""
+    out = []
+    for part in re.split(r'(<[^>]*>|\*)', name):
+        if not part:
+            continue
+        if part == '*' or part.startswith('<'):
+            out.append('.+')
+        else:
+            out.append(re.escape(part))
+    return re.compile('^' + ''.join(out) + '$')
+
+
+def lint(root):
+    src_root = os.path.join(root, 'src')
+    doc_path = os.path.join(root, 'docs', 'observability.md')
+    errors = []
+
+    names, prefixes, kinds, categories, violations = (
+        collect_code_usage(src_root))
+    errors.extend(violations)
+
+    if not os.path.exists(doc_path):
+        errors.append(f'{doc_path}: missing metric contract doc')
+        report(errors)
+        return 1
+
+    doc_names, doc_rows, doc_categories = parse_doc_contract(doc_path)
+    doc_regexes = [(n, k, doc_pattern_to_regex(n)) for n, k in
+                   doc_names.items()]
+
+    # Direction 1: every code name/prefix must be documented.
+    for name, where in sorted(names.items()):
+        hits = [(n, k) for n, k, rx in doc_regexes if rx.match(name)]
+        if not hits:
+            errors.append(
+                f'{where}: metric "{name}" has no row in '
+                f'docs/observability.md')
+            continue
+        used_kinds = kinds.get(name, set())
+        if used_kinds and not used_kinds & {k for _, k in hits}:
+            errors.append(
+                f'{where}: metric "{name}" used as '
+                f'{"/".join(sorted(used_kinds))} but documented as '
+                f'{"/".join(sorted(k for _, k in hits))}')
+    for prefix, where in sorted(prefixes.items()):
+        if not any(n.startswith(prefix) or rx.match(prefix + 'x')
+                   for n, _, rx in doc_regexes):
+            errors.append(
+                f'{where}: dynamic metric prefix "{prefix}*" has no '
+                f'matching row in docs/observability.md')
+
+    # Direction 2: every doc row must still be exercised by src/.
+    for name, kind, lineno in doc_rows:
+        rx = doc_pattern_to_regex(name)
+        concrete = any(rx.match(code_name) for code_name in names)
+        dynamic = any(name.startswith(p) or rx.match(p + 'x')
+                      for p in prefixes)
+        if not concrete and not dynamic:
+            errors.append(
+                f'docs/observability.md:{lineno}: dead contract row '
+                f'`{name}` ({kind}): no src/ code emits it')
+
+    # Trace categories, both directions.
+    for cat, where in sorted(categories.items()):
+        if cat not in doc_categories:
+            errors.append(
+                f'{where}: trace category "{cat}" has no row in the '
+                f'docs/observability.md trace-category table')
+    for cat, lineno in sorted(doc_categories.items()):
+        if cat not in categories:
+            errors.append(
+                f'docs/observability.md:{lineno}: dead trace-category row '
+                f'`{cat}`: no src/ code emits it')
+
+    report(errors)
+    return 1 if errors else 0
+
+
+def report(errors):
+    for e in errors:
+        print(f'cumulon_lint: {e}')
+    if errors:
+        print(f'cumulon_lint: {len(errors)} problem(s)')
+    else:
+        print('cumulon_lint: clean')
+
+
+# ---------------------------------------------------------------------------
+# Self-test: build throwaway repo trees and assert the linter's verdicts.
+
+SELF_TEST_DOC = """# obs
+### Counters
+| Name | Meaning |
+|---|---|
+| `engine.jobs` | jobs |
+| `sched.tenant.<tenant>.submitted` | per tenant |
+### Gauges
+| Name | Meaning |
+|---|---|
+| `sched.queued` | depth |
+### Histograms
+| Name | Meaning |
+|---|---|
+| `engine.task.seconds` | per task |
+### Trace categories
+| Name | Meaning |
+|---|---|
+| `task` | one span per task |
+"""
+
+SELF_TEST_SRC = """#include "common/mutex.h"
+void F(MetricsRegistry* m, Tracer* t) {
+  m->counter("engine.jobs")->Increment();
+  m->counter(StrCat("sched.tenant.", who, ".submitted"))->Increment();
+  m->gauge("sched.queued")->Set(1);
+  m->histogram("engine.task.seconds")->Observe(0.5);
+  TraceSpan s;
+  s.category = "task";
+}
+"""
+
+
+def write_tree(tmp, doc, src):
+    os.makedirs(os.path.join(tmp, 'src', 'x'))
+    os.makedirs(os.path.join(tmp, 'docs'))
+    with open(os.path.join(tmp, 'docs', 'observability.md'), 'w') as f:
+        f.write(doc)
+    with open(os.path.join(tmp, 'src', 'x', 'x.cc'), 'w') as f:
+        f.write(src)
+
+
+def self_test():
+    failures = []
+
+    def expect(label, doc, src, want_clean, want_substring=None):
+        with tempfile.TemporaryDirectory() as tmp:
+            write_tree(tmp, doc, src)
+            import io
+            import contextlib
+            buf = io.StringIO()
+            with contextlib.redirect_stdout(buf):
+                rc = lint(tmp)
+            out = buf.getvalue()
+            if want_clean and rc != 0:
+                failures.append(f'{label}: expected clean, got:\n{out}')
+            if not want_clean and rc == 0:
+                failures.append(f'{label}: expected failure, got clean')
+            if want_substring and want_substring not in out:
+                failures.append(
+                    f'{label}: expected "{want_substring}" in:\n{out}')
+
+    expect('clean tree', SELF_TEST_DOC, SELF_TEST_SRC, want_clean=True)
+    expect('undocumented metric', SELF_TEST_DOC,
+           SELF_TEST_SRC.replace(
+               '"engine.jobs"', '"engine.jobs"); '
+               'm->counter("engine.retries"', 1),
+           want_clean=False, want_substring='engine.retries')
+    expect('dead doc row',
+           SELF_TEST_DOC.replace(
+               '| `engine.jobs` | jobs |',
+               '| `engine.jobs` | jobs |\n| `engine.ghost` | gone |'),
+           SELF_TEST_SRC, want_clean=False, want_substring='engine.ghost')
+    expect('undocumented trace category', SELF_TEST_DOC,
+           SELF_TEST_SRC.replace('s.category = "task"',
+                                 's.category = "mystery"'),
+           want_clean=False, want_substring='mystery')
+    expect('dead trace-category row', SELF_TEST_DOC,
+           SELF_TEST_SRC.replace('s.category = "task";', ''),
+           want_clean=False, want_substring='dead trace-category row')
+    expect('raw std::mutex', SELF_TEST_DOC,
+           SELF_TEST_SRC + '\nstd::mutex bad_mu;\n',
+           want_clean=False, want_substring='banned raw std::mutex')
+    expect('sleep_for outside sim clock', SELF_TEST_DOC,
+           SELF_TEST_SRC + '\nvoid Z() { std::this_thread::sleep_for(d); }\n',
+           want_clean=False, want_substring='sleep_for')
+    expect('kind mismatch', SELF_TEST_DOC,
+           SELF_TEST_SRC.replace('m->gauge("sched.queued")',
+                                 'm->counter("sched.queued")'),
+           want_clean=False, want_substring='documented as')
+    expect('undocumented dynamic prefix', SELF_TEST_DOC,
+           SELF_TEST_SRC.replace('"sched.tenant."', '"sched.mystery."'),
+           want_clean=False, want_substring='sched.mystery.')
+
+    if failures:
+        for f in failures:
+            print(f'cumulon_lint self-test FAIL: {f}')
+        return 1
+    print('cumulon_lint self-test: all cases pass')
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument('--root', default=None,
+                    help='repo root (default: parent of this script)')
+    ap.add_argument('--self-test', action='store_true',
+                    help='run the linter against synthetic fixture trees')
+    args = ap.parse_args()
+    if args.self_test:
+        return self_test()
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    return lint(root)
+
+
+if __name__ == '__main__':
+    sys.exit(main())
