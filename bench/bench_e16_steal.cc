@@ -1,0 +1,120 @@
+// E16 (extension) — intra-job work stealing vs straggler tasks, on the
+// *real* engine (actual tile computation on worker threads, not the
+// simulator's noise model — that is bench_e13's territory).
+//
+// Scenario: a deliberately unbalanced matmul — one task owns every output
+// tile of the job (MatMulParams{1,1,0}), so without stealing one worker
+// computes the whole product while the rest of the pool idles after their
+// (empty) share. With ExecutorOptions::enable_work_stealing the owner
+// publishes one block-split per output tile and the idle workers' helper
+// drains steal from its deque tail, flattening the tail.
+//
+// Expectation: on a multi-core machine the stealing run's wall time drops
+// toward 1/slots of the plain run; on a single hardware thread the two are
+// on par (stealing only re-orders who executes a split). Either way the
+// exec.steal.* counters show the splits migrating. `--json FILE` writes
+// the summary for CI.
+
+#include <cstring>
+
+#include "bench/bench_util.h"
+#include "common/stopwatch.h"
+
+namespace cumulon::bench {
+namespace {
+
+struct RunResult {
+  double seconds = 0.0;
+  int64_t splits = 0;
+  int64_t stolen = 0;
+  int64_t attempts = 0;
+};
+
+RunResult RunOnce(bool stealing, int slots, int64_t dim, int64_t tile) {
+  InMemoryTileStore store;
+  TileOpCostModel cost;
+  RealEngine engine(ClusterConfig{MachineProfile{}, 1, slots},
+                    RealEngineOptions{});
+  ExecutorOptions options;
+  options.enable_work_stealing = stealing;
+  Executor executor(&store, &engine, &cost, options);
+
+  Rng rng(11);
+  TiledMatrix a{"A", TileLayout::Square(dim, dim, tile)};
+  TiledMatrix b{"B", TileLayout::Square(dim, dim, tile)};
+  TiledMatrix c{"C", TileLayout::Square(dim, dim, tile)};
+  for (const TiledMatrix* m : {&a, &b}) {
+    DenseMatrix dense = DenseMatrix::Gaussian(dim, dim, &rng);
+    CUMULON_CHECK(StoreDense(dense, *m, &store).ok());
+  }
+
+  PhysicalPlan plan;
+  // One task for the whole output grid (MatMulParams counts output-tile
+  // blocks *per task*): the straggler by construction.
+  const int64_t grid = dim / tile;
+  Status st = AddMatMul(a, b, c, MatMulParams{grid, grid, 0}, {}, &plan);
+  CUMULON_CHECK(st.ok()) << st;
+
+  Stopwatch sw;
+  auto stats = executor.Run(plan);
+  CUMULON_CHECK(stats.ok()) << stats.status();
+  RunResult r;
+  r.seconds = sw.ElapsedSeconds();
+  r.splits = stats->metrics.CounterOr("exec.steal.splits", 0);
+  r.stolen = stats->metrics.CounterOr("exec.steal.stolen", 0);
+  r.attempts = stats->metrics.CounterOr("exec.steal.attempts", 0);
+  return r;
+}
+
+void Run(const std::string& json_path) {
+  const int slots = 4;
+  const int64_t dim = 2048;
+  const int64_t tile = 256;  // 8x8 output grid -> 64 splits in one task
+  PrintHeader("E16: work stealing vs a straggler task (real engine)");
+  std::printf("one %lldx%lld matmul task, %lld-wide tiles, %d slots\n",
+              static_cast<long long>(dim), static_cast<long long>(dim),
+              static_cast<long long>(tile), slots);
+  std::printf("%-12s %12s %10s %10s %10s\n", "mode", "wall", "splits",
+              "stolen", "attempts");
+  PrintRule();
+  const RunResult plain = RunOnce(false, slots, dim, tile);
+  const RunResult steal = RunOnce(true, slots, dim, tile);
+  std::printf("%-12s %12s %10lld %10lld %10lld\n", "plain",
+              FormatDuration(plain.seconds).c_str(),
+              static_cast<long long>(plain.splits),
+              static_cast<long long>(plain.stolen),
+              static_cast<long long>(plain.attempts));
+  std::printf("%-12s %12s %10lld %10lld %10lld\n", "stealing",
+              FormatDuration(steal.seconds).c_str(),
+              static_cast<long long>(steal.splits),
+              static_cast<long long>(steal.stolen),
+              static_cast<long long>(steal.attempts));
+  std::printf("tail cut: %.2fx\n", plain.seconds / steal.seconds);
+
+  if (json_path.empty()) return;
+  std::FILE* f = std::fopen(json_path.c_str(), "w");
+  CUMULON_CHECK(f != nullptr) << "cannot write " << json_path;
+  std::fprintf(f,
+               "{\"bench\":\"e16_steal\",\"slots\":%d,"
+               "\"plain_seconds\":%.4f,\"steal_seconds\":%.4f,"
+               "\"speedup\":%.3f,\"splits\":%lld,\"stolen\":%lld}\n",
+               slots, plain.seconds, steal.seconds,
+               plain.seconds / steal.seconds,
+               static_cast<long long>(steal.splits),
+               static_cast<long long>(steal.stolen));
+  std::fclose(f);
+  std::printf("summary -> %s\n", json_path.c_str());
+}
+
+}  // namespace
+}  // namespace cumulon::bench
+
+int main(int argc, char** argv) {
+  cumulon::bench::ObsSession obs(argc, argv);
+  std::string json_path;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) json_path = argv[i + 1];
+  }
+  cumulon::bench::Run(json_path);
+  return 0;
+}

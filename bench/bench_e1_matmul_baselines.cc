@@ -6,8 +6,19 @@
 // Paper expectation: Cumulon wins on every shape (roughly 2x or more),
 // because it shuffles nothing; RMM degrades with output size, CPMM with
 // the shared dimension.
+//
+// `--kernels-only [--json FILE]` skips the cluster comparison and instead
+// measures the raw per-tile Gemm kernels (scalar register-blocked oracle
+// vs packed AVX2+FMA micro-kernel, DESIGN.md "Kernel architecture"),
+// reporting single-core GFLOP/s and the SIMD speedup. CI uploads the JSON
+// as the BENCH_kernels.json artifact to track kernel regressions.
+
+#include <algorithm>
+#include <cstring>
 
 #include "bench/bench_util.h"
+#include "common/stopwatch.h"
+#include "matrix/kernel_config.h"
 
 namespace cumulon::bench {
 namespace {
@@ -81,11 +92,87 @@ void Run() {
   for (const Shape& shape : shapes) RunShape(shape);
 }
 
+// ---------------------------------------------------------------------------
+// --kernels-only: raw Gemm kernel throughput, scalar vs SIMD
+// ---------------------------------------------------------------------------
+
+/// Single-core GFLOP/s of `mode`'s Gemm on an n x n x n multiply,
+/// repeated until ~0.2s of work so small sizes are not timer-bound.
+double MeasureGemmGflops(KernelMode mode, int64_t n) {
+  Rng rng(7);
+  Tile a(n, n), b(n, n), c(n, n);
+  FillGaussian(&a, &rng);
+  FillGaussian(&b, &rng);
+  const double flops = 2.0 * n * n * n;
+  Status st = Gemm(a, b, 1.0, 0.0, &c);  // warm caches, fault pages
+  CUMULON_CHECK(st.ok()) << st;
+  const int reps = std::max<int>(1, static_cast<int>(2e9 / flops));
+  Stopwatch sw;
+  for (int r = 0; r < reps; ++r) {
+    st = GemmWithMode(mode, a, b, 1.0, 0.0, &c);
+    CUMULON_CHECK(st.ok()) << st;
+  }
+  return flops * reps / sw.ElapsedSeconds() / 1e9;
+}
+
+struct KernelRow {
+  int64_t n;
+  double scalar_gflops;
+  double simd_gflops;
+};
+
+void RunKernelsOnly(const std::string& json_path) {
+  PrintHeader("E1 (kernels): single-core tile Gemm, scalar vs SIMD");
+  std::printf("SIMD dispatch: %s\n",
+              SimdKernelAvailable() ? "avx2+fma" : "unavailable (scalar)");
+  std::printf("%-12s %14s %14s %10s\n", "n (n^3 mul)", "scalar GF/s",
+              "simd GF/s", "speedup");
+  PrintRule();
+  std::vector<KernelRow> rows;
+  for (int64_t n : {256, 512, 1024}) {
+    KernelRow row{n, MeasureGemmGflops(KernelMode::kScalar, n),
+                  MeasureGemmGflops(KernelMode::kSimd, n)};
+    std::printf("%-12lld %14.2f %14.2f %9.2fx\n",
+                static_cast<long long>(n), row.scalar_gflops,
+                row.simd_gflops, row.simd_gflops / row.scalar_gflops);
+    rows.push_back(row);
+  }
+  if (json_path.empty()) return;
+  std::FILE* f = std::fopen(json_path.c_str(), "w");
+  CUMULON_CHECK(f != nullptr) << "cannot write " << json_path;
+  std::fprintf(f, "{\"bench\":\"e1_kernels\",\"simd_available\":%s,",
+               SimdKernelAvailable() ? "true" : "false");
+  std::fprintf(f, "\"gemm\":[");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    std::fprintf(f,
+                 "%s{\"n\":%lld,\"scalar_gflops\":%.3f,"
+                 "\"simd_gflops\":%.3f,\"speedup\":%.3f}",
+                 i == 0 ? "" : ",", static_cast<long long>(rows[i].n),
+                 rows[i].scalar_gflops, rows[i].simd_gflops,
+                 rows[i].simd_gflops / rows[i].scalar_gflops);
+  }
+  std::fprintf(f, "]}\n");
+  std::fclose(f);
+  std::printf("kernel summary -> %s\n", json_path.c_str());
+}
+
 }  // namespace
 }  // namespace cumulon::bench
 
 int main(int argc, char** argv) {
   cumulon::bench::ObsSession obs(argc, argv);
-  cumulon::bench::Run();
+  bool kernels_only = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--kernels-only") == 0) kernels_only = true;
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[i + 1];
+    }
+  }
+  if (kernels_only) {
+    cumulon::bench::RunKernelsOnly(json_path);
+  } else {
+    cumulon::bench::Run();
+  }
   return 0;
 }

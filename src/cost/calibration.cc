@@ -45,12 +45,17 @@ Result<CalibrationResult> Calibrate(const CalibrationOptions& options) {
   FillGaussian(&b, &rng);
 
   CalibrationResult result;
+  // Record what actually runs after dispatch, so callers persisting the
+  // result can tell a SIMD calibration from a scalar one.
+  const KernelMode mode = options.kernel_mode;
+  result.kernel =
+      ResolveKernelMode(mode) == KernelMode::kSimd ? "simd" : "scalar";
 
   // GEMM probe: best-of-n 2d^3-flop multiplies.
   double best = 1e30;
   for (int rep = 0; rep < options.repetitions; ++rep) {
     Stopwatch sw;
-    CUMULON_RETURN_IF_ERROR(Gemm(a, b, 1.0, 0.0, &c));
+    CUMULON_RETURN_IF_ERROR(GemmWithMode(mode, a, b, 1.0, 0.0, &c));
     best = std::min(best, sw.ElapsedSeconds());
   }
   result.gemm_gflops = 2.0 * d * d * d / best / 1e9;
@@ -61,7 +66,8 @@ Result<CalibrationResult> Calibrate(const CalibrationOptions& options) {
   for (int rep = 0; rep < options.repetitions; ++rep) {
     Stopwatch sw;
     for (int i = 0; i < ew_iters; ++i) {
-      CUMULON_RETURN_IF_ERROR(EwBinary(BinaryOp::kAdd, a, b, &c));
+      CUMULON_RETURN_IF_ERROR(
+          EwBinaryWithMode(mode, BinaryOp::kAdd, a, b, &c));
     }
     best = std::min(best, sw.ElapsedSeconds());
   }

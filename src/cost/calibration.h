@@ -1,9 +1,12 @@
 #ifndef CUMULON_COST_CALIBRATION_H_
 #define CUMULON_COST_CALIBRATION_H_
 
+#include <string>
+
 #include "cloud/machine.h"
 #include "common/result.h"
 #include "cost/cost_model.h"
+#include "matrix/kernel_config.h"
 
 namespace cumulon {
 
@@ -12,6 +15,13 @@ struct CalibrationResult {
   double gemm_gflops = 0.0;       // achieved dense-GEMM GFLOP/s
   double ew_gelems = 0.0;         // element-wise Gelem/s
   double transpose_gelems = 0.0;  // transpose Gelem/s
+
+  /// Kernel implementation the probes actually ran ("scalar" or "simd",
+  /// after dispatch resolution), so a stored calibration is only reused
+  /// for executions running the same kernel: the packed SIMD GEMM is
+  /// several times faster than the oracle, and a flops term calibrated on
+  /// one badly mispredicts the other.
+  std::string kernel = "scalar";
 
   /// Cost model with ratios normalized to the reference machine.
   TileOpCostModel ToCostModel() const;
@@ -26,6 +36,11 @@ struct CalibrationResult {
 struct CalibrationOptions {
   int64_t tile_dim = 256;  // tile size used by the probes
   int repetitions = 3;     // best-of-n to reduce scheduling noise
+
+  /// Kernel implementation to probe. Calibrate with the same mode the
+  /// executor will run (ExecutorOptions::kernel_mode) so the cost model's
+  /// flops term reflects the dispatched kernel, not the oracle.
+  KernelMode kernel_mode = KernelMode::kAuto;
 };
 
 /// Runs the paper's "benchmarking" step: times the tile kernels on this

@@ -31,7 +31,7 @@ std::shared_ptr<const Tile> TileCache::Get(const std::string& key) {
   // Promote to most-recently-used.
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
   ++shard.hits;
-  shard.hit_bytes += it->second->bytes;
+  shard.hit_bytes += it->second->size_bytes;
   return it->second->tile;
 }
 
@@ -39,7 +39,7 @@ void TileCache::EvictLockedUntilFits(Shard* shard, int64_t incoming_bytes) {
   while (!shard->lru.empty() &&
          shard->bytes + incoming_bytes > shard_capacity_bytes_) {
     const Entry& victim = shard->lru.back();
-    shard->bytes -= victim.bytes;
+    shard->bytes -= victim.memory_bytes;
     shard->index.erase(victim.key);
     shard->lru.pop_back();
     ++shard->evictions;
@@ -48,20 +48,23 @@ void TileCache::EvictLockedUntilFits(Shard* shard, int64_t incoming_bytes) {
 
 void TileCache::Put(const std::string& key, std::shared_ptr<const Tile> tile) {
   if (tile == nullptr) return;
-  const int64_t bytes = tile->SizeBytes();
-  if (bytes > shard_capacity_bytes_) return;  // would evict the whole shard
+  // Budget against what the entry actually pins in memory — the aligned,
+  // padded allocation — not its smaller serialized form.
+  const int64_t memory_bytes = tile->MemoryBytes();
+  const int64_t size_bytes = tile->SizeBytes();
+  if (memory_bytes > shard_capacity_bytes_) return;  // would evict the shard
   Shard& shard = ShardFor(key);
   MutexLock lock(&shard.mu);
   auto it = shard.index.find(key);
   if (it != shard.index.end()) {
-    shard.bytes -= it->second->bytes;
+    shard.bytes -= it->second->memory_bytes;
     shard.lru.erase(it->second);
     shard.index.erase(it);
   }
-  EvictLockedUntilFits(&shard, bytes);
-  shard.lru.push_front(Entry{key, std::move(tile), bytes});
+  EvictLockedUntilFits(&shard, memory_bytes);
+  shard.lru.push_front(Entry{key, std::move(tile), size_bytes, memory_bytes});
   shard.index[key] = shard.lru.begin();
-  shard.bytes += bytes;
+  shard.bytes += memory_bytes;
   ++shard.insertions;
 }
 
@@ -70,7 +73,7 @@ void TileCache::Invalidate(const std::string& key) {
   MutexLock lock(&shard.mu);
   auto it = shard.index.find(key);
   if (it == shard.index.end()) return;
-  shard.bytes -= it->second->bytes;
+  shard.bytes -= it->second->memory_bytes;
   shard.lru.erase(it->second);
   shard.index.erase(it);
   ++shard.invalidations;
@@ -83,7 +86,7 @@ int64_t TileCache::InvalidatePrefix(const std::string& prefix) {
     MutexLock lock(&shard.mu);
     for (auto it = shard.lru.begin(); it != shard.lru.end();) {
       if (it->key.compare(0, prefix.size(), prefix) == 0) {
-        shard.bytes -= it->bytes;
+        shard.bytes -= it->memory_bytes;
         shard.index.erase(it->key);
         it = shard.lru.erase(it);
         ++shard.invalidations;

@@ -14,9 +14,12 @@
 
 namespace cumulon {
 
-/// Aggregate counters of one cache (or a group of them). All byte counts
-/// refer to serialized tile sizes (Tile::SizeBytes), the same unit the DFS
-/// accounts in, so hit bytes are directly comparable to DfsStats reads.
+/// Aggregate counters of one cache (or a group of them). hit_bytes counts
+/// serialized tile sizes (Tile::SizeBytes), the same unit the DFS accounts
+/// in, so hit bytes are directly comparable to DfsStats reads.
+/// resident_bytes counts the allocator's actual in-memory footprint
+/// (Tile::MemoryBytes — cache-line aligned and padded), which is what the
+/// capacity budget is spent against.
 struct TileCacheStats {
   int64_t hits = 0;
   int64_t misses = 0;
@@ -77,7 +80,8 @@ class TileCache {
   struct Entry {
     std::string key;
     std::shared_ptr<const Tile> tile;
-    int64_t bytes = 0;
+    int64_t size_bytes = 0;    // serialized (DFS-comparable hit accounting)
+    int64_t memory_bytes = 0;  // aligned in-memory footprint (budgeting)
   };
   struct Shard {
     mutable Mutex mu{"TileCache::Shard::mu"};

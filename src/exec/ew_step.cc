@@ -16,9 +16,10 @@ std::string EwStep::ToString() const {
              : StrCat(BinaryOpName(bop), "(v, ", other_matrix, ")", suffix);
 }
 
-Status ApplyEwStep(const EwStep& step, Tile* value, const Tile* other) {
+Status ApplyEwStep(const EwStep& step, Tile* value, const Tile* other,
+                   KernelMode mode) {
   if (step.kind == EwStep::Kind::kUnary) {
-    return EwUnary(step.uop, *value, step.scalar, value);
+    return EwUnaryWithMode(mode, step.uop, *value, step.scalar, value);
   }
   if (other == nullptr) {
     return Status::InvalidArgument(
@@ -26,16 +27,21 @@ Status ApplyEwStep(const EwStep& step, Tile* value, const Tile* other) {
   }
   switch (step.operand) {
     case EwStep::Operand::kFull:
-      return step.swapped ? EwBinary(step.bop, *other, *value, value)
-                          : EwBinary(step.bop, *value, *other, value);
+      return step.swapped
+                 ? EwBinaryWithMode(mode, step.bop, *other, *value, value)
+                 : EwBinaryWithMode(mode, step.bop, *value, *other, value);
     case EwStep::Operand::kRowVector:
-      return EwBroadcast(step.bop, *value, *other, /*row_vector=*/true,
-                         step.swapped, value);
+      return EwBroadcastWithMode(mode, step.bop, *value, *other,
+                                 /*row_vector=*/true, step.swapped, value);
     case EwStep::Operand::kColVector:
-      return EwBroadcast(step.bop, *value, *other, /*row_vector=*/false,
-                         step.swapped, value);
+      return EwBroadcastWithMode(mode, step.bop, *value, *other,
+                                 /*row_vector=*/false, step.swapped, value);
   }
   return Status::Internal("unhandled operand kind");
+}
+
+Status ApplyEwStep(const EwStep& step, Tile* value, const Tile* other) {
+  return ApplyEwStep(step, value, other, KernelMode::kAuto);
 }
 
 }  // namespace cumulon

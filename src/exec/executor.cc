@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <map>
+#include <memory>
 
+#include "cluster/steal_domain.h"
 #include "common/logging.h"
 #include "common/strings.h"
 #include "sched/slot_pool.h"
@@ -79,10 +81,21 @@ Result<PlanStats> Executor::Run(const PhysicalPlan& plan) {
   // exec.* values from the per-run registry instead.
   MetricsRegistry run_metrics;
   const MetricsSnapshot before = metrics_->Snapshot();
-  CUMULON_ASSIGN_OR_RETURN(PlanStats stats,
-                           options_.parallelize_independent_jobs
-                               ? RunLeveled(plan, &run_metrics)
-                               : RunSequential(plan, &run_metrics));
+  // One stealing scope per run: task closures capture a borrowed pointer,
+  // and every closure has finished (the engine's completion latch) before
+  // Run returns, so the domain safely lives on this frame. Real mode only —
+  // sim tasks have no work to split.
+  std::unique_ptr<StealDomain> steal;
+  if (options_.real_mode && options_.enable_work_stealing) {
+    steal = std::make_unique<StealDomain>(
+        engine_->config().total_slots(),
+        options_.tracer != nullptr ? options_.tracer : GlobalTracer());
+  }
+  CUMULON_ASSIGN_OR_RETURN(
+      PlanStats stats,
+      options_.parallelize_independent_jobs
+          ? RunLeveled(plan, &run_metrics, steal.get())
+          : RunSequential(plan, &run_metrics, steal.get()));
   if (TileCacheGroup* caches = engine_->tile_caches()) {
     const TileCacheStats totals = caches->TotalStats();
     metrics_->gauge("cache.resident_bytes")->Set(totals.resident_bytes);
@@ -110,6 +123,7 @@ BuildContext Executor::MakeBuildContext() const {
   ctx.cost = cost_;
   ctx.attach_work = options_.real_mode;
   ctx.query_locality = options_.query_locality;
+  ctx.kernel_mode = options_.kernel_mode;
   if (options_.real_mode) {
     ctx.prefetch_budget_bytes = options_.prefetch_budget_bytes;
   }
@@ -198,6 +212,13 @@ void Executor::FoldJobStats(const std::string& name, JobStats stats,
   add("exec.cache.hits", stats.cache_hits);
   add("exec.cache.misses", stats.cache_misses);
   add("exec.cache.hit_bytes", stats.bytes_read_cached);
+  // Steal counters appear only when a stealing run actually published
+  // splits, so non-stealing runs keep their exact historical metric set.
+  if (stats.splits_enqueued > 0 || stats.steal_attempts > 0) {
+    add("exec.steal.splits", stats.splits_enqueued);
+    add("exec.steal.stolen", stats.splits_stolen);
+    add("exec.steal.attempts", stats.steal_attempts);
+  }
 
   totals->jobs.push_back(JobRecord{name, std::move(stats)});
 }
@@ -216,9 +237,21 @@ void Executor::RecordCacheActivity(const TileCacheStats& before,
   }
 }
 
+void Executor::RecordStealActivity(const StealDomainStats& before,
+                                   const StealDomain* steal,
+                                   JobStats* stats) const {
+  if (steal == nullptr) return;
+  const StealDomainStats after = steal->stats();
+  stats->splits_enqueued = after.splits_enqueued - before.splits_enqueued;
+  stats->splits_stolen = after.splits_stolen - before.splits_stolen;
+  stats->steal_attempts = after.steal_attempts - before.steal_attempts;
+}
+
 Result<PlanStats> Executor::RunSequential(const PhysicalPlan& plan,
-                                          MetricsRegistry* run_metrics) {
-  const BuildContext ctx = MakeBuildContext();
+                                          MetricsRegistry* run_metrics,
+                                          StealDomain* steal) {
+  BuildContext ctx = MakeBuildContext();
+  ctx.steal = steal;
 
   PlanStats totals;
   for (const auto& job : plan.jobs) {
@@ -227,11 +260,15 @@ Result<PlanStats> Executor::RunSequential(const PhysicalPlan& plan,
     const TileCacheStats cache_before =
         engine_->tile_caches() != nullptr ? engine_->tile_caches()->TotalStats()
                                           : TileCacheStats{};
+    const StealDomainStats steal_before =
+        steal != nullptr ? steal->stats() : StealDomainStats{};
     const JobTraceScope trace = BeginJobTrace(job->name());
     TagJobSpec(&built.spec, trace.job_id);
+    built.spec.steal_domain = steal;
     CUMULON_ASSIGN_OR_RETURN(JobStats stats, engine_->RunJob(built.spec));
     EndJobTrace(trace, stats);
     RecordCacheActivity(cache_before, &stats);
+    RecordStealActivity(steal_before, steal, &stats);
 
     if (!options_.real_mode) {
       // Register output tile placement so later jobs get correct locality.
@@ -253,8 +290,10 @@ Result<PlanStats> Executor::RunSequential(const PhysicalPlan& plan,
 }
 
 Result<PlanStats> Executor::RunLeveled(const PhysicalPlan& plan,
-                                       MetricsRegistry* run_metrics) {
-  const BuildContext ctx = MakeBuildContext();
+                                       MetricsRegistry* run_metrics,
+                                       StealDomain* steal) {
+  BuildContext ctx = MakeBuildContext();
+  ctx.steal = steal;
 
   const std::vector<int> levels = JobLevels(plan);
   const int max_level =
@@ -286,11 +325,15 @@ Result<PlanStats> Executor::RunLeveled(const PhysicalPlan& plan,
     const TileCacheStats cache_before =
         engine_->tile_caches() != nullptr ? engine_->tile_caches()->TotalStats()
                                           : TileCacheStats{};
+    const StealDomainStats steal_before =
+        steal != nullptr ? steal->stats() : StealDomainStats{};
     const JobTraceScope trace = BeginJobTrace(merged.name);
     TagJobSpec(&merged, trace.job_id);
+    merged.steal_domain = steal;
     CUMULON_ASSIGN_OR_RETURN(JobStats stats, engine_->RunJob(merged));
     EndJobTrace(trace, stats);
     RecordCacheActivity(cache_before, &stats);
+    RecordStealActivity(steal_before, steal, &stats);
     if (!options_.real_mode) {
       CUMULON_CHECK_EQ(merged_outputs.size(), stats.task_runs.size());
       for (size_t t = 0; t < merged_outputs.size(); ++t) {

@@ -9,13 +9,16 @@
 #include "common/result.h"
 #include "cost/cost_model.h"
 #include "exec/physical_plan.h"
+#include "matrix/kernel_config.h"
 #include "matrix/tile_store.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace cumulon {
 
-class SlotPool;  // sched/slot_pool.h
+class SlotPool;      // sched/slot_pool.h
+class StealDomain;   // cluster/steal_domain.h
+struct StealDomainStats;
 
 struct ExecutorOptions {
   /// true: attach work closures and actually compute tiles (RealEngine).
@@ -46,6 +49,25 @@ struct ExecutorOptions {
   /// one scheduling round per dependency level). Off = one job at a time,
   /// like stock Hadoop's job queue (ablation A3 measures the difference).
   bool parallelize_independent_jobs = false;
+
+  /// Which tile-kernel implementation task bodies run (matrix/
+  /// kernel_config.h): kAuto dispatches to the packed AVX2+FMA kernel via
+  /// CPUID (honoring the CUMULON_KERNEL env override), kScalar forces the
+  /// bit-exact oracle. Gemm results under kSimd/kAuto keep a fixed
+  /// (ascending-k) accumulation order but use FMA rounding, so they are
+  /// tolerance-equal — not bit-equal — to kScalar runs; element-wise and
+  /// column-aggregate kernels are bit-identical across modes.
+  KernelMode kernel_mode = KernelMode::kAuto;
+
+  /// Intra-job split-level work stealing (cluster/steal_domain.h): task
+  /// bodies publish their block-splits to per-slot deques and idle workers
+  /// steal from the tail, shaving intra-job stragglers. Off by default:
+  /// with stealing on, each split reads its inputs through its own
+  /// prefetch reader (the per-task reader is single-threaded), so tasks
+  /// whose splits share input tiles forgo task-level read memoization.
+  /// Results are bit-identical either way — splits write disjoint tiles.
+  /// Real mode only.
+  bool enable_work_stealing = false;
 
   /// Records job spans (and, in sim mode, per-job startup spans) so every
   /// engine task span nests under its job. Borrowed; falls back to
@@ -159,9 +181,11 @@ class Executor {
   };
 
   Result<PlanStats> RunSequential(const PhysicalPlan& plan,
-                                  MetricsRegistry* run_metrics);
+                                  MetricsRegistry* run_metrics,
+                                  StealDomain* steal);
   Result<PlanStats> RunLeveled(const PhysicalPlan& plan,
-                               MetricsRegistry* run_metrics);
+                               MetricsRegistry* run_metrics,
+                               StealDomain* steal);
   Status DropTemporaries(const PhysicalPlan& plan);
 
   /// Status::Cancelled when options_.cancel has flipped, OK otherwise.
@@ -178,6 +202,11 @@ class Executor {
   /// Folds the engine's cache-counter delta across one job into `stats`.
   void RecordCacheActivity(const TileCacheStats& before,
                            JobStats* stats) const;
+
+  /// Folds the steal domain's counter delta across one job into `stats`
+  /// (no-op when stealing is off).
+  void RecordStealActivity(const StealDomainStats& before,
+                           const StealDomain* steal, JobStats* stats) const;
 
   /// Opens the job span (after a sim-mode startup span) so the engine's
   /// task spans nest under it.

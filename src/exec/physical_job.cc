@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <memory>
 
+#include "cluster/steal_domain.h"
 #include "common/strings.h"
 #include "exec/prefetch_pipeline.h"
 
@@ -103,7 +104,7 @@ void HintEwStepOperands(const std::vector<EwStep>& steps,
 /// vectors recur for every output tile, and the memo turns those repeats
 /// into local-memory lookups instead of cache-lock round trips.
 Status RunEwSteps(const std::vector<EwStep>& steps, TaskTileReader* reader,
-                  TileId id, Tile* value) {
+                  TileId id, Tile* value, KernelMode mode) {
   for (const EwStep& step : steps) {
     std::shared_ptr<const Tile> other;
     if (step.kind == EwStep::Kind::kBinary) {
@@ -111,7 +112,7 @@ Status RunEwSteps(const std::vector<EwStep>& steps, TaskTileReader* reader,
           other,
           reader->ReadMemoized(step.other_matrix, OperandTileId(step, id)));
     }
-    CUMULON_RETURN_IF_ERROR(ApplyEwStep(step, value, other.get()));
+    CUMULON_RETURN_IF_ERROR(ApplyEwStep(step, value, other.get(), mode));
   }
   return Status::OK();
 }
@@ -341,48 +342,78 @@ Result<BuiltJob> MatMulJob::Build(const BuildContext& ctx) const {
           const std::vector<EwStep> epilogue =
               apply_epilogue ? epilogue_ : std::vector<EwStep>{};
           const int64_t budget = ctx.prefetch_budget_bytes;
+          StealDomain* const steal = ctx.steal;
+          const KernelMode kmode = ctx.kernel_mode;
           task.work = [store, a, b, out_layout, out_name, epilogue, ib, i1,
-                       jb, j1, k0, k1, budget](int machine) -> Status {
-            // Double-buffered pipeline: hint every read in compute order,
-            // then compute — output block (i,j+1)'s tiles download while
-            // (i,j) multiplies. A and B tiles recur across the block
-            // (A per j, B per i), so they go through the memo, which
-            // bounds the task's live set to exactly the bi*bk + bk*bj
-            // tiles TaskMemoryBytes budgets for.
-            TaskTileReader reader(store, machine, budget);
-            for (int64_t i = ib; i < i1; ++i) {
-              for (int64_t j = jb; j < j1; ++j) {
-                for (int64_t k = k0; k < k1; ++k) {
-                  reader.Hint(a.name, TileId{i, k},
-                              TileBytes(a.layout, i, k));
-                  reader.Hint(b.name, TileId{k, j},
-                              TileBytes(b.layout, k, j));
-                }
-                HintEwStepOperands(epilogue, out_layout, TileId{i, j},
-                                   &reader);
+                       jb, j1, k0, k1, budget, steal, kmode,
+                       task_name = task.name](int machine) -> Status {
+            // One unit of work = one output tile (i,j): fold its k range,
+            // run the epilogue, write the tile. Units write disjoint
+            // tiles, so results do not depend on who executes them.
+            auto hint_unit = [&](TaskTileReader* reader, int64_t i,
+                                 int64_t j) {
+              for (int64_t k = k0; k < k1; ++k) {
+                reader->Hint(a.name, TileId{i, k},
+                             TileBytes(a.layout, i, k));
+                reader->Hint(b.name, TileId{k, j},
+                             TileBytes(b.layout, k, j));
               }
-            }
-            for (int64_t i = ib; i < i1; ++i) {
-              for (int64_t j = jb; j < j1; ++j) {
-                Tile acc(out_layout.TileRowsAt(i), out_layout.TileColsAt(j));
-                for (int64_t k = k0; k < k1; ++k) {
-                  CUMULON_ASSIGN_OR_RETURN(
-                      std::shared_ptr<const Tile> ta,
-                      reader.ReadMemoized(a.name, TileId{i, k}));
-                  CUMULON_ASSIGN_OR_RETURN(
-                      std::shared_ptr<const Tile> tb,
-                      reader.ReadMemoized(b.name, TileId{k, j}));
-                  CUMULON_RETURN_IF_ERROR(Gemm(*ta, *tb, 1.0, 1.0, &acc));
-                }
-                CUMULON_RETURN_IF_ERROR(RunEwSteps(epilogue, &reader,
-                                                   TileId{i, j}, &acc));
+              HintEwStepOperands(epilogue, out_layout, TileId{i, j}, reader);
+            };
+            auto compute_unit = [&](TaskTileReader* reader, int64_t i,
+                                    int64_t j) -> Status {
+              Tile acc(out_layout.TileRowsAt(i), out_layout.TileColsAt(j));
+              for (int64_t k = k0; k < k1; ++k) {
+                CUMULON_ASSIGN_OR_RETURN(
+                    std::shared_ptr<const Tile> ta,
+                    reader->ReadMemoized(a.name, TileId{i, k}));
+                CUMULON_ASSIGN_OR_RETURN(
+                    std::shared_ptr<const Tile> tb,
+                    reader->ReadMemoized(b.name, TileId{k, j}));
                 CUMULON_RETURN_IF_ERROR(
-                    store->Put(out_name, TileId{i, j},
-                               std::make_shared<Tile>(std::move(acc)),
-                               machine));
+                    GemmWithMode(kmode, *ta, *tb, 1.0, 1.0, &acc));
+              }
+              CUMULON_RETURN_IF_ERROR(RunEwSteps(epilogue, reader,
+                                                 TileId{i, j}, &acc, kmode));
+              return store->Put(out_name, TileId{i, j},
+                                std::make_shared<Tile>(std::move(acc)),
+                                machine);
+            };
+            if (steal == nullptr) {
+              // Classic path: one task-wide double-buffered reader. Hint
+              // every read in compute order, then compute — output block
+              // (i,j+1)'s tiles download while (i,j) multiplies. A and B
+              // tiles recur across the block (A per j, B per i), so they
+              // go through the memo, which bounds the task's live set to
+              // exactly the bi*bk + bk*bj tiles TaskMemoryBytes budgets
+              // for.
+              TaskTileReader reader(store, machine, budget);
+              for (int64_t i = ib; i < i1; ++i) {
+                for (int64_t j = jb; j < j1; ++j) hint_unit(&reader, i, j);
+              }
+              for (int64_t i = ib; i < i1; ++i) {
+                for (int64_t j = jb; j < j1; ++j) {
+                  CUMULON_RETURN_IF_ERROR(compute_unit(&reader, i, j));
+                }
+              }
+              return Status::OK();
+            }
+            // Stealing path: publish one split per output tile. Each split
+            // opens its own reader (TaskTileReader is single-threaded), so
+            // stolen splits prefetch and read wherever they execute; the
+            // lambdas capture this frame by reference, which RunAndWait
+            // keeps alive until every split has run.
+            TaskSplitScope scope(steal, task_name, machine);
+            for (int64_t i = ib; i < i1; ++i) {
+              for (int64_t j = jb; j < j1; ++j) {
+                scope.Add([&, i, j]() -> Status {
+                  TaskTileReader reader(store, machine, budget);
+                  hint_unit(&reader, i, j);
+                  return compute_unit(&reader, i, j);
+                });
               }
             }
-            return Status::OK();
+            return scope.RunAndWait();
           };
         }
 
@@ -462,29 +493,48 @@ Result<BuiltJob> SumJob::Build(const BuildContext& ctx) const {
       const TileLayout out_layout = lc;
       const std::vector<EwStep> epilogue = epilogue_;
       const int64_t budget = ctx.prefetch_budget_bytes;
+      StealDomain* const steal = ctx.steal;
+      const KernelMode kmode = ctx.kernel_mode;
       task.work = [store, parts, out_name, out_layout, epilogue, group,
-                   budget](int machine) -> Status {
-        TaskTileReader reader(store, machine, budget);
-        for (const TileId& id : group) {
+                   budget, steal, kmode,
+                   task_name = task.name](int machine) -> Status {
+        auto hint_unit = [&](TaskTileReader* reader, const TileId& id) {
           for (const std::string& part : parts) {
-            reader.Hint(part, id, TileBytes(out_layout, id.row, id.col));
+            reader->Hint(part, id, TileBytes(out_layout, id.row, id.col));
           }
-          HintEwStepOperands(epilogue, out_layout, id, &reader);
-        }
-        for (const TileId& id : group) {
+          HintEwStepOperands(epilogue, out_layout, id, reader);
+        };
+        auto compute_unit = [&](TaskTileReader* reader,
+                                const TileId& id) -> Status {
           Tile acc(out_layout.TileRowsAt(id.row),
                    out_layout.TileColsAt(id.col));
           for (const std::string& part : parts) {
             CUMULON_ASSIGN_OR_RETURN(std::shared_ptr<const Tile> t,
-                                     reader.Read(part, id));
-            CUMULON_RETURN_IF_ERROR(AccumulateInto(*t, &acc));
+                                     reader->Read(part, id));
+            CUMULON_RETURN_IF_ERROR(AccumulateIntoWithMode(kmode, *t, &acc));
           }
-          CUMULON_RETURN_IF_ERROR(RunEwSteps(epilogue, &reader, id, &acc));
           CUMULON_RETURN_IF_ERROR(
-              store->Put(out_name, id,
-                         std::make_shared<Tile>(std::move(acc)), machine));
+              RunEwSteps(epilogue, reader, id, &acc, kmode));
+          return store->Put(out_name, id,
+                            std::make_shared<Tile>(std::move(acc)), machine);
+        };
+        if (steal == nullptr) {
+          TaskTileReader reader(store, machine, budget);
+          for (const TileId& id : group) hint_unit(&reader, id);
+          for (const TileId& id : group) {
+            CUMULON_RETURN_IF_ERROR(compute_unit(&reader, id));
+          }
+          return Status::OK();
         }
-        return Status::OK();
+        TaskSplitScope scope(steal, task_name, machine);
+        for (const TileId& id : group) {
+          scope.Add([&, id]() -> Status {
+            TaskTileReader reader(store, machine, budget);
+            hint_unit(&reader, id);
+            return compute_unit(&reader, id);
+          });
+        }
+        return scope.RunAndWait();
       };
     }
 
@@ -556,23 +606,43 @@ Result<BuiltJob> EwChainJob::Build(const BuildContext& ctx) const {
       const TileLayout out_layout = lc;
       const std::vector<EwStep> steps = steps_;
       const int64_t budget = ctx.prefetch_budget_bytes;
+      StealDomain* const steal = ctx.steal;
+      const KernelMode kmode = ctx.kernel_mode;
       task.work = [store, in_name, out_name, out_layout, steps, group,
-                   budget](int machine) -> Status {
-        TaskTileReader reader(store, machine, budget);
-        for (const TileId& id : group) {
-          reader.Hint(in_name, id, TileBytes(out_layout, id.row, id.col));
-          HintEwStepOperands(steps, out_layout, id, &reader);
-        }
-        for (const TileId& id : group) {
+                   budget, steal, kmode,
+                   task_name = task.name](int machine) -> Status {
+        auto hint_unit = [&](TaskTileReader* reader, const TileId& id) {
+          reader->Hint(in_name, id, TileBytes(out_layout, id.row, id.col));
+          HintEwStepOperands(steps, out_layout, id, reader);
+        };
+        auto compute_unit = [&](TaskTileReader* reader,
+                                const TileId& id) -> Status {
           CUMULON_ASSIGN_OR_RETURN(std::shared_ptr<const Tile> t,
-                                   reader.Read(in_name, id));
+                                   reader->Read(in_name, id));
           Tile value = *t;
-          CUMULON_RETURN_IF_ERROR(RunEwSteps(steps, &reader, id, &value));
           CUMULON_RETURN_IF_ERROR(
-              store->Put(out_name, id,
-                         std::make_shared<Tile>(std::move(value)), machine));
+              RunEwSteps(steps, reader, id, &value, kmode));
+          return store->Put(out_name, id,
+                            std::make_shared<Tile>(std::move(value)),
+                            machine);
+        };
+        if (steal == nullptr) {
+          TaskTileReader reader(store, machine, budget);
+          for (const TileId& id : group) hint_unit(&reader, id);
+          for (const TileId& id : group) {
+            CUMULON_RETURN_IF_ERROR(compute_unit(&reader, id));
+          }
+          return Status::OK();
         }
-        return Status::OK();
+        TaskSplitScope scope(steal, task_name, machine);
+        for (const TileId& id : group) {
+          scope.Add([&, id]() -> Status {
+            TaskTileReader reader(store, machine, budget);
+            hint_unit(&reader, id);
+            return compute_unit(&reader, id);
+          });
+        }
+        return scope.RunAndWait();
       };
     }
 
@@ -681,36 +751,56 @@ Result<BuiltJob> AggregateJob::Build(const BuildContext& ctx) const {
       const std::vector<EwStep> epilogue = epilogue_;
       const bool rows_mode = row_sums;
       const int64_t budget = ctx.prefetch_budget_bytes;
+      StealDomain* const steal = ctx.steal;
+      const KernelMode kmode = ctx.kernel_mode;
       task.work = [store, in_name, out_name, in_layout, out_layout, epilogue,
-                   rows_mode, s0, s1, cross, budget](int machine) -> Status {
-        TaskTileReader reader(store, machine, budget);
-        for (int64_t s = s0; s < s1; ++s) {
+                   rows_mode, s0, s1, cross, budget, steal, kmode,
+                   task_name = task.name](int machine) -> Status {
+        // One unit = one output stripe s (row sums: grid row; col sums:
+        // grid column), reading its full cross range of input tiles.
+        auto hint_unit = [&](TaskTileReader* reader, int64_t s) {
           for (int64_t x = 0; x < cross; ++x) {
             const TileId in_id = rows_mode ? TileId{s, x} : TileId{x, s};
-            reader.Hint(in_name, in_id,
-                        TileBytes(in_layout, in_id.row, in_id.col));
+            reader->Hint(in_name, in_id,
+                         TileBytes(in_layout, in_id.row, in_id.col));
           }
           const TileId out_id = rows_mode ? TileId{s, 0} : TileId{0, s};
-          HintEwStepOperands(epilogue, out_layout, out_id, &reader);
-        }
-        for (int64_t s = s0; s < s1; ++s) {
+          HintEwStepOperands(epilogue, out_layout, out_id, reader);
+        };
+        auto compute_unit = [&](TaskTileReader* reader, int64_t s) -> Status {
           const TileId out_id = rows_mode ? TileId{s, 0} : TileId{0, s};
           Tile acc(out_layout.TileRowsAt(out_id.row),
                    out_layout.TileColsAt(out_id.col));
           for (int64_t x = 0; x < cross; ++x) {
             const TileId in_id = rows_mode ? TileId{s, x} : TileId{x, s};
             CUMULON_ASSIGN_OR_RETURN(std::shared_ptr<const Tile> t,
-                                     reader.Read(in_name, in_id));
-            CUMULON_RETURN_IF_ERROR(rows_mode ? RowSumsInto(*t, &acc)
-                                              : ColSumsInto(*t, &acc));
+                                     reader->Read(in_name, in_id));
+            CUMULON_RETURN_IF_ERROR(
+                rows_mode ? RowSumsInto(*t, &acc)
+                          : ColSumsIntoWithMode(kmode, *t, &acc));
           }
           CUMULON_RETURN_IF_ERROR(
-              RunEwSteps(epilogue, &reader, out_id, &acc));
-          CUMULON_RETURN_IF_ERROR(
-              store->Put(out_name, out_id,
-                         std::make_shared<Tile>(std::move(acc)), machine));
+              RunEwSteps(epilogue, reader, out_id, &acc, kmode));
+          return store->Put(out_name, out_id,
+                            std::make_shared<Tile>(std::move(acc)), machine);
+        };
+        if (steal == nullptr) {
+          TaskTileReader reader(store, machine, budget);
+          for (int64_t s = s0; s < s1; ++s) hint_unit(&reader, s);
+          for (int64_t s = s0; s < s1; ++s) {
+            CUMULON_RETURN_IF_ERROR(compute_unit(&reader, s));
+          }
+          return Status::OK();
         }
-        return Status::OK();
+        TaskSplitScope scope(steal, task_name, machine);
+        for (int64_t s = s0; s < s1; ++s) {
+          scope.Add([&, s]() -> Status {
+            TaskTileReader reader(store, machine, budget);
+            hint_unit(&reader, s);
+            return compute_unit(&reader, s);
+          });
+        }
+        return scope.RunAndWait();
       };
     }
 
@@ -779,28 +869,44 @@ Result<BuiltJob> TransposeJob::Build(const BuildContext& ctx) const {
       const std::string out_name = out_.name;
       const TileLayout out_layout = lc;
       const int64_t budget = ctx.prefetch_budget_bytes;
-      task.work = [store, in_name, out_name, out_layout, group,
-                   budget](int machine) -> Status {
-        TaskTileReader reader(store, machine, budget);
-        for (const TileId& id : group) {
+      StealDomain* const steal = ctx.steal;
+      task.work = [store, in_name, out_name, out_layout, group, budget,
+                   steal, task_name = task.name](int machine) -> Status {
+        auto hint_unit = [&](TaskTileReader* reader, const TileId& id) {
           // Input tile (j,i) has the transposed shape of output (i,j),
           // which is the same serialized size.
-          reader.Hint(in_name, TileId{id.col, id.row},
-                      TileBytes(out_layout, id.row, id.col));
-        }
-        for (const TileId& id : group) {
+          reader->Hint(in_name, TileId{id.col, id.row},
+                       TileBytes(out_layout, id.row, id.col));
+        };
+        auto compute_unit = [&](TaskTileReader* reader,
+                                const TileId& id) -> Status {
           CUMULON_ASSIGN_OR_RETURN(
               std::shared_ptr<const Tile> t,
-              reader.Read(in_name, TileId{id.col, id.row}));
+              reader->Read(in_name, TileId{id.col, id.row}));
           Tile out_tile(out_layout.TileRowsAt(id.row),
                         out_layout.TileColsAt(id.col));
           CUMULON_RETURN_IF_ERROR(TransposeTile(*t, &out_tile));
-          CUMULON_RETURN_IF_ERROR(
-              store->Put(out_name, id,
-                         std::make_shared<Tile>(std::move(out_tile)),
-                         machine));
+          return store->Put(out_name, id,
+                            std::make_shared<Tile>(std::move(out_tile)),
+                            machine);
+        };
+        if (steal == nullptr) {
+          TaskTileReader reader(store, machine, budget);
+          for (const TileId& id : group) hint_unit(&reader, id);
+          for (const TileId& id : group) {
+            CUMULON_RETURN_IF_ERROR(compute_unit(&reader, id));
+          }
+          return Status::OK();
         }
-        return Status::OK();
+        TaskSplitScope scope(steal, task_name, machine);
+        for (const TileId& id : group) {
+          scope.Add([&, id]() -> Status {
+            TaskTileReader reader(store, machine, budget);
+            hint_unit(&reader, id);
+            return compute_unit(&reader, id);
+          });
+        }
+        return scope.RunAndWait();
       };
     }
 

@@ -10,10 +10,13 @@
 #include "common/result.h"
 #include "cost/cost_model.h"
 #include "exec/ew_step.h"
+#include "matrix/kernel_config.h"
 #include "matrix/tile_store.h"
 #include "matrix/tiled_matrix.h"
 
 namespace cumulon {
+
+class StealDomain;  // cluster/steal_domain.h
 
 /// Inputs a physical job needs to turn itself into schedulable tasks.
 struct BuildContext {
@@ -21,6 +24,19 @@ struct BuildContext {
   const TileOpCostModel* cost = nullptr; // cpu_seconds_ref per task
   bool attach_work = true;               // false for simulation-only plans
   bool query_locality = true;            // consult store->PreferredNodes
+
+  /// Kernel implementation the task bodies pass to the *WithMode tile ops
+  /// (matrix/kernel_config.h): kAuto = packed SIMD when the CPU has it,
+  /// kScalar = the bit-exact oracle. The executor fills it from
+  /// ExecutorOptions::kernel_mode.
+  KernelMode kernel_mode = KernelMode::kAuto;
+
+  /// Intra-job work stealing (cluster/steal_domain.h). When non-null, task
+  /// bodies publish their block-splits through a TaskSplitScope instead of
+  /// running them inline, so idle workers can steal straggler splits.
+  /// Borrowed from the executor; null = splits run inline (exact classic
+  /// behavior, including task-level read memoization).
+  StealDomain* steal = nullptr;
 
   /// Node-local tile-cache budget per machine (0 = caching off) and the
   /// number of machines the job's tasks spread over. When set, jobs whose

@@ -1,12 +1,24 @@
 #include "exec/prefetch_pipeline.h"
 
+#include <algorithm>
 #include <utility>
 
+#include "common/aligned_buffer.h"
 #include "common/stopwatch.h"
 #include "common/strings.h"
 #include "common/task_io_stats.h"
 
 namespace cumulon {
+
+namespace {
+
+/// Budget weight of a hinted tile: the aligned footprint its deserialized
+/// payload will occupy (serialized size = 16-byte header + payload).
+int64_t HintFootprintBytes(int64_t serialized_bytes) {
+  return AlignedFootprintBytes(std::max<int64_t>(serialized_bytes - 16, 0));
+}
+
+}  // namespace
 
 TaskTileReader::TaskTileReader(TileStore* store, int machine,
                                int64_t budget_bytes)
@@ -23,7 +35,8 @@ std::string TaskTileReader::Key(const std::string& matrix, TileId id) {
 void TaskTileReader::Hint(const std::string& matrix, TileId id,
                           int64_t bytes) {
   if (budget_bytes_ <= 0) return;
-  pending_.push_back(PendingHint{Key(matrix, id), matrix, id, bytes});
+  pending_.push_back(
+      PendingHint{Key(matrix, id), matrix, id, HintFootprintBytes(bytes)});
   Pump();
 }
 

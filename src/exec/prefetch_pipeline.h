@@ -26,7 +26,7 @@ namespace cumulon {
 class TaskTileReader {
  public:
   /// `store` is borrowed and must outlive the reader. `budget_bytes` caps
-  /// the serialized size of in-flight prefetches; at least one hint is
+  /// the in-memory footprint of in-flight prefetches; at least one hint is
   /// kept in flight even when it alone exceeds the budget (<= 0 disables
   /// prefetching entirely).
   TaskTileReader(TileStore* store, int machine, int64_t budget_bytes);
@@ -38,9 +38,11 @@ class TaskTileReader {
   TaskTileReader& operator=(const TaskTileReader&) = delete;
 
   /// Declares an upcoming Read, in the order the task will issue them.
-  /// `bytes` is the tile's serialized size (its weight against the
-  /// budget). Duplicate hints are fine — already-fetched or in-flight
-  /// tiles are skipped at issue time.
+  /// `bytes` is the tile's serialized size; the reader weighs it against
+  /// the budget as the aligned in-memory footprint the deserialized tile
+  /// will actually pin (Tile::MemoryBytes of the same shape). Duplicate
+  /// hints are fine — already-fetched or in-flight tiles are skipped at
+  /// issue time.
   void Hint(const std::string& matrix, TileId id, int64_t bytes);
 
   /// Fetches a tile: consumes the matching in-flight prefetch when one

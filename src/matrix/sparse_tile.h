@@ -2,8 +2,8 @@
 #define CUMULON_MATRIX_SPARSE_TILE_H_
 
 #include <cstdint>
-#include <vector>
 
+#include "common/aligned_buffer.h"
 #include "common/result.h"
 #include "common/rng.h"
 #include "matrix/tile.h"
@@ -43,9 +43,16 @@ class SparseTile {
     return 24 + (rows_ + 1) * 8 + nnz() * 16;
   }
 
-  const std::vector<int64_t>& row_ptr() const { return row_ptr_; }
-  const std::vector<int64_t>& col_idx() const { return col_idx_; }
-  const std::vector<double>& values() const { return values_; }
+  /// Resident heap footprint: the three aligned CSR arrays, allocator
+  /// padding included (see Tile::MemoryBytes).
+  int64_t MemoryBytes() const {
+    return AlignedFootprintBytes((rows_ + 1) * 8) +
+           AlignedFootprintBytes(nnz() * 8) + AlignedFootprintBytes(nnz() * 8);
+  }
+
+  const AlignedVector<int64_t>& row_ptr() const { return row_ptr_; }
+  const AlignedVector<int64_t>& col_idx() const { return col_idx_; }
+  const AlignedVector<double>& values() const { return values_; }
 
   /// C = alpha * S * D + beta * C (sparse-dense matrix multiply).
   /// S is rows x k (this), D is k x n, C is rows x n.
@@ -62,9 +69,9 @@ class SparseTile {
  private:
   int64_t rows_;
   int64_t cols_;
-  std::vector<int64_t> row_ptr_;  // size rows_ + 1
-  std::vector<int64_t> col_idx_;  // size nnz
-  std::vector<double> values_;    // size nnz
+  AlignedVector<int64_t> row_ptr_;  // size rows_ + 1
+  AlignedVector<int64_t> col_idx_;  // size nnz
+  AlignedVector<double> values_;    // size nnz
 };
 
 }  // namespace cumulon

@@ -2,8 +2,8 @@
 #define CUMULON_MATRIX_TILE_H_
 
 #include <cstdint>
-#include <vector>
 
+#include "common/aligned_buffer.h"
 #include "common/logging.h"
 
 namespace cumulon {
@@ -12,6 +12,10 @@ namespace cumulon {
 /// storage and computation in Cumulon: matrices are carved into a grid of
 /// tiles, tiles are the values read from and written to the DFS, and all
 /// physical operators are expressed as per-tile kernels (see tile_ops.h).
+///
+/// The payload lives in cache-line-aligned memory (common/aligned_buffer.h)
+/// so SIMD kernels can assume `data()` is 64-byte aligned; MemoryBytes() is
+/// the allocator's padded footprint, SizeBytes() the serialized DFS size.
 class Tile {
  public:
   /// Creates a zero-filled rows x cols tile.
@@ -35,6 +39,11 @@ class Tile {
     return static_cast<int64_t>(sizeof(int64_t)) * 2 + size() * 8;
   }
 
+  /// Resident heap footprint of the payload (aligned-allocator padding
+  /// included). This is what the tile cache and prefetch window budget
+  /// against; DFS transfer accounting uses SizeBytes().
+  int64_t MemoryBytes() const { return AlignedFootprintBytes(size() * 8); }
+
   double At(int64_t r, int64_t c) const {
     CUMULON_DCHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
     return data_[r * cols_ + c];
@@ -50,7 +59,7 @@ class Tile {
  private:
   int64_t rows_;
   int64_t cols_;
-  std::vector<double> data_;
+  AlignedVector<double> data_;
 };
 
 }  // namespace cumulon

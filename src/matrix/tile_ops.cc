@@ -4,8 +4,18 @@
 #include <cmath>
 
 #include "common/strings.h"
+#include "matrix/gemm_packed.h"
+#include "matrix/kernel_config.h"
 
 namespace cumulon {
+
+namespace {
+/// True when `mode` resolves to the packed/vector path on this machine
+/// (CPUID + CUMULON_KERNEL override, see kernel_config.h).
+bool UseSimd(KernelMode mode) {
+  return ResolveKernelMode(mode) == KernelMode::kSimd;
+}
+}  // namespace
 
 const char* BinaryOpName(BinaryOp op) {
   switch (op) {
@@ -91,13 +101,20 @@ double ApplyUnary(UnaryOp op, double x, double scalar) {
   return 0.0;
 }
 
-namespace {
-// Cache-block edge for the GEMM micro-kernel; 64x64 doubles of each operand
-// stays well inside L2 on any machine we care about.
-constexpr int64_t kBlock = 64;
-}  // namespace
-
 Status Gemm(const Tile& a, const Tile& b, double alpha, double beta, Tile* c) {
+  return GemmWithMode(KernelMode::kAuto, a, b, alpha, beta, c);
+}
+
+Status GemmWithMode(KernelMode mode, const Tile& a, const Tile& b,
+                    double alpha, double beta, Tile* c) {
+  if (UseSimd(mode)) {
+    return kernel_internal::GemmPackedAvx2(a, b, alpha, beta, c);
+  }
+  return GemmScalar(a, b, alpha, beta, c);
+}
+
+Status GemmScalar(const Tile& a, const Tile& b, double alpha, double beta,
+                  Tile* c) {
   if (a.cols() != b.rows() || a.rows() != c->rows() || b.cols() != c->cols()) {
     return Status::InvalidArgument(
         StrCat("gemm shape mismatch: A ", a.rows(), "x", a.cols(), ", B ",
@@ -120,7 +137,9 @@ Status Gemm(const Tile& a, const Tile& b, double alpha, double beta, Tile* c) {
   // four, instead of one. Every C element still receives its k terms in
   // ascending order as separate adds (the accumulator starts from the
   // element's current value), so results are bit-identical to the plain
-  // i-k-j loop.
+  // i-k-j loop — for any block size, which is why cache_block is freely
+  // tunable (kernel_config.h, derived from L2 at startup).
+  const int64_t kBlock = GetKernelConfig().cache_block;
   for (int64_t i0 = 0; i0 < m; i0 += kBlock) {
     const int64_t i1 = std::min(i0 + kBlock, m);
     for (int64_t k0 = 0; k0 < k; k0 += kBlock) {
@@ -210,6 +229,11 @@ Status Gemm(const Tile& a, const Tile& b, double alpha, double beta, Tile* c) {
 }
 
 Status EwBinary(BinaryOp op, const Tile& a, const Tile& b, Tile* out) {
+  return EwBinaryWithMode(KernelMode::kAuto, op, a, b, out);
+}
+
+Status EwBinaryWithMode(KernelMode mode, BinaryOp op, const Tile& a,
+                        const Tile& b, Tile* out) {
   if (a.rows() != b.rows() || a.cols() != b.cols() ||
       a.rows() != out->rows() || a.cols() != out->cols()) {
     return Status::InvalidArgument("element-wise shape mismatch");
@@ -218,6 +242,10 @@ Status EwBinary(BinaryOp op, const Tile& a, const Tile& b, Tile* out) {
   const double* bd = b.data();
   double* od = out->mutable_data();
   const int64_t n = a.size();
+  if (UseSimd(mode)) {
+    kernel_internal::EwBinaryAvx2(op, ad, bd, od, n);
+    return Status::OK();
+  }
   switch (op) {
     case BinaryOp::kAdd:
       for (int64_t i = 0; i < n; ++i) od[i] = ad[i] + bd[i];
@@ -243,6 +271,13 @@ Status EwBinary(BinaryOp op, const Tile& a, const Tile& b, Tile* out) {
 
 Status EwBroadcast(BinaryOp op, const Tile& a, const Tile& vec,
                    bool row_vector, bool swapped, Tile* out) {
+  return EwBroadcastWithMode(KernelMode::kAuto, op, a, vec, row_vector,
+                             swapped, out);
+}
+
+Status EwBroadcastWithMode(KernelMode mode, BinaryOp op, const Tile& a,
+                           const Tile& vec, bool row_vector, bool swapped,
+                           Tile* out) {
   if (a.rows() != out->rows() || a.cols() != out->cols()) {
     return Status::InvalidArgument("broadcast output shape mismatch");
   }
@@ -254,6 +289,29 @@ Status EwBroadcast(BinaryOp op, const Tile& a, const Tile& vec,
     if (vec.cols() != 1 || vec.rows() != a.rows()) {
       return Status::InvalidArgument("col-vector broadcast shape mismatch");
     }
+  }
+  if (UseSimd(mode)) {
+    // Row case: each output row is `a_row op vec` (or swapped) — the plain
+    // vector-vector kernel per row. Column case: vec(r) is a loop-invariant
+    // scalar per row — the vector-scalar kernel. Both bit-identical.
+    const double* ad = a.data();
+    const double* vd = vec.data();
+    double* od = out->mutable_data();
+    const int64_t rows = a.rows(), cols = a.cols();
+    for (int64_t r = 0; r < rows; ++r) {
+      const double* arow = ad + r * cols;
+      double* orow = od + r * cols;
+      if (row_vector) {
+        if (swapped) {
+          kernel_internal::EwBinaryAvx2(op, vd, arow, orow, cols);
+        } else {
+          kernel_internal::EwBinaryAvx2(op, arow, vd, orow, cols);
+        }
+      } else {
+        kernel_internal::EwScalarAvx2(op, arow, vd[r], swapped, orow, cols);
+      }
+    }
+    return Status::OK();
   }
   // Orientation and operand order are loop invariants; pick one of the four
   // tight loops up front instead of re-deciding per element, and let the
@@ -317,14 +375,27 @@ Status EwBroadcast(BinaryOp op, const Tile& a, const Tile& vec,
 }
 
 Status EwUnary(UnaryOp op, const Tile& a, double scalar, Tile* out) {
+  return EwUnaryWithMode(KernelMode::kAuto, op, a, scalar, out);
+}
+
+Status EwUnaryWithMode(KernelMode mode, UnaryOp op, const Tile& a,
+                       double scalar, Tile* out) {
   if (a.rows() != out->rows() || a.cols() != out->cols()) {
     return Status::InvalidArgument("element-wise shape mismatch");
   }
   const double* ad = a.data();
   double* od = out->mutable_data();
   const int64_t n = a.size();
-  // kScale/kAddScalar dominate real workloads; give them tight loops and
-  // route the rest through ApplyUnary.
+  // kScale/kAddScalar dominate real workloads: vectorize them (x*s and x+s
+  // are single IEEE ops — bit-identical); the transcendental ops route
+  // through ApplyUnary regardless of mode.
+  if (UseSimd(mode) &&
+      (op == UnaryOp::kScale || op == UnaryOp::kAddScalar)) {
+    kernel_internal::EwScalarAvx2(
+        op == UnaryOp::kScale ? BinaryOp::kMul : BinaryOp::kAdd, ad, scalar,
+        /*swapped=*/false, od, n);
+    return Status::OK();
+  }
   switch (op) {
     case UnaryOp::kScale:
       for (int64_t i = 0; i < n; ++i) od[i] = ad[i] * scalar;
@@ -347,6 +418,7 @@ Status TransposeTile(const Tile& a, Tile* out) {
   const double* ad = a.data();
   double* od = out->mutable_data();
   // Blocked to keep both access patterns cache-friendly.
+  const int64_t kBlock = GetKernelConfig().cache_block;
   for (int64_t i0 = 0; i0 < m; i0 += kBlock) {
     const int64_t i1 = std::min(i0 + kBlock, m);
     for (int64_t j0 = 0; j0 < n; j0 += kBlock) {
@@ -362,12 +434,20 @@ Status TransposeTile(const Tile& a, Tile* out) {
 }
 
 Status AccumulateInto(const Tile& x, Tile* acc) {
+  return AccumulateIntoWithMode(KernelMode::kAuto, x, acc);
+}
+
+Status AccumulateIntoWithMode(KernelMode mode, const Tile& x, Tile* acc) {
   if (x.rows() != acc->rows() || x.cols() != acc->cols()) {
     return Status::InvalidArgument("accumulate shape mismatch");
   }
   const double* xd = x.data();
   double* ad = acc->mutable_data();
   const int64_t n = x.size();
+  if (UseSimd(mode)) {
+    kernel_internal::AccumulateAvx2(xd, ad, n);
+    return Status::OK();
+  }
   for (int64_t i = 0; i < n; ++i) ad[i] += xd[i];
   return Status::OK();
 }
@@ -388,11 +468,19 @@ Status RowSumsInto(const Tile& t, Tile* acc) {
 }
 
 Status ColSumsInto(const Tile& t, Tile* acc) {
+  return ColSumsIntoWithMode(KernelMode::kAuto, t, acc);
+}
+
+Status ColSumsIntoWithMode(KernelMode mode, const Tile& t, Tile* acc) {
   if (acc->rows() != 1 || acc->cols() != t.cols()) {
     return Status::InvalidArgument("ColSumsInto needs a 1 x cols accumulator");
   }
   const double* d = t.data();
   double* a = acc->mutable_data();
+  if (UseSimd(mode)) {
+    kernel_internal::ColSumsAvx2(d, t.rows(), t.cols(), a);
+    return Status::OK();
+  }
   for (int64_t r = 0; r < t.rows(); ++r) {
     const double* row = d + r * t.cols();
     for (int64_t c = 0; c < t.cols(); ++c) a[c] += row[c];

@@ -7,6 +7,7 @@
 #include "common/result.h"
 #include "common/rng.h"
 #include "common/status.h"
+#include "matrix/kernel_config.h"
 #include "matrix/tile.h"
 
 namespace cumulon {
@@ -37,12 +38,30 @@ const char* UnaryOpName(UnaryOp op);
 double ApplyBinary(BinaryOp op, double a, double b);
 double ApplyUnary(UnaryOp op, double x, double scalar);
 
-/// C = alpha * A * B + beta * C (cache-blocked dense GEMM).
+/// C = alpha * A * B + beta * C (dense GEMM).
 /// Shape requirements: A is m x k, B is k x n, C is m x n.
+/// Dispatches at runtime (KernelMode::kAuto): the packed AVX2+FMA kernel
+/// when the CPU supports it, the scalar oracle otherwise. Both accumulate
+/// each C element's k terms in ascending order; the SIMD path differs only
+/// by FMA's fused rounding.
 Status Gemm(const Tile& a, const Tile& b, double alpha, double beta, Tile* c);
 
+/// Gemm through an explicit kernel mode (executor plumbing / tests /
+/// benches). kSimd falls back to scalar when the CPU lacks AVX2+FMA.
+Status GemmWithMode(KernelMode mode, const Tile& a, const Tile& b,
+                    double alpha, double beta, Tile* c);
+
+/// The register-blocked scalar kernel — the bit-exactness oracle the SIMD
+/// path is tested against. Never vectorized, never FMA-contracted.
+Status GemmScalar(const Tile& a, const Tile& b, double alpha, double beta,
+                  Tile* c);
+
 /// out[i] = ApplyBinary(op, a[i], b[i]). Shapes must match.
+/// Auto-dispatches to the AVX2 path when available; the vector EW kernels
+/// use one IEEE op per element (no FMA) and are bit-identical to scalar.
 Status EwBinary(BinaryOp op, const Tile& a, const Tile& b, Tile* out);
+Status EwBinaryWithMode(KernelMode mode, BinaryOp op, const Tile& a,
+                        const Tile& b, Tile* out);
 
 /// Broadcast variant: `vec` is a 1 x cols row vector (row_vector = true,
 /// applied to every row of `a`) or a rows x 1 column vector (applied to
@@ -50,9 +69,14 @@ Status EwBinary(BinaryOp op, const Tile& a, const Tile& b, Tile* out);
 /// operand order. Used for centering/normalizing against aggregates.
 Status EwBroadcast(BinaryOp op, const Tile& a, const Tile& vec,
                    bool row_vector, bool swapped, Tile* out);
+Status EwBroadcastWithMode(KernelMode mode, BinaryOp op, const Tile& a,
+                           const Tile& vec, bool row_vector, bool swapped,
+                           Tile* out);
 
 /// out[i] = ApplyUnary(op, a[i], scalar).
 Status EwUnary(UnaryOp op, const Tile& a, double scalar, Tile* out);
+Status EwUnaryWithMode(KernelMode mode, UnaryOp op, const Tile& a,
+                       double scalar, Tile* out);
 
 /// out = a^T.
 Status TransposeTile(const Tile& a, Tile* out);
@@ -60,6 +84,7 @@ Status TransposeTile(const Tile& a, Tile* out);
 /// acc += x (element-wise). Shapes must match. Used to merge split-k
 /// partial products.
 Status AccumulateInto(const Tile& x, Tile* acc);
+Status AccumulateIntoWithMode(KernelMode mode, const Tile& x, Tile* acc);
 
 /// Sum of all elements.
 double TileSum(const Tile& t);
@@ -68,7 +93,12 @@ double TileSum(const Tile& t);
 Status RowSumsInto(const Tile& t, Tile* acc);
 
 /// acc[c] += sum_r t(r, c): folds a tile into a 1 x cols accumulator.
+/// Vectorized over columns when AVX2 is available — each accumulator
+/// element still receives rows in ascending order, so bit-identical.
+/// (RowSumsInto / TileSum / FrobeniusNorm reduce *within* a row and stay
+/// scalar: vectorizing them would reorder the additions.)
 Status ColSumsInto(const Tile& t, Tile* acc);
+Status ColSumsIntoWithMode(KernelMode mode, const Tile& t, Tile* acc);
 
 /// Frobenius norm.
 double FrobeniusNorm(const Tile& t);

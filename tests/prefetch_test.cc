@@ -243,16 +243,19 @@ class ManualAsyncStore : public TileStore {
 TEST(TaskTileReaderTest, WindowRespectsByteBudget) {
   ManualAsyncStore store;
   const int64_t tile_bytes = MakeTile(8, 8, 0.0)->SizeBytes();
+  // The window is budgeted in in-memory footprint (what a prefetched tile
+  // actually pins), not serialized size.
+  const int64_t tile_mem = MakeTile(8, 8, 0.0)->MemoryBytes();
   for (int i = 0; i < 6; ++i) {
     ASSERT_TRUE(
         store.Put("m", TileId{0, i}, MakeTile(8, 8, i), /*writer=*/0).ok());
   }
 
   // Budget = 2 tiles: hints beyond the window stay pending.
-  TaskTileReader reader(&store, /*machine=*/0, 2 * tile_bytes);
+  TaskTileReader reader(&store, /*machine=*/0, 2 * tile_mem);
   for (int i = 0; i < 6; ++i) reader.Hint("m", TileId{0, i}, tile_bytes);
   EXPECT_EQ(store.issued.size(), 2u);
-  EXPECT_EQ(reader.in_flight_bytes(), 2 * tile_bytes);
+  EXPECT_EQ(reader.in_flight_bytes(), 2 * tile_mem);
 
   // Consuming the head of the window admits the next pending hint; the
   // resolved tile comes back through the future, not a sync Get.

@@ -26,8 +26,12 @@ std::shared_ptr<const Tile> MakeTile(int64_t rows, int64_t cols,
   return tile;
 }
 
-// 4x4 doubles + header = 144 bytes; the unit of all capacity math below.
+// 4x4 doubles + header = 144 serialized bytes; the unit of all capacity
+// math below. The in-memory footprint is smaller here (128 bytes: the
+// 16-byte header is not materialized and the payload rounds up to whole
+// cache lines), and that is what resident_bytes and eviction budget on.
 const int64_t kTileBytes = MakeTile(4, 4, 0.0)->SizeBytes();
+const int64_t kTileMemoryBytes = MakeTile(4, 4, 0.0)->MemoryBytes();
 
 TEST(TileCacheTest, MissThenHit) {
   TileCache cache(10 * kTileBytes, /*num_shards=*/1);
@@ -41,7 +45,7 @@ TEST(TileCacheTest, MissThenHit) {
   EXPECT_EQ(stats.misses, 1);
   EXPECT_EQ(stats.insertions, 1);
   EXPECT_EQ(stats.resident_tiles, 1);
-  EXPECT_EQ(stats.resident_bytes, kTileBytes);
+  EXPECT_EQ(stats.resident_bytes, kTileMemoryBytes);
   EXPECT_EQ(stats.hit_bytes, kTileBytes);
   EXPECT_DOUBLE_EQ(stats.hit_rate(), 0.5);
 }

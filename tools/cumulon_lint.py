@@ -19,7 +19,12 @@ Checks (all run by default; exit code 0 = clean):
      and common/mutex.{h,cc} (all locking goes through cumulon::Mutex so the
      Clang thread-safety lane and the lock-order validator see it),
    - std::this_thread::sleep_for in src/ outside dfs/sim_dfs.cc (the
-     simulated-IO service clock is the only component allowed to sleep).
+     simulated-IO service clock is the only component allowed to sleep),
+   - raw buffer allocation (`new double[...]`, malloc/calloc/realloc/
+     aligned_alloc/posix_memalign) outside common/aligned_buffer.{h,cc}:
+     tile payloads must come from the cache-line-aligned allocator so
+     SIMD kernels can assume 64-byte alignment and the cache's
+     MemoryBytes accounting stays truthful.
 
 Usage:
   tools/cumulon_lint.py [--root REPO_ROOT]
@@ -44,6 +49,9 @@ BANNED_SYNC_RE = re.compile(
     r'std::(mutex|condition_variable|condition_variable_any|lock_guard|'
     r'unique_lock|scoped_lock|shared_mutex|recursive_mutex)\b')
 SLEEP_RE = re.compile(r'std::this_thread::sleep_for')
+RAW_ALLOC_RE = re.compile(
+    r'(new\s+double\s*\[|\b(?:std::)?'
+    r'(malloc|calloc|realloc|aligned_alloc|posix_memalign)\s*\()')
 
 SYNC_ALLOWLIST = {
     'common/thread_annotations.h',
@@ -52,6 +60,10 @@ SYNC_ALLOWLIST = {
 }
 SLEEP_ALLOWLIST = {
     'dfs/sim_dfs.cc',  # injected read service time (the sim clock)
+}
+ALLOC_ALLOWLIST = {
+    'common/aligned_buffer.h',  # the aligned allocator itself
+    'common/aligned_buffer.cc',
 }
 
 
@@ -117,6 +129,12 @@ def collect_code_usage(src_root):
                 violations.append(
                     f'{where}: banned std::this_thread::sleep_for outside '
                     f'the sim clock (dfs/sim_dfs.cc)')
+            if rel not in ALLOC_ALLOWLIST and RAW_ALLOC_RE.search(line):
+                violations.append(
+                    f'{where}: banned raw buffer allocation (use '
+                    f'AlignedVector/AlignedAllocator from '
+                    f'common/aligned_buffer.h so tile payloads stay '
+                    f'64-byte aligned)')
             for lit in STRING_LITERAL_RE.findall(line):
                 if lit.endswith('.'):
                     if METRIC_PREFIX_RE.match(lit):
@@ -367,6 +385,12 @@ def self_test():
     expect('sleep_for outside sim clock', SELF_TEST_DOC,
            SELF_TEST_SRC + '\nvoid Z() { std::this_thread::sleep_for(d); }\n',
            want_clean=False, want_substring='sleep_for')
+    expect('raw new double[] buffer', SELF_TEST_DOC,
+           SELF_TEST_SRC + '\ndouble* Buf(int n) { return new double[n]; }\n',
+           want_clean=False, want_substring='banned raw buffer allocation')
+    expect('raw malloc buffer', SELF_TEST_DOC,
+           SELF_TEST_SRC + '\nvoid* Buf2(int n) { return malloc(n); }\n',
+           want_clean=False, want_substring='banned raw buffer allocation')
     expect('kind mismatch', SELF_TEST_DOC,
            SELF_TEST_SRC.replace('m->gauge("sched.queued")',
                                  'm->counter("sched.queued")'),
