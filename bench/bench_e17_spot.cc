@@ -1,0 +1,247 @@
+// E17 — elastic provisioning with transient (spot) machines: an arrival
+// stream of the example programs runs through the online re-planning loop
+// (opt/elastic.h) under a sweep of revocation hazards, against two static
+// baselines — a fixed all-on-demand fleet and the same fixed fleet with
+// spot machines allowed. Each epoch replays its program through the
+// predictor with a seeded revocation schedule injected, so the dollars
+// pay for the rework the losses actually caused, and spot machines are
+// billed at a seeded market price only up to their revocation instant.
+//
+// Expectation (the paper's elasticity story): with per-second billing the
+// re-planning optimizer undercuts the static on-demand fleet on dollars
+// at an equal-or-better deadline-miss rate — enforced below for at least
+// one hazard setting — while high hazards erode the spot discount toward
+// the on-demand price.
+//
+// Flags: --quick (fewer arrivals + hazards; the CI configuration),
+//        --json FILE (machine-readable rows for BENCH_*.json tracking).
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace cumulon::bench {
+namespace {
+
+bool g_quick = false;
+
+ProgramSpec RsvdProgram() {
+  RsvdSpec s;
+  s.m = g_quick ? (1 << 12) : (1 << 13);
+  s.n = 1 << 11;
+  s.l = 32;
+  ProgramSpec spec;
+  spec.program = OptimizeProgram(BuildRsvd1(s));
+  spec.inputs = {{"A", TileLayout::Square(s.m, s.n, 512)},
+                 {"Omega", TileLayout::Square(s.n, s.l, 512)}};
+  return spec;
+}
+
+ProgramSpec GnmfProgram() {
+  GnmfSpec s;
+  s.m = g_quick ? (1 << 11) : (1 << 12);
+  s.n = 1 << 11;
+  s.k = 64;
+  ProgramSpec spec;
+  spec.program = OptimizeProgram(BuildGnmfIteration(s));
+  spec.inputs = {{"V", TileLayout::Square(s.m, s.n, 512)},
+                 {"W", TileLayout::Square(s.m, s.k, 512)},
+                 {"H", TileLayout::Square(s.k, s.n, 512)}};
+  return spec;
+}
+
+ProgramSpec LinRegProgram() {
+  LinRegSpec s;
+  s.samples = g_quick ? (1 << 12) : (1 << 13);
+  s.features = 1 << 10;
+  ProgramSpec spec;
+  spec.program = OptimizeProgram(BuildLinRegStep(s));
+  spec.inputs = {{"X", TileLayout::Square(s.samples, s.features, 512)},
+                 {"w", TileLayout::Square(s.features, 1, 512)},
+                 {"y", TileLayout::Square(s.samples, 1, 512)}};
+  return spec;
+}
+
+ProgramSpec PageRankProgram() {
+  PageRankSpec s;
+  s.n = g_quick ? (1 << 11) : (1 << 12);
+  ProgramSpec spec;
+  spec.program = OptimizeProgram(BuildPageRankIteration(s));
+  spec.inputs = {{"M", TileLayout::Square(s.n, s.n, 512)},
+                 {"p", TileLayout::Square(s.n, 1, 512)}};
+  return spec;
+}
+
+/// The arrival stream: the example programs cycling at a spacing well
+/// under one epoch's run time, so the queue builds and the re-planning
+/// loop has a backlog worth scaling out for. Every other submission
+/// carries a deadline loose enough that the on-demand fleet always makes
+/// it, keeping the miss-rate comparison meaningful without being
+/// deadline-bound.
+std::vector<SpotSubmission> MakeWorkload() {
+  const ProgramSpec programs[] = {RsvdProgram(), GnmfProgram(),
+                                  LinRegProgram(), PageRankProgram()};
+  const char* names[] = {"rsvd", "gnmf", "linreg", "pagerank"};
+  const int arrivals = g_quick ? 6 : 12;
+  std::vector<SpotSubmission> workload;
+  for (int i = 0; i < arrivals; ++i) {
+    SpotSubmission s;
+    s.name = StrCat(names[i % 4], "#", i);
+    s.spec = programs[i % 4];
+    s.arrival_seconds = 10.0 * i;
+    if (i % 2 == 1) s.deadline_seconds = s.arrival_seconds + 3600.0;
+    workload.push_back(std::move(s));
+  }
+  return workload;
+}
+
+enum class Mode { kStaticOnDemand, kStaticSpot, kElastic };
+
+SpotWorkloadResult RunMode(const std::vector<SpotSubmission>& workload,
+                           Mode mode, double hazard_per_hour) {
+  SpotWorkloadOptions options;
+  options.machine = MachineProfile{};
+  options.spot_hazard_per_hour = hazard_per_hour;
+  options.billing.quantum_seconds = 1.0;  // per-second billing
+  options.predictor.lowering.tile_dim = 512;
+  options.seed = 23;
+  switch (mode) {
+    case Mode::kStaticOnDemand:
+      options.allow_spot = false;
+      options.policy.min_machines = options.policy.max_machines = 6;
+      break;
+    case Mode::kStaticSpot:
+      options.allow_spot = true;
+      options.policy.min_machines = options.policy.max_machines = 6;
+      break;
+    case Mode::kElastic:
+      options.allow_spot = true;
+      options.policy.min_machines = 2;
+      options.policy.max_machines = 8;
+      break;
+  }
+  auto result = RunSpotWorkload(workload, options);
+  CUMULON_CHECK(result.ok()) << result.status();
+  return std::move(result).value();
+}
+
+struct JsonRow {
+  double hazard = 0.0;
+  double od_dollars = 0.0, spot_dollars = 0.0, elastic_dollars = 0.0;
+  int od_misses = 0, spot_misses = 0, elastic_misses = 0;
+  int elastic_revocations = 0, scale_outs = 0, scale_ins = 0;
+  double savings_pct = 0.0;
+};
+
+std::vector<JsonRow> g_rows;
+
+void WriteJson(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  CUMULON_CHECK(f != nullptr) << "cannot open " << path;
+  std::fprintf(f, "{\"bench\":\"e17_spot\",\"quick\":%s,\"rows\":[",
+               g_quick ? "true" : "false");
+  for (size_t i = 0; i < g_rows.size(); ++i) {
+    const JsonRow& r = g_rows[i];
+    std::fprintf(
+        f,
+        "%s{\"hazard_per_hour\":%.3f,"
+        "\"static_on_demand_dollars\":%.6f,\"static_spot_dollars\":%.6f,"
+        "\"elastic_dollars\":%.6f,\"static_on_demand_misses\":%d,"
+        "\"static_spot_misses\":%d,\"elastic_misses\":%d,"
+        "\"elastic_revocations\":%d,\"scale_outs\":%d,\"scale_ins\":%d,"
+        "\"elastic_savings_pct\":%.2f}",
+        i == 0 ? "" : ",", r.hazard, r.od_dollars, r.spot_dollars,
+        r.elastic_dollars, r.od_misses, r.spot_misses, r.elastic_misses,
+        r.elastic_revocations, r.scale_outs, r.scale_ins, r.savings_pct);
+  }
+  std::fprintf(f, "]}\n");
+  std::fclose(f);
+  std::printf("json: %zu rows -> %s\n", g_rows.size(), path.c_str());
+}
+
+void Run(const std::string& json_path) {
+  PrintHeader(
+      "E17: elastic spot provisioning vs static fleets under revocation "
+      "hazard");
+  const std::vector<SpotSubmission> workload = MakeWorkload();
+  std::printf("arrivals: %zu (%s mode), per-second billing, spot discount "
+              "%.0f%%\n\n",
+              workload.size(), g_quick ? "quick" : "full",
+              kDefaultSpotDiscount * 100.0);
+  std::printf("%-10s | %-21s | %-21s | %-29s | %s\n", "hazard/hr",
+              "static on-demand", "static + spot", "elastic re-planning",
+              "savings");
+  PrintRule();
+
+  // Epochs last tens of virtual seconds, so the sweep spans hazards from
+  // "negligible over an epoch" to "expected lifetime shorter than the
+  // epoch" — the regime where revocation rework visibly erodes the
+  // discount.
+  const std::vector<double> hazards =
+      g_quick ? std::vector<double>{0.5, 240.0}
+              : std::vector<double>{0.5, 60.0, 240.0, 720.0};
+  bool acceptance_met = false;
+  for (double hazard : hazards) {
+    const SpotWorkloadResult od =
+        RunMode(workload, Mode::kStaticOnDemand, hazard);
+    const SpotWorkloadResult sp = RunMode(workload, Mode::kStaticSpot, hazard);
+    const SpotWorkloadResult el = RunMode(workload, Mode::kElastic, hazard);
+
+    const double savings =
+        od.total_dollars > 0.0
+            ? 100.0 * (od.total_dollars - el.total_dollars) / od.total_dollars
+            : 0.0;
+    std::printf("%10.2f | $%9.4f %2d misses | $%9.4f %2d misses | "
+                "$%9.4f %2d misses %2d rev | %5.1f%%\n",
+                hazard, od.total_dollars, od.deadline_misses,
+                sp.total_dollars, sp.deadline_misses, el.total_dollars,
+                el.deadline_misses, el.revocations, savings);
+
+    JsonRow row;
+    row.hazard = hazard;
+    row.od_dollars = od.total_dollars;
+    row.spot_dollars = sp.total_dollars;
+    row.elastic_dollars = el.total_dollars;
+    row.od_misses = od.deadline_misses;
+    row.spot_misses = sp.deadline_misses;
+    row.elastic_misses = el.deadline_misses;
+    row.elastic_revocations = el.revocations;
+    row.scale_outs = el.scale_outs;
+    row.scale_ins = el.scale_ins;
+    row.savings_pct = savings;
+    g_rows.push_back(row);
+
+    if (el.total_dollars < od.total_dollars &&
+        el.deadline_misses <= od.deadline_misses) {
+      acceptance_met = true;
+    }
+  }
+
+  // Acceptance: the re-planning optimizer must beat the static on-demand
+  // fleet on dollars at an equal-or-better deadline-miss rate for at
+  // least one hazard setting.
+  CUMULON_CHECK(acceptance_met)
+      << "elastic re-planning never undercut the static on-demand fleet "
+         "at an equal-or-better miss rate";
+  std::printf("\nacceptance: elastic beat static on-demand on dollars at "
+              "equal-or-better miss rate for >= 1 hazard setting\n");
+  if (!json_path.empty()) WriteJson(json_path);
+}
+
+}  // namespace
+}  // namespace cumulon::bench
+
+int main(int argc, char** argv) {
+  cumulon::bench::ObsSession obs(argc, argv);
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) cumulon::bench::g_quick = true;
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[i + 1];
+    }
+  }
+  cumulon::bench::Run(json_path);
+  return 0;
+}

@@ -1,5 +1,6 @@
 #include "cloud/machine.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/strings.h"
@@ -27,21 +28,69 @@ const std::vector<MachineProfile>& MachineCatalog() {
   return *catalog;
 }
 
+MachineProfile SpotVariant(const MachineProfile& on_demand, double discount,
+                           double hazard_per_hour) {
+  MachineProfile spot = on_demand;
+  spot.name = StrCat(on_demand.name, ":spot");
+  spot.price_per_hour = on_demand.price_per_hour * (1.0 - discount);
+  spot.transient = true;
+  spot.revocation_hazard_per_hour = hazard_per_hour;
+  return spot;
+}
+
 Result<MachineProfile> FindMachine(const std::string& name) {
+  constexpr const char kSpotSuffix[] = ":spot";
+  const size_t suffix_len = sizeof(kSpotSuffix) - 1;
+  if (name.size() > suffix_len &&
+      name.compare(name.size() - suffix_len, suffix_len, kSpotSuffix) == 0) {
+    const std::string base = name.substr(0, name.size() - suffix_len);
+    for (const MachineProfile& m : MachineCatalog()) {
+      if (m.name == base) return SpotVariant(m);
+    }
+    return Status::NotFound(StrCat("unknown machine type: ", name));
+  }
   for (const MachineProfile& m : MachineCatalog()) {
     if (m.name == name) return m;
   }
   return Status::NotFound(StrCat("unknown machine type: ", name));
 }
 
-double ClusterDollarCost(const MachineProfile& machine, int num_machines,
-                         double seconds, const BillingPolicy& billing) {
+double BilledSeconds(double seconds, const BillingPolicy& billing) {
   double billed = std::max(seconds, billing.minimum_seconds);
   if (billing.quantum_seconds > 0.0) {
     billed = std::ceil(billed / billing.quantum_seconds) *
              billing.quantum_seconds;
   }
-  return billed / 3600.0 * machine.price_per_hour * num_machines;
+  return billed;
+}
+
+double ClusterDollarCost(const MachineProfile& machine, int num_machines,
+                         double seconds, const BillingPolicy& billing) {
+  return BilledSeconds(seconds, billing) / 3600.0 * machine.price_per_hour *
+         num_machines;
+}
+
+double MachineDollarCostWithRevocation(const MachineProfile& machine,
+                                       double seconds,
+                                       double revoked_at_seconds,
+                                       const BillingPolicy& billing) {
+  const double revoked_at = std::max(revoked_at_seconds, 0.0);
+  const double usage = std::min(seconds, revoked_at);
+  // Normal rounding on the actual usage, then clamped at the revocation
+  // instant: the lease never bills past the moment the provider killed it.
+  const double billed = std::min(BilledSeconds(usage, billing), revoked_at);
+  return billed / 3600.0 * machine.price_per_hour;
+}
+
+SpotPriceProcess::SpotPriceProcess(uint64_t seed, double volatility,
+                                   double reversion)
+    : rng_(seed), volatility_(volatility), reversion_(reversion) {}
+
+double SpotPriceProcess::NextMultiplier() {
+  log_level_ = (1.0 - reversion_) * log_level_ +
+               volatility_ * rng_.NextGaussian();
+  multiplier_ = std::clamp(std::exp(log_level_), 0.25, 4.0);
+  return multiplier_;
 }
 
 }  // namespace cumulon

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/rng.h"
 
 namespace cumulon {
 
@@ -22,6 +23,13 @@ struct MachineProfile {
   double price_per_hour = 0.1;  // $/hour while provisioned
   double memory_mb = 4096.0;    // RAM shared by the machine's task slots
 
+  /// Transient (spot) capacity: discounted price, but the provider may
+  /// revoke the machine mid-job. Revocations arrive as a per-machine
+  /// Poisson process with `revocation_hazard_per_hour` events/hour while
+  /// provisioned (a machine is lost at most once; see cloud/revocation.h).
+  bool transient = false;
+  double revocation_hazard_per_hour = 0.0;
+
   double memory_bytes() const { return memory_mb * 1e6; }
 
   double disk_bytes_per_sec() const { return disk_mbps * 1e6; }
@@ -31,7 +39,24 @@ struct MachineProfile {
 /// All machine types available for provisioning.
 const std::vector<MachineProfile>& MachineCatalog();
 
-/// Looks a profile up by name ("c1.medium", ...).
+/// Default spot-market terms: the discount off the on-demand price and the
+/// revocation hazard that FindMachine assumes for "<type>:spot" names.
+/// Shaped like 2013-era EC2 spot: ~65% cheaper, interrupted a few times a
+/// week per machine under calm market conditions.
+inline constexpr double kDefaultSpotDiscount = 0.65;
+inline constexpr double kDefaultSpotHazardPerHour = 0.05;
+
+/// The transient (spot) variant of an on-demand profile: same hardware,
+/// price scaled by (1 - discount), named "<name>:spot", and carrying the
+/// given revocation hazard.
+MachineProfile SpotVariant(const MachineProfile& on_demand,
+                           double discount = kDefaultSpotDiscount,
+                           double hazard_per_hour = kDefaultSpotHazardPerHour);
+
+/// Looks a profile up by name ("c1.medium", ...). A ":spot" suffix
+/// ("m1.large:spot") resolves to SpotVariant of the base type under the
+/// default spot terms, so every optimizer search-space that enumerates
+/// machine type names can also enumerate transient capacity.
 Result<MachineProfile> FindMachine(const std::string& name);
 
 /// How provisioned time is rounded for billing. The 2013 EC2 default was a
@@ -42,10 +67,52 @@ struct BillingPolicy {
   double minimum_seconds = 0.0;     // charge at least this much
 };
 
+/// Usage seconds after billing rounding: at least `minimum_seconds`,
+/// rounded up to a whole number of quanta.
+double BilledSeconds(double seconds, const BillingPolicy& billing);
+
 /// Dollar cost of running `num_machines` machines of type `machine` for
 /// `seconds` under `billing`.
 double ClusterDollarCost(const MachineProfile& machine, int num_machines,
                          double seconds, const BillingPolicy& billing);
+
+/// Dollar cost of ONE machine provisioned for `seconds` when the provider
+/// revoked it at `revoked_at_seconds` into the lease. A revoked machine is
+/// never billed past its revocation instant: the provider-side interruption
+/// forgives the partial quantum's round-up (2013 EC2 terms — the customer
+/// pays nothing for an hour the provider cut short), so the charge is
+/// min(BilledSeconds(min(seconds, revoked_at)), revoked_at) at the
+/// machine's hourly price. Pass +inf (or anything past the rounded-up
+/// lease) for a machine that survived: normal quantum rounding applies.
+double MachineDollarCostWithRevocation(const MachineProfile& machine,
+                                       double seconds,
+                                       double revoked_at_seconds,
+                                       const BillingPolicy& billing);
+
+/// Seeded spot-market price process: a mean-reverting multiplicative
+/// random walk in log space (AR(1)), sampled once per provisioning epoch.
+/// NextMultiplier() returns the factor to apply to the profile's listed
+/// spot price for the coming epoch — mean 1 over long runs, clamped to
+/// [0.25, 4.0] so a pathological draw cannot zero out or explode a bill.
+/// Deterministic in the seed, like every other RNG in the system.
+class SpotPriceProcess {
+ public:
+  explicit SpotPriceProcess(uint64_t seed, double volatility = 0.15,
+                            double reversion = 0.3);
+
+  /// Advances the walk one epoch and returns the new multiplier.
+  double NextMultiplier();
+
+  /// The multiplier of the current epoch (1.0 before the first Next).
+  double multiplier() const { return multiplier_; }
+
+ private:
+  Rng rng_;
+  double volatility_;
+  double reversion_;
+  double log_level_ = 0.0;
+  double multiplier_ = 1.0;
+};
 
 }  // namespace cumulon
 

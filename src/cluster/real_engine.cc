@@ -4,6 +4,7 @@
 #include <atomic>
 #include <vector>
 
+#include "cloud/revocation.h"
 #include "cluster/steal_domain.h"
 #include "common/logging.h"
 #include "common/mutex.h"
@@ -94,7 +95,43 @@ Result<JobStats> RealEngine::RunJob(const JobSpec& job) {
     CondVar done_cv;
     size_t remaining CUMULON_GUARDED_BY(mu) = 0;
     Status first_error CUMULON_GUARDED_BY(mu);
+    // Transient-machine losses observed by this job's workers.
+    int revoked_machines CUMULON_GUARDED_BY(mu) = 0;
+    int rescheduled_tasks CUMULON_GUARDED_BY(mu) = 0;
+    double revoked_wasted_seconds CUMULON_GUARDED_BY(mu) = 0.0;
+    std::vector<double> wasted_draws CUMULON_GUARDED_BY(mu);
   } sync;
+
+  // One-shot consequences of a machine's revocation: drop its tile cache,
+  // count it, and mark the instant on its trace lane. ClaimFired serializes
+  // racing workers so the loss is observed exactly once per machine across
+  // the controller's lifetime (not once per job).
+  RevocationController* ctrl = options_.revocation;
+  auto observe_revocation = [&](int machine) {
+    if (!ctrl->ClaimFired(machine)) return;
+    if (caches_ != nullptr) caches_->ClearNode(machine);
+    {
+      MutexLock lock(&sync.mu);
+      ++sync.revoked_machines;
+    }
+    if (tracer != nullptr) {
+      TraceSpan span;
+      const std::string marker = StrCat("revoke:m", machine);
+      span.name = job.plan_tag.empty() ? marker
+                                       : StrCat(job.plan_tag, "/", marker);
+      span.category = "revoke";
+      span.parent_id = job.trace_parent_span;
+      span.machine = machine;
+      span.slot = 0;
+      span.start_seconds = trace_t0 + job_clock.ElapsedSeconds();
+      span.duration_seconds = 0.0;
+      span.args = {{"machine", static_cast<double>(machine)}};
+      if (job.plan_id >= 0) {
+        span.args.emplace_back("plan", static_cast<double>(job.plan_id));
+      }
+      tracer->AddSpan(std::move(span));
+    }
+  };
 
   // Work stealing: arm the per-job accounting before any task can start,
   // so helper drains submitted below don't observe a stale zero and exit.
@@ -134,7 +171,8 @@ Result<JobStats> RealEngine::RunJob(const JobSpec& job) {
       ++sync.remaining;
     }
     ++submitted;
-    pool_->Submit([&, run, machine, tracer, trace_t0, &task = task]() {
+    pool_->Submit([&, run, machine = machine, tracer, trace_t0,
+                   &task = task]() mutable {
       Stopwatch task_clock;
       run->start_seconds = job_clock.ElapsedSeconds();
       // Tasks are all submitted up front, so the time a task spent waiting
@@ -148,20 +186,61 @@ Result<JobStats> RealEngine::RunJob(const JobSpec& job) {
       if (task.work) {
         Status st;
         const int attempts = std::max(options_.max_attempts, 1);
-        for (int attempt = 0; attempt < attempts; ++attempt) {
+        int failures = 0;
+        bool fleet_gone = false;
+        for (;;) {
+          // Never start an attempt on a machine the schedule has revoked:
+          // relocate to a survivor first, observing each loss on the way.
+          while (ctrl != nullptr &&
+                 ctrl->IsRevokedAt(machine, ctrl->WallNowSeconds())) {
+            observe_revocation(machine);
+            const int next = ctrl->FallbackMachine(
+                machine, config_.num_machines, ctrl->WallNowSeconds());
+            if (next < 0) {
+              fleet_gone = true;
+              break;
+            }
+            machine = next;
+          }
+          if (fleet_gone) {
+            st = Status::Internal(
+                StrCat("task '", task.name,
+                       "' has no machine to run on: whole fleet revoked"));
+            break;
+          }
           ++attempts_used;
+          Stopwatch attempt_clock;
           st = task.work(machine);
+          if (ctrl != nullptr &&
+              ctrl->IsRevokedAt(machine, ctrl->WallNowSeconds())) {
+            // The machine died while this attempt ran: the elapsed time is
+            // revocation waste and the task reruns on a survivor (tile Puts
+            // are overwrite-idempotent, so the rerun converges to the same
+            // output). A loss is not a task failure — it burns no retry.
+            const double wasted = attempt_clock.ElapsedSeconds();
+            MutexLock lock(&sync.mu);
+            ++sync.rescheduled_tasks;
+            sync.revoked_wasted_seconds += wasted;
+            sync.wasted_draws.push_back(wasted);
+            continue;
+          }
           if (st.ok()) break;
+          if (++failures >= attempts) break;
         }
+        run->machine = machine;
         if (!st.ok()) {
           MutexLock lock(&sync.mu);
           if (sync.first_error.ok()) {
-            sync.first_error = Status(
-                st.code(), StrCat("task '", task.name, "' failed after ",
-                                  attempts, " attempt(s): ", st.message()));
+            sync.first_error =
+                fleet_gone
+                    ? st
+                    : Status(st.code(),
+                             StrCat("task '", task.name, "' failed after ",
+                                    attempts, " attempt(s): ", st.message()));
           }
         }
       }
+      run->attempts = std::max(attempts_used, 1);
       run->duration_seconds = task_clock.ElapsedSeconds();
       run->stall_seconds = io->total_wait_seconds();
       if (tracer != nullptr) {
@@ -214,10 +293,15 @@ Result<JobStats> RealEngine::RunJob(const JobSpec& job) {
     }
   }
   Status first_error;
+  std::vector<double> wasted_draws;
   {
     MutexLock lock(&sync.mu);
     while (sync.remaining != 0) sync.done_cv.Wait(&sync.mu);
     first_error = sync.first_error;
+    stats.revoked_machines = sync.revoked_machines;
+    stats.rescheduled_tasks = sync.rescheduled_tasks;
+    stats.revoked_wasted_seconds = sync.revoked_wasted_seconds;
+    wasted_draws = std::move(sync.wasted_draws);
   }
 
   if (cancelled) {
@@ -246,6 +330,12 @@ Result<JobStats> RealEngine::RunJob(const JobSpec& job) {
       task_seconds->Observe(run.duration_seconds);
       queue_wait->Observe(run.start_seconds);
       stall->Observe(run.stall_seconds);
+    }
+    if (stats.revoked_machines > 0 || stats.rescheduled_tasks > 0) {
+      m->counter("cluster.revoked.machines")->Add(stats.revoked_machines);
+      m->counter("cluster.revoked.tasks")->Add(stats.rescheduled_tasks);
+      Histogram* wasted = m->histogram("cluster.revoked.wasted_seconds");
+      for (double w : wasted_draws) wasted->Observe(w);
     }
   }
   return stats;

@@ -10,6 +10,8 @@
 
 namespace cumulon {
 
+class RevocationController;  // cloud/revocation.h; borrowed by the engine
+
 struct RealEngineOptions {
   /// Caps the worker-thread count regardless of the configured slots, so
   /// large simulated clusters can still be "really" executed on a small
@@ -40,6 +42,17 @@ struct RealEngineOptions {
 
   /// Overrides the derived per-machine cache size when > 0 (tests/benches).
   int64_t cache_bytes_per_node = 0;
+
+  /// Injects a transient-machine fault plan (cloud/revocation.h) on the
+  /// controller's wall clock (armed at its first use). Workers refuse to
+  /// start attempts on a revoked machine and, when a machine dies under a
+  /// running attempt, count the elapsed time as waste and rerun the task on
+  /// a surviving machine — revocation reruns do not burn failure retries.
+  /// The dead node's tile cache is dropped and a zero-width "revoke" span
+  /// plus cluster.revoked.* metrics record the loss, exactly once per
+  /// machine across the controller's lifetime. Borrowed; null disables
+  /// fault injection entirely.
+  RevocationController* revocation = nullptr;
 
   /// Records one span per task, stamped from the wall-clock stopwatch
   /// (plus the tracer's running offset); the span's lane is the worker

@@ -5,6 +5,7 @@
 #include <queue>
 #include <vector>
 
+#include "cloud/revocation.h"
 #include "common/logging.h"
 #include "common/strings.h"
 #include "cost/cost_model.h"
@@ -81,6 +82,14 @@ double SimEngine::TaskDuration(const TaskCost& cost, bool local_read,
          write_time;
 }
 
+int DrawTaskAttempts(Rng* rng, double failure_probability, int max_attempts) {
+  int attempt = 1;
+  while (rng->NextDouble() < failure_probability) {
+    if (++attempt > max_attempts) return 0;
+  }
+  return attempt;
+}
+
 Result<JobStats> SimEngine::RunJob(const JobSpec& job) {
   // One simulated job at a time: concurrent plans' virtual clocks cannot
   // interleave, so runs serialize and contention is expressed through the
@@ -120,33 +129,59 @@ Result<JobStats> SimEngine::RunJob(const JobSpec& job) {
                           config_.total_slots();
   stats.task_runs.reserve(job.tasks.size());
 
-  auto earliest_slot = [&](int machine) {
-    int best = 0;
-    for (int i = 1; i < slots; ++i) {
-      if (free_at[machine][i] < free_at[machine][best]) best = i;
+  // Job-relative death instant per machine under the injected revocation
+  // schedule; +inf everywhere when no controller (or an empty schedule) is
+  // set, which makes every eligibility test below vacuously true and keeps
+  // the schedule bit-identical to the pre-revocation engine.
+  RevocationController* ctrl = options_.revocation;
+  std::vector<double> dead_at(machines, RevocationSchedule::kNever);
+  if (ctrl != nullptr) {
+    const double origin = ctrl->origin_seconds();
+    for (int mch = 0; mch < machines; ++mch) {
+      dead_at[mch] = ctrl->RevokedAtSeconds(mch) - origin;
     }
-    return best;
-  };
+  }
+  std::vector<int> kills_per_machine(machines, 0);
+  std::vector<double> wasted_draws;
 
-  for (const Task& task : job.tasks) {
-    if (job.cancel != nullptr &&
-        job.cancel->load(std::memory_order_relaxed)) {
-      return Status::Cancelled(
-          StrCat("job '", job.name, "' cancelled mid-schedule"));
-    }
-    // Globally earliest slot.
-    int best_machine = 0;
-    int best_slot = earliest_slot(0);
-    for (int mch = 1; mch < machines; ++mch) {
-      const int sl = earliest_slot(mch);
-      if (free_at[mch][sl] < free_at[best_machine][best_slot]) {
-        best_machine = mch;
-        best_slot = sl;
+  // Earliest slot on `machine` that can still START work, i.e. whose
+  // effective start max(free, ready_floor) precedes the machine's death.
+  auto earliest_slot = [&](int machine, double ready_floor, int* slot_out,
+                           double* time_out) {
+    bool found = false;
+    for (int i = 0; i < slots; ++i) {
+      const double eff = std::max(free_at[machine][i], ready_floor);
+      if (eff >= dead_at[machine]) continue;
+      if (!found || eff < *time_out) {
+        found = true;
+        *slot_out = i;
+        *time_out = eff;
       }
     }
+    return found;
+  };
 
-    // Delay scheduling: prefer a machine holding the task's input if one
-    // frees up soon enough.
+  // Greedy placement over eligible slots: globally earliest, then delay
+  // scheduling toward the task's preferred machines. `ready_floor` is 0 for
+  // a first attempt and the kill instant for a revocation retry (the
+  // scheduler only learns of the loss when the machine dies). False when
+  // the whole fleet is dead.
+  auto place = [&](const Task& task, double ready_floor, int* machine_out,
+                   int* slot_out, bool* local_out) {
+    int best_machine = -1, best_slot = -1;
+    double best_time = std::numeric_limits<double>::infinity();
+    for (int mch = 0; mch < machines; ++mch) {
+      int sl = 0;
+      double t = 0.0;
+      if (!earliest_slot(mch, ready_floor, &sl, &t)) continue;
+      if (t < best_time) {
+        best_machine = mch;
+        best_slot = sl;
+        best_time = t;
+      }
+    }
+    if (best_machine < 0) return false;
+
     int chosen_machine = best_machine;
     int chosen_slot = best_slot;
     bool local = true;
@@ -157,16 +192,17 @@ Result<JobStats> SimEngine::RunJob(const JobSpec& job) {
         double pref_time = std::numeric_limits<double>::infinity();
         for (int mch : task.preferred_machines) {
           if (mch < 0 || mch >= machines) continue;
-          const int sl = earliest_slot(mch);
-          if (free_at[mch][sl] < pref_time) {
-            pref_time = free_at[mch][sl];
+          int sl = 0;
+          double t = 0.0;
+          if (!earliest_slot(mch, ready_floor, &sl, &t)) continue;
+          if (t < pref_time) {
+            pref_time = t;
             pref_machine = mch;
             pref_slot = sl;
           }
         }
         if (pref_machine >= 0 &&
-            pref_time <= free_at[best_machine][best_slot] +
-                             options_.locality_delay_seconds) {
+            pref_time <= best_time + options_.locality_delay_seconds) {
           chosen_machine = pref_machine;
           chosen_slot = pref_slot;
           local = true;
@@ -178,6 +214,26 @@ Result<JobStats> SimEngine::RunJob(const JobSpec& job) {
                           task.preferred_machines.end(),
                           chosen_machine) != task.preferred_machines.end();
       }
+    }
+    *machine_out = chosen_machine;
+    *slot_out = chosen_slot;
+    *local_out = local;
+    return true;
+  };
+
+  for (const Task& task : job.tasks) {
+    if (job.cancel != nullptr &&
+        job.cancel->load(std::memory_order_relaxed)) {
+      return Status::Cancelled(
+          StrCat("job '", job.name, "' cancelled mid-schedule"));
+    }
+
+    int chosen_machine = 0, chosen_slot = 0;
+    bool local = true;
+    if (!place(task, 0.0, &chosen_machine, &chosen_slot, &local)) {
+      return Status::Internal(
+          StrCat("task '", task.name,
+                 "' has no machine to run on: whole fleet revoked"));
     }
 
     double modeled_stall = 0.0;
@@ -200,21 +256,48 @@ Result<JobStats> SimEngine::RunJob(const JobSpec& job) {
     }
 
     // Failed attempts waste their whole duration and rerun.
+    int attempts = 1;
     if (options_.task_failure_probability > 0.0) {
-      double total = 0.0;
-      int attempt = 1;
-      while (rng_.NextDouble() < options_.task_failure_probability) {
-        total += duration;
-        if (++attempt > options_.max_task_attempts) {
-          return Status::Internal(
-              StrCat("task '", task.name, "' failed ",
-                     options_.max_task_attempts, " attempts"));
-        }
+      attempts = DrawTaskAttempts(&rng_, options_.task_failure_probability,
+                                  options_.max_task_attempts);
+      if (attempts == 0) {
+        return Status::Internal(
+            StrCat("task '", task.name, "' failed ",
+                   options_.max_task_attempts, " attempts"));
       }
-      duration += total;
+      duration *= attempts;
     }
 
-    const double start = free_at[chosen_machine][chosen_slot];
+    // Noise and failure rerolls are a multiplier on the modeled duration;
+    // preserve it across revocation re-placements so the task keeps its
+    // drawn fate without consuming new randomness.
+    const double ratio = base_duration > 0.0 ? duration / base_duration : 1.0;
+
+    // Commit the attempt, or — when its span crosses the machine's death —
+    // kill it at the instant, charge the elapsed time as waste, and re-place
+    // on a surviving machine. The retry cannot start before the kill.
+    double ready_floor = 0.0;
+    double start;
+    for (;;) {
+      start = std::max(free_at[chosen_machine][chosen_slot], ready_floor);
+      if (start + duration <= dead_at[chosen_machine]) break;
+      const double kill_time = dead_at[chosen_machine];
+      const double wasted = kill_time - start;
+      free_at[chosen_machine][chosen_slot] = kill_time;
+      ++stats.rescheduled_tasks;
+      stats.revoked_wasted_seconds += wasted;
+      stats.total_task_seconds += wasted;
+      wasted_draws.push_back(wasted);
+      ++kills_per_machine[chosen_machine];
+      ++attempts;
+      ready_floor = kill_time;
+      if (!place(task, ready_floor, &chosen_machine, &chosen_slot, &local)) {
+        return Status::Internal(
+            StrCat("task '", task.name,
+                   "' has no machine to run on: whole fleet revoked"));
+      }
+      duration = TaskDuration(task.cost, local, &modeled_stall) * ratio;
+    }
     free_at[chosen_machine][chosen_slot] = start + duration;
 
     stats.total_task_seconds += duration;
@@ -224,8 +307,15 @@ Result<JobStats> SimEngine::RunJob(const JobSpec& job) {
     stats.bytes_read_cached += task.cost.bytes_read_cached;
     if (!local) ++stats.num_non_local_tasks;
     stats.stall_seconds += modeled_stall;
-    stats.task_runs.push_back(TaskRunInfo{chosen_machine, chosen_slot, start,
-                                          duration, local, modeled_stall});
+    TaskRunInfo run;
+    run.machine = chosen_machine;
+    run.slot = chosen_slot;
+    run.start_seconds = start;
+    run.duration_seconds = duration;
+    run.local = local;
+    run.stall_seconds = modeled_stall;
+    run.attempts = std::max(attempts, 1);
+    stats.task_runs.push_back(run);
 
     if (tracer != nullptr) {
       TraceSpan span;
@@ -249,6 +339,9 @@ Result<JobStats> SimEngine::RunJob(const JobSpec& job) {
                     static_cast<double>(task.cost.shuffle_bytes)},
                    {"stall_seconds", modeled_stall},
                    {"local", local ? 1.0 : 0.0}};
+      if (run.attempts > 1) {
+        span.args.emplace_back("attempts", static_cast<double>(run.attempts));
+      }
       if (job.plan_id >= 0) {
         span.args.emplace_back("plan", static_cast<double>(job.plan_id));
       }
@@ -261,6 +354,44 @@ Result<JobStats> SimEngine::RunJob(const JobSpec& job) {
     for (double t : machine_slots) makespan = std::max(makespan, t);
   }
   stats.duration_seconds = makespan;
+
+  if (ctrl != nullptr) {
+    // Observe every revocation whose instant fell inside this job's window
+    // (including instants an earlier, shorter job slid past): drop the dead
+    // node's tile cache, bump the loss stats, and emit a zero-width
+    // "revoke" marker on the machine's lane. ClaimFired gates each machine
+    // to exactly one observation across the controller's lifetime.
+    for (int mch = 0; mch < machines; ++mch) {
+      if (dead_at[mch] > makespan) continue;  // not lost yet (or never)
+      if (!ctrl->ClaimFired(mch)) continue;   // an earlier job observed it
+      ++stats.revoked_machines;
+      if (caches_ != nullptr) caches_->ClearNode(mch);
+      if (tracer != nullptr) {
+        TraceSpan span;
+        const std::string marker = StrCat("revoke:m", mch);
+        span.name = job.plan_tag.empty()
+                        ? marker
+                        : StrCat(job.plan_tag, "/", marker);
+        span.category = "revoke";
+        span.parent_id = job.trace_parent_span;
+        span.machine = mch;
+        span.slot = 0;
+        span.start_seconds = trace_t0 + std::max(dead_at[mch], 0.0);
+        span.duration_seconds = 0.0;
+        span.args = {{"machine", static_cast<double>(mch)},
+                     {"tasks_rescheduled",
+                      static_cast<double>(kills_per_machine[mch])}};
+        if (job.plan_id >= 0) {
+          span.args.emplace_back("plan", static_cast<double>(job.plan_id));
+        }
+        tracer->AddSpan(std::move(span));
+      }
+    }
+    // Schedule time is cumulative engine-busy time: the next job's virtual
+    // clock starts where this one's makespan left off.
+    ctrl->AdvanceOrigin(makespan);
+  }
+
   if (tracer != nullptr) tracer->AdvanceTime(makespan);
 
   if (options_.metrics != nullptr) {
@@ -275,6 +406,12 @@ Result<JobStats> SimEngine::RunJob(const JobSpec& job) {
       task_seconds->Observe(run.duration_seconds);
       queue_wait->Observe(run.start_seconds);
       stall->Observe(run.stall_seconds);
+    }
+    if (stats.revoked_machines > 0 || stats.rescheduled_tasks > 0) {
+      m->counter("cluster.revoked.machines")->Add(stats.revoked_machines);
+      m->counter("cluster.revoked.tasks")->Add(stats.rescheduled_tasks);
+      Histogram* wasted = m->histogram("cluster.revoked.wasted_seconds");
+      for (double w : wasted_draws) wasted->Observe(w);
     }
   }
   return stats;

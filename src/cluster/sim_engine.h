@@ -12,6 +12,8 @@
 
 namespace cumulon {
 
+class RevocationController;  // cloud/revocation.h; borrowed by the engine
+
 /// Knobs of the cluster simulation. The defaults mirror a 2013 Hadoop
 /// deployment: ~1 s task launch overhead, 3-way replication, delay
 /// scheduling for locality, and moderate task-duration noise.
@@ -74,6 +76,18 @@ struct SimEngineOptions {
   /// (PipelinedPhaseSeconds).
   double io_overlap_fraction = 0.0;
 
+  /// Injects a transient-machine fault plan (cloud/revocation.h): machines
+  /// the schedule revokes die mid-job at their instant on the controller's
+  /// cumulative virtual clock. The in-flight attempt on a dying machine is
+  /// killed at the instant (its elapsed time is wasted and counted), the
+  /// task is re-placed on a surviving machine with its noise/failure
+  /// multiplier preserved (no extra RNG draws, so seeded runs replay
+  /// bit-identically), the node's tile cache is dropped, and a zero-width
+  /// "revoke" span plus cluster.revoked.* metrics record the loss. Borrowed;
+  /// null (or a controller with an empty schedule) leaves every schedule
+  /// decision and RNG draw exactly as before.
+  RevocationController* revocation = nullptr;
+
   /// Records one span per task, stamped from the *virtual clock* (plus the
   /// tracer's running offset), so simulated schedules become inspectable
   /// timelines. Borrowed; falls back to GlobalTracer() when null.
@@ -85,6 +99,17 @@ struct SimEngineOptions {
 
   uint64_t seed = 7;
 };
+
+/// Draws the simulated failure/retry outcome of one task: consumes exactly
+/// one `rng` draw per decided attempt (a draw below `failure_probability`
+/// fails that attempt and forces another) and returns the total number of
+/// attempts consumed (>= 1) when one succeeds within `max_attempts`, or 0
+/// when all `max_attempts` attempts failed — the Hadoop job-kill boundary.
+/// Success after k-1 failures is possible for every k <= max_attempts; the
+/// max_attempts-th consecutive failure kills the job. Callers must skip the
+/// call entirely when `failure_probability` is 0 so a failure-free
+/// configuration consumes no randomness.
+int DrawTaskAttempts(Rng* rng, double failure_probability, int max_attempts);
 
 /// Discrete-event simulator of slot-scheduled execution. Task durations
 /// are derived from TaskCost and the cluster's machine profile:

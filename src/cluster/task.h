@@ -109,6 +109,10 @@ struct TaskRunInfo {
   /// + synchronous Gets) in real mode, the cost model's residual read time
   /// under the configured overlap fraction in sim mode.
   double stall_seconds = 0.0;
+
+  /// Placement attempts this run consumed: 1 on the happy path, +1 for
+  /// every retry after a failure or a mid-task machine revocation.
+  int attempts = 1;
 };
 
 /// Outcome of running a job on an engine.
@@ -139,6 +143,14 @@ struct JobStats {
   int64_t splits_enqueued = 0;
   int64_t splits_stolen = 0;
   int64_t steal_attempts = 0;
+
+  // Transient-machine losses observed during the job (cloud/revocation.h):
+  // machines whose revocation fired while this job ran, tasks whose
+  // in-flight attempt was killed and re-placed on a surviving machine, and
+  // the task-seconds those killed attempts had already burned.
+  int revoked_machines = 0;
+  int rescheduled_tasks = 0;
+  double revoked_wasted_seconds = 0.0;
 
   std::vector<TaskRunInfo> task_runs;
 };

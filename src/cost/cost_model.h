@@ -2,6 +2,7 @@
 #define CUMULON_COST_COST_MODEL_H_
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 
 namespace cumulon {
@@ -25,6 +26,41 @@ inline double ResidualStallSeconds(double cpu_seconds, double read_seconds,
                                    double overlap_fraction) {
   const double f = std::clamp(overlap_fraction, 0.0, 1.0);
   return read_seconds - f * std::min(cpu_seconds, read_seconds);
+}
+
+/// Expected number of transient machines (out of `transient_machines`, each
+/// carrying `hazard_per_hour` exponential revocation risk) lost within a
+/// `seconds`-long window: n * (1 - exp(-lambda * T)). Each machine is
+/// revoked at most once, hence the survival form rather than n*lambda*T.
+inline double ExpectedRevocations(int transient_machines,
+                                  double hazard_per_hour, double seconds) {
+  if (transient_machines <= 0 || hazard_per_hour <= 0.0 || seconds <= 0.0) {
+    return 0.0;
+  }
+  const double lambda_t = hazard_per_hour / 3600.0 * seconds;
+  return transient_machines * (1.0 - std::exp(-lambda_t));
+}
+
+/// Multiplicative slowdown the optimizer charges a plan for running on a
+/// fleet where `transient_machines` of `total_machines` may be revoked:
+/// each expected loss removes a machine's share of the fleet's capacity
+/// for (on average) the remaining half of the window, plus the rework of
+/// the in-flight tasks the loss killed — folded together as a lost-capacity
+/// fraction E[losses] * 0.5 / total. The estimate is deliberately coarse
+/// (the re-planning loop replays the actual seeded schedule for precise
+/// numbers); clamps keep it finite when the fleet is mostly transient and
+/// the hazard extreme.
+inline double ExpectedRevocationSlowdown(int total_machines,
+                                         int transient_machines,
+                                         double hazard_per_hour,
+                                         double seconds) {
+  if (total_machines <= 0) return 1.0;
+  const double expected =
+      ExpectedRevocations(transient_machines, hazard_per_hour, seconds);
+  if (expected <= 0.0) return 1.0;
+  const double lost_fraction =
+      std::min(expected * 0.5 / total_machines, 0.9);
+  return std::min(1.0 / (1.0 - lost_fraction), 10.0);
 }
 
 /// Per-tile-operation time models, expressed in seconds on the *reference

@@ -19,6 +19,7 @@
 
 #include "baseline/mr_matmul.h"
 #include "cloud/machine.h"
+#include "cloud/revocation.h"
 #include "cluster/cluster_config.h"
 #include "cluster/engine.h"
 #include "cluster/real_engine.h"
@@ -50,9 +51,11 @@
 #include "matrix/tiled_matrix.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "opt/elastic.h"
 #include "opt/job_tuner.h"
 #include "opt/predictor.h"
 #include "opt/search.h"
+#include "sched/elastic.h"
 #include "sched/slot_pool.h"
 #include "sched/workload_manager.h"
 

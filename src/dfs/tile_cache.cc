@@ -168,6 +168,14 @@ int64_t TileCacheGroup::InvalidatePrefixAll(const std::string& prefix) {
   return dropped;
 }
 
+int64_t TileCacheGroup::ClearNode(int node) {
+  if (node < 0 || node >= num_nodes()) return 0;
+  TileCache* cache = caches_[node].get();
+  const int64_t dropped = cache->Stats().resident_tiles;
+  cache->Clear();
+  return dropped;
+}
+
 void TileCacheGroup::Clear() {
   for (auto& cache : caches_) cache->Clear();
 }

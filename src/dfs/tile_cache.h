@@ -129,6 +129,11 @@ class TileCacheGroup {
   /// Drops every entry under `prefix` from every node's cache.
   int64_t InvalidatePrefixAll(const std::string& prefix);
 
+  /// Drops everything cached on one node — the node's memory is gone (e.g.
+  /// its transient machine was revoked). Returns the tile count dropped;
+  /// no-op (0) for out-of-range nodes.
+  int64_t ClearNode(int node);
+
   void Clear();
 
  private:

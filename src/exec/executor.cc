@@ -191,6 +191,9 @@ void Executor::FoldJobStats(const std::string& name, JobStats stats,
   totals->cache_misses += stats.cache_misses;
   totals->bytes_read_cached += stats.bytes_read_cached;
   totals->stall_seconds += stats.stall_seconds;
+  totals->revoked_machines += stats.revoked_machines;
+  totals->rescheduled_tasks += stats.rescheduled_tasks;
+  totals->revoked_wasted_seconds += stats.revoked_wasted_seconds;
 
   // Every exec.* counter goes to the shared registry (global totals), the
   // per-run registry (PlanStats::metrics), and — when the plan is tagged —

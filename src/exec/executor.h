@@ -137,6 +137,13 @@ struct PlanStats {
   /// model's residual read time in sim mode.
   double stall_seconds = 0.0;
 
+  // Transient-machine losses over the plan (sums of the jobs'
+  // JobStats revocation fields; all zero without an injected
+  // RevocationController — see cloud/revocation.h).
+  int revoked_machines = 0;
+  int rescheduled_tasks = 0;
+  double revoked_wasted_seconds = 0.0;
+
   /// Metrics recorded during this run: the exec.* counters mirroring the
   /// fields above come from a per-run registry (exact even when other
   /// plans run concurrently against the same shared registry), while

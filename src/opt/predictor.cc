@@ -62,9 +62,12 @@ Result<PredictionResult> PredictProgram(const ProgramSpec& spec,
       TuneOptions tune;
       tune.sim = sim;
       // Probe simulations are what-if runs, not the predicted schedule;
-      // keep them out of the trace and the metrics.
+      // keep them out of the trace and the metrics — and away from the
+      // revocation controller, whose virtual-clock origin and fired-once
+      // state must only advance with the predicted schedule itself.
       tune.sim.tracer = nullptr;
       tune.sim.metrics = nullptr;
+      tune.sim.revocation = nullptr;
       tune.job_startup_seconds = job_startup;
       const TileLayout a(gi * tile, gk * tile, tile, tile);
       const TileLayout b(gk * tile, gj * tile, tile, tile);
@@ -99,6 +102,16 @@ Result<PredictionResult> PredictProgram(const ProgramSpec& spec,
   PredictionResult result;
   CUMULON_ASSIGN_OR_RETURN(result.stats, executor.Run(lowered.plan));
   result.seconds = result.stats.total_seconds;
+  // A transient fleet loses expected capacity to revocations and reruns the
+  // killed work; charge the analytic rework term unless a controller is
+  // injected — then the simulation above already replayed the actual losses
+  // and inflating again would double-count them.
+  if (sim.revocation == nullptr && cluster.machine.transient &&
+      cluster.machine.revocation_hazard_per_hour > 0.0) {
+    result.seconds *= ExpectedRevocationSlowdown(
+        cluster.num_machines, cluster.num_machines,
+        cluster.machine.revocation_hazard_per_hour, result.seconds);
+  }
   result.dollars = ClusterDollarCost(cluster.machine, cluster.num_machines,
                                      result.seconds, options.billing);
   return result;
@@ -111,6 +124,9 @@ Result<AdmissionEstimate> EstimateForAdmission(
   quick.tune_mm_per_job = false;
   quick.tracer = nullptr;
   quick.metrics = nullptr;
+  // Admission estimates are what-if runs: never advance the injected
+  // revocation controller's clock or fired-once state.
+  quick.sim.revocation = nullptr;
   CUMULON_ASSIGN_OR_RETURN(PredictionResult prediction,
                            PredictProgram(spec, cluster, quick));
   AdmissionEstimate estimate;

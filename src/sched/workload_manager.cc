@@ -83,6 +83,11 @@ double WorkloadManager::NowSeconds() const {
   return NowSecondsLocked();
 }
 
+double WorkloadManager::BacklogSeconds() const {
+  MutexLock lock(&mu_);
+  return BacklogSecondsLocked();
+}
+
 double WorkloadManager::BacklogSecondsLocked() const {
   double backlog = 0.0;
   for (const auto& [id, entry] : plans_) {

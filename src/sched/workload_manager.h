@@ -187,6 +187,11 @@ class WorkloadManager {
   /// Seconds since the manager started, in the configured clock domain.
   double NowSeconds() const;
 
+  /// Estimated seconds of queued + running work, spread over the workers —
+  /// the demand signal the elastic provisioner (sched/elastic.h) re-plans
+  /// the fleet against.
+  double BacklogSeconds() const;
+
   SlotPool* slot_pool() { return &slot_pool_; }
   MetricsRegistry* metrics() { return metrics_; }
   int queued_plans() const;

@@ -1,5 +1,7 @@
 #include <atomic>
+#include <cstdint>
 #include <memory>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -161,6 +163,55 @@ TEST(FailureInjectionTest, PersistentStorageFailureFailsThePlan) {
 // ---------------------------------------------------------------------------
 // Simulated task failures
 // ---------------------------------------------------------------------------
+
+// ---------------------------------------------------------------------------
+// DrawTaskAttempts: the sim engine's failure/retry boundary
+// ---------------------------------------------------------------------------
+
+TEST(DrawTaskAttemptsTest, CertainFailureExhaustsExactlyMaxAttempts) {
+  Rng rng(5);
+  EXPECT_EQ(DrawTaskAttempts(&rng, 1.0, 4), 0);
+  EXPECT_EQ(DrawTaskAttempts(&rng, 1.0, 1), 0);
+}
+
+TEST(DrawTaskAttemptsTest, CertainSuccessIsOneAttemptOneDraw) {
+  Rng a(5), b(5);
+  EXPECT_EQ(DrawTaskAttempts(&a, 0.0, 4), 1);
+  // Exactly one draw consumed: both streams stay in lockstep afterwards.
+  (void)b.NextDouble();
+  EXPECT_DOUBLE_EQ(a.NextDouble(), b.NextDouble());
+}
+
+TEST(DrawTaskAttemptsTest, EveryAttemptCountUpToMaxIsReachable) {
+  // At p=0.5 a seed search must find runs that succeed after exactly k-1
+  // failures for every k <= max_attempts, and runs that exhaust all
+  // attempts — the boundary is inclusive: max_attempts-1 failures still
+  // succeed, max_attempts consecutive failures kill the job.
+  const int max_attempts = 4;
+  std::vector<bool> seen(max_attempts + 1, false);
+  for (uint64_t seed = 1; seed <= 4096; ++seed) {
+    Rng rng(seed);
+    const int attempts = DrawTaskAttempts(&rng, 0.5, max_attempts);
+    ASSERT_GE(attempts, 0);
+    ASSERT_LE(attempts, max_attempts);
+    seen[attempts] = true;
+  }
+  for (int k = 0; k <= max_attempts; ++k) {
+    EXPECT_TRUE(seen[k]) << "attempt count " << k << " never occurred";
+  }
+}
+
+TEST(DrawTaskAttemptsTest, ConsumesOneDrawPerDecidedAttempt) {
+  // The RNG contract behind bit-identical replays: k attempts = k draws.
+  for (uint64_t seed : {3u, 17u, 99u}) {
+    Rng counted(seed);
+    const int attempts = DrawTaskAttempts(&counted, 0.5, 6);
+    const int decided = attempts == 0 ? 6 : attempts;
+    Rng manual(seed);
+    for (int i = 0; i < decided; ++i) (void)manual.NextDouble();
+    EXPECT_DOUBLE_EQ(counted.NextDouble(), manual.NextDouble());
+  }
+}
 
 TEST(SimFailureTest, FailuresInflateMakespan) {
   ClusterConfig cluster{MachineProfile{}, 4, 2};

@@ -3,10 +3,13 @@
 // consistency properties.
 
 #include <algorithm>
+#include <cmath>
 #include <tuple>
 
 #include <gtest/gtest.h>
 
+#include "cloud/machine.h"
+#include "cloud/revocation.h"
 #include "cluster/sim_engine.h"
 #include "common/rng.h"
 #include "matrix/dense_matrix.h"
@@ -188,6 +191,97 @@ TEST_P(SelectionPropertyTest, FrontierIsSubsetAndUndominated) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SelectionPropertyTest,
                          ::testing::Range<uint64_t>(1, 9));
+
+// ---------------------------------------------------------------------------
+// Spot billing under mid-quantum revocation: random (usage, revocation,
+// quantum, minimum) draws must respect the provider's charging rules.
+// ---------------------------------------------------------------------------
+
+class RevokedBillingPropertyTest : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(RevokedBillingPropertyTest, ChargeRespectsBillingLaws) {
+  Rng rng(GetParam() * 1315423911ull + 17);
+  MachineProfile machine;
+  machine.price_per_hour = 3.6;  // $0.001 per second: easy to reason about
+  for (int trial = 0; trial < 200; ++trial) {
+    BillingPolicy billing;
+    billing.quantum_seconds = rng.NextDouble(1.0, 900.0);
+    billing.minimum_seconds =
+        rng.NextDouble() < 0.5 ? 0.0 : rng.NextDouble(0.0, 300.0);
+    const double seconds = rng.NextDouble(0.0, 7200.0);
+    const double revoked_at = rng.NextDouble(0.0, 7200.0);
+
+    const double cost = MachineDollarCostWithRevocation(
+        machine, seconds, revoked_at, billing);
+    const double rate = machine.price_per_hour / 3600.0;
+
+    EXPECT_GE(cost, 0.0);
+    // Never billed past the revocation instant: the provider forgives the
+    // partial-quantum round-up a revocation interrupts.
+    EXPECT_LE(cost, revoked_at * rate + 1e-9);
+    // Never billed more than an un-revoked lease of the same length.
+    EXPECT_LE(cost,
+              machine.price_per_hour * BilledSeconds(seconds, billing) /
+                      3600.0 +
+                  1e-9);
+    // A surviving machine (revocation beyond the lease) pays the plain
+    // quantum-rounded price.
+    if (revoked_at >= BilledSeconds(seconds, billing)) {
+      EXPECT_NEAR(cost,
+                  machine.price_per_hour *
+                      BilledSeconds(seconds, billing) / 3600.0,
+                  1e-9);
+    }
+    // Monotone in usage: asking for more time never costs less.
+    const double longer = seconds + rng.NextDouble(0.0, 1800.0);
+    EXPECT_GE(MachineDollarCostWithRevocation(machine, longer, revoked_at,
+                                              billing),
+              cost - 1e-9);
+    // Monotone in the revocation instant: dying later never costs less.
+    const double later = revoked_at + rng.NextDouble(0.0, 1800.0);
+    EXPECT_GE(MachineDollarCostWithRevocation(machine, seconds, later,
+                                              billing),
+              cost - 1e-9);
+  }
+}
+
+TEST_P(RevokedBillingPropertyTest, QuantumAndMinimumRounding) {
+  Rng rng(GetParam() * 2654435761ull + 3);
+  MachineProfile machine;
+  machine.price_per_hour = 3600.0;  // $1 per second
+  for (int trial = 0; trial < 200; ++trial) {
+    BillingPolicy billing;
+    billing.quantum_seconds = rng.NextDouble(1.0, 600.0);
+    billing.minimum_seconds = rng.NextDouble(0.0, 600.0);
+    const double seconds = rng.NextDouble(0.0, 3600.0);
+
+    const double billed = BilledSeconds(seconds, billing);
+    // At least the minimum, at least the usage, a whole number of quanta.
+    EXPECT_GE(billed, billing.minimum_seconds - 1e-9);
+    EXPECT_GE(billed, seconds - 1e-9);
+    const double quanta = billed / billing.quantum_seconds;
+    EXPECT_NEAR(quanta, std::round(quanta), 1e-6);
+    EXPECT_LT(billed,
+              std::max(seconds, billing.minimum_seconds) +
+                  billing.quantum_seconds + 1e-9);
+
+    // A never-revoked lease is the plain billed price.
+    EXPECT_NEAR(MachineDollarCostWithRevocation(
+                    machine, seconds, RevocationSchedule::kNever, billing),
+                machine.price_per_hour * billed / 3600.0, 1e-6);
+    // A machine revoked before the lease even starts costs nothing.
+    EXPECT_DOUBLE_EQ(
+        MachineDollarCostWithRevocation(machine, seconds, 0.0, billing),
+        0.0);
+    EXPECT_DOUBLE_EQ(
+        MachineDollarCostWithRevocation(machine, seconds, -5.0, billing),
+        0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RevokedBillingPropertyTest,
+                         ::testing::Range<uint64_t>(1, 7));
 
 }  // namespace
 }  // namespace cumulon

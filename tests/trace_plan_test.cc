@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include "cloud/revocation.h"
 #include "lang/logical_optimizer.h"
 #include "lang/programs.h"
 #include "obs/metrics.h"
@@ -165,6 +166,114 @@ TEST(TracePlanTest, MetricsAgreeWithPlanStats) {
   EXPECT_EQ(snapshot.counters.at("exec.bytes.written"), stats.bytes_written);
   // PlanStats carries the same delta.
   EXPECT_EQ(stats.metrics.CounterOr("exec.tasks", -1), stats.total_tasks);
+}
+
+// ---------------------------------------------------------------------------
+// Golden two-revocation run: a scripted fault plan kills machines 1 and 3
+// mid-prediction; the trace must carry exactly two zero-width "revoke"
+// markers, correctly parented and placed, and the cluster.revoked.*
+// counters must agree with the plan's rescheduling stats.
+// ---------------------------------------------------------------------------
+
+TEST(TracePlanTest, TwoScriptedRevocationsLeaveGoldenTrace) {
+  // Clean reference run fixes the fault instants: 30% into the first job
+  // (machine 1) and 70% into the total busy time (machine 3) — both
+  // machines are mid-task at their instant on a 4x2 cluster.
+  Tracer clean_tracer(Tracer::ClockDomain::kVirtual);
+  auto clean = PredictTraced(&clean_tracer, nullptr);
+  ASSERT_TRUE(clean.ok()) << clean.status();
+  ASSERT_FALSE(clean->stats.jobs.empty());
+  double busy = 0.0;
+  for (const JobRecord& j : clean->stats.jobs) busy += j.stats.duration_seconds;
+  const double t1 = 0.3 * clean->stats.jobs[0].stats.duration_seconds;
+  const double t2 = 0.7 * busy;
+  ASSERT_LT(t1, t2);
+
+  RevocationController ctrl(
+      RevocationSchedule::Scripted({{1, t1}, {3, t2}}));
+  Tracer tracer(Tracer::ClockDomain::kVirtual);
+  MetricsRegistry metrics;
+  PredictorOptions options;
+  options.lowering.tile_dim = kTile;
+  options.tracer = &tracer;
+  options.metrics = &metrics;
+  options.sim.revocation = &ctrl;
+  auto faulted = PredictProgram(SmallRsvd(), SmallCluster(), options);
+  ASSERT_TRUE(faulted.ok()) << faulted.status();
+  const PlanStats& stats = faulted->stats;
+
+  // Both losses observed, exactly once each.
+  EXPECT_EQ(ctrl.fired_count(), 2);
+  EXPECT_EQ(stats.revoked_machines, 2);
+  EXPECT_GE(stats.rescheduled_tasks, 1);
+  EXPECT_GT(stats.revoked_wasted_seconds, 0.0);
+  // Losing two of four machines mid-run must cost wall time.
+  EXPECT_GT(faulted->seconds, clean->seconds);
+
+  // Exactly two zero-width revoke markers, one per machine, each parented
+  // to a real job span and sitting on the dead machine's lane.
+  const std::vector<TraceSpan> revokes = SpansOf(tracer, "revoke");
+  ASSERT_EQ(revokes.size(), 2u);
+  std::map<int64_t, TraceSpan> jobs;
+  for (const TraceSpan& j : SpansOf(tracer, "job")) jobs[j.id] = j;
+  std::map<int, TraceSpan> by_machine;
+  for (const TraceSpan& r : revokes) {
+    EXPECT_DOUBLE_EQ(r.duration_seconds, 0.0);
+    ASSERT_NE(jobs.find(r.parent_id), jobs.end())
+        << "revoke marker '" << r.name << "' is not parented to a job span";
+    ASSERT_FALSE(r.args.empty());
+    EXPECT_EQ(r.args[0].first, "machine");
+    EXPECT_EQ(static_cast<int>(r.args[0].second), r.machine);
+    by_machine[r.machine] = r;
+  }
+  ASSERT_NE(by_machine.find(1), by_machine.end());
+  ASSERT_NE(by_machine.find(3), by_machine.end());
+
+  // The per-marker rescheduled counts sum to the plan's total.
+  double marker_rescheduled = 0.0;
+  for (const TraceSpan& r : revokes) {
+    for (const auto& [key, value] : r.args) {
+      if (key == "tasks_rescheduled") marker_rescheduled += value;
+    }
+  }
+  EXPECT_EQ(static_cast<int>(marker_rescheduled), stats.rescheduled_tasks);
+
+  // No task ever runs on a machine after its loss: on each dead machine's
+  // lane set, every task span ends at or before the revoke marker.
+  constexpr double kEps = 1e-9;
+  for (const TraceSpan& t : SpansOf(tracer, "task")) {
+    auto it = by_machine.find(t.machine);
+    if (it == by_machine.end()) continue;
+    EXPECT_LE(t.end_seconds(), it->second.start_seconds + kEps)
+        << "task '" << t.name << "' outlived revoked machine " << t.machine;
+  }
+
+  // Counter deltas mirror the stats.
+  const MetricsSnapshot snapshot = metrics.Snapshot();
+  EXPECT_EQ(snapshot.counters.at("cluster.revoked.machines"), 2);
+  EXPECT_EQ(snapshot.counters.at("cluster.revoked.tasks"),
+            stats.rescheduled_tasks);
+  ASSERT_NE(snapshot.histograms.find("cluster.revoked.wasted_seconds"),
+            snapshot.histograms.end());
+  EXPECT_EQ(snapshot.histograms.at("cluster.revoked.wasted_seconds").count,
+            stats.rescheduled_tasks);
+}
+
+TEST(TracePlanTest, RevocationTraceIsDeterministicAcrossRuns) {
+  auto run = [](Tracer* tracer) {
+    RevocationController ctrl(
+        RevocationSchedule::Scripted({{1, 5.0}, {3, 40.0}}));
+    PredictorOptions options;
+    options.lowering.tile_dim = kTile;
+    options.tracer = tracer;
+    options.sim.revocation = &ctrl;
+    ASSERT_TRUE(PredictProgram(SmallRsvd(), SmallCluster(), options).ok());
+  };
+  Tracer first(Tracer::ClockDomain::kVirtual);
+  Tracer second(Tracer::ClockDomain::kVirtual);
+  run(&first);
+  run(&second);
+  EXPECT_EQ(first.ToChromeJson(), second.ToChromeJson());
 }
 
 TEST(TracePlanTest, TraceIsDeterministicAcrossRuns) {

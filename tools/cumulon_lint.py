@@ -38,9 +38,9 @@ import sys
 import tempfile
 
 METRIC_NAME_RE = re.compile(
-    r'^(exec|engine|dfs|cache|prefetch|sched|plan)\.[a-z0-9_.]+$')
+    r'^(exec|engine|dfs|cache|prefetch|sched|plan|cluster)\.[a-z0-9_.]+$')
 METRIC_PREFIX_RE = re.compile(
-    r'^(exec|engine|dfs|cache|prefetch|sched|plan)\.([a-z0-9_.]+\.)?$')
+    r'^(exec|engine|dfs|cache|prefetch|sched|plan|cluster)\.([a-z0-9_.]+\.)?$')
 STRING_LITERAL_RE = re.compile(r'"((?:[^"\\]|\\.)*)"')
 KIND_CALL_RE = re.compile(r'\b(counter|gauge|histogram)\(\s*"([^"]+)"')
 CATEGORY_RE = re.compile(r'\.category\s*=\s*"([^"]+)"')
