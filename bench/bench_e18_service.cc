@@ -1,0 +1,317 @@
+// E18 — the service daemon under a closed-loop submission firehose:
+// thousands of simulated tenants (Poisson and bursty arrivals, heavy-
+// tailed catalog plan sizes) submit over the wire protocol and poll their
+// plans to completion, reporting client-observed p50/p99 admission and
+// completion latency. Two deterministic probes ride along and are
+// CHECK-enforced, making this binary the service's end-to-end gate:
+//
+//  - quota probe: a tenant capped at one in-flight plan submits twice
+//    back-to-back and must get the typed quota.inflight rejection;
+//  - drain probe: a daemon with queued-but-unstarted plans drains,
+//    persists them to disk, and a restart on the same state dir must
+//    restore every one of them through the full admission path.
+//
+// Modes: standalone (default) hosts its own daemon on a private unix
+// socket; --connect ADDR drives an external `cumulon serve` daemon and
+// drains it afterwards (the CI smoke job's configuration).
+//
+// Flags: --quick (CI: 1000 submissions), --connect ADDR, --seed N,
+//        --json FILE (BENCH_e18_service.json artifact).
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace cumulon::bench {
+namespace {
+
+bool g_quick = false;
+
+ServiceOptions BenchServiceOptions(const std::string& state_dir) {
+  ServiceOptions options;
+  options.state_dir = state_dir;
+  auto machine = FindMachine("m1.large");
+  CUMULON_CHECK(machine.ok()) << machine.status();
+  options.machine = machine.value();
+  options.elastic.min_machines = 2;
+  options.elastic.max_machines = 16;
+  options.slots_per_machine = 2;
+  options.max_concurrent_plans = 8;
+  options.reaper_interval_seconds = 0.002;
+  options.elastic_interval_seconds = 0.02;
+  return options;
+}
+
+/// Deterministic per-tenant quota enforcement: with max_inflight_plans = 1
+/// and the queue held closed, the second back-to-back SUBMIT must be the
+/// typed quota.inflight rejection — not a race against plan completion.
+void RunQuotaProbe() {
+  ServiceOptions options = BenchServiceOptions("");
+  options.defer_start = true;
+  options.session.tenant_quotas["probe"].max_inflight_plans = 1;
+  CumulonService service(options);
+  LocalTransport transport(&service);
+  ServiceClient client(&transport);
+  CUMULON_CHECK(client.Hello("probe").ok());
+  auto first = client.Submit("mm-s");
+  CUMULON_CHECK(first.ok()) << first.status();
+  auto second = client.Submit("mm-s");
+  CUMULON_CHECK(!second.ok()) << "over-quota SUBMIT was accepted";
+  CUMULON_CHECK(ErrorReason(second.status()) == "quota.inflight")
+      << second.status();
+  auto drained = client.Drain();
+  CUMULON_CHECK(drained.ok()) << drained.status();
+  std::printf("quota probe: second in-flight SUBMIT -> %s\n",
+              second.status().message().c_str());
+}
+
+struct DrainProbeResult {
+  int64_t persisted = 0;
+  int restored = 0;
+};
+
+/// Drain/restart survival: queued-but-unstarted plans are persisted by
+/// DRAIN and restored — through the full admission path — by a restart on
+/// the same state directory.
+DrainProbeResult RunDrainProbe(const std::string& state_dir) {
+  const int kPlans = 3;
+  DrainProbeResult result;
+  {
+    ServiceOptions options = BenchServiceOptions(state_dir);
+    options.defer_start = true;  // pin the plans in the queue
+    CumulonService service(options);
+    LocalTransport transport(&service);
+    ServiceClient client(&transport);
+    CUMULON_CHECK(client.Hello("survivor").ok());
+    for (int i = 0; i < kPlans; ++i) {
+      auto submit = client.Submit("mm-s", StrCat("survivor#", i));
+      CUMULON_CHECK(submit.ok()) << submit.status();
+    }
+    auto drained = client.Drain();
+    CUMULON_CHECK(drained.ok()) << drained.status();
+    result.persisted = *drained;
+    CUMULON_CHECK_EQ(result.persisted, kPlans);
+  }
+  ServiceOptions options = BenchServiceOptions(state_dir);
+  CumulonService service(options);
+  result.restored = service.restored_plans();
+  CUMULON_CHECK_EQ(result.restored, kPlans);
+  LocalTransport transport(&service);
+  ServiceClient ops(&transport);
+  CUMULON_CHECK(ops.Hello("ops").ok());
+  CUMULON_CHECK(ops.Drain().ok());
+  std::printf("drain probe: %lld queued plans persisted, %d restored\n",
+              static_cast<long long>(result.persisted), result.restored);
+  return result;
+}
+
+LoadGenOptions FirehoseOptions(uint64_t seed) {
+  LoadGenOptions options;
+  options.tenants = g_quick ? 250 : 2000;
+  options.total_submissions = g_quick ? 1000 : 8000;
+  options.workers = 8;
+  options.think_mean_seconds = 0.0005;
+  options.burst_tenant_fraction = 0.25;
+  options.burst_size = 4;
+  // A slice of tight deadlines provokes typed admission rejections once
+  // the backlog builds.
+  options.deadline_fraction = 0.1;
+  options.deadline_seconds = 60.0;
+  options.poll_interval_seconds = 0.002;
+  options.poll_timeout_seconds = 120.0;
+  options.seed = seed;
+  return options;
+}
+
+void PrintReport(const LoadGenReport& r) {
+  PrintRule();
+  std::printf("submitted %d: accepted %d, rejected quota %d / admission %d"
+              " / draining %d / other %d, transport errors %d\n",
+              r.submitted, r.accepted, r.rejected_quota,
+              r.rejected_admission, r.rejected_draining, r.rejected_other,
+              r.transport_errors);
+  std::printf("terminal: %d done, %d failed, %d cancelled, %d poll "
+              "timeouts\n",
+              r.completed, r.failed, r.cancelled, r.poll_timeouts);
+  std::printf("admission latency  p50 %.6fs  p99 %.6fs  max %.6fs\n",
+              r.admission_p50_seconds, r.admission_p99_seconds,
+              r.admission_max_seconds);
+  std::printf("completion latency p50 %.6fs  p99 %.6fs  max %.6fs\n",
+              r.completion_p50_seconds, r.completion_p99_seconds,
+              r.completion_max_seconds);
+  std::printf("wall %.3fs (%.0f submissions/s)\n", r.wall_seconds,
+              r.wall_seconds > 0 ? r.submitted / r.wall_seconds : 0.0);
+  PrintRule();
+}
+
+void WriteJson(const std::string& path, const LoadGenReport& r,
+               const DrainProbeResult& drain, int64_t connect_persisted,
+               bool connected) {
+  JsonValue root = JsonValue::Object();
+  root.Set("bench", "e18_service")
+      .Set("quick", g_quick)
+      .Set("mode", connected ? "connect" : "standalone")
+      .Set("submitted", r.submitted)
+      .Set("accepted", r.accepted)
+      .Set("rejected_quota", r.rejected_quota)
+      .Set("rejected_admission", r.rejected_admission)
+      .Set("rejected_draining", r.rejected_draining)
+      .Set("rejected_other", r.rejected_other)
+      .Set("transport_errors", r.transport_errors)
+      .Set("completed", r.completed)
+      .Set("failed", r.failed)
+      .Set("cancelled", r.cancelled)
+      .Set("poll_timeouts", r.poll_timeouts)
+      .Set("wall_seconds", r.wall_seconds)
+      .Set("admission_p50_seconds", r.admission_p50_seconds)
+      .Set("admission_p99_seconds", r.admission_p99_seconds)
+      .Set("admission_max_seconds", r.admission_max_seconds)
+      .Set("completion_p50_seconds", r.completion_p50_seconds)
+      .Set("completion_p99_seconds", r.completion_p99_seconds)
+      .Set("completion_max_seconds", r.completion_max_seconds);
+  if (connected) {
+    root.Set("drain_persisted", connect_persisted);
+  } else {
+    JsonValue probes = JsonValue::Object();
+    probes.Set("quota_inflight_rejected", true)
+        .Set("drain_persisted", drain.persisted)
+        .Set("restore_restored", drain.restored);
+    root.Set("probes", std::move(probes));
+  }
+  FILE* f = std::fopen(path.c_str(), "w");
+  CUMULON_CHECK(f != nullptr) << "cannot open " << path;
+  const std::string text = root.ToString();
+  std::fprintf(f, "%s\n", text.c_str());
+  std::fclose(f);
+  std::printf("json -> %s\n", path.c_str());
+}
+
+/// Standalone: host the daemon on a private unix socket and fire the
+/// closed loop at it over real frames.
+int RunStandalone(const std::string& json_path, uint64_t seed) {
+  const std::string state_dir =
+      StrCat("/tmp/cumulon_bench_e18_", getpid());
+  (void)mkdir(state_dir.c_str(), 0755);
+
+  PrintHeader("E18: service daemon firehose (standalone)");
+  RunQuotaProbe();
+  const DrainProbeResult drain = RunDrainProbe(state_dir);
+
+  CumulonService service(BenchServiceOptions(""));
+  ServiceServer server(&service);
+  const std::string address =
+      StrCat("unix:/tmp/cumulon_bench_e18_", getpid(), ".sock");
+  Status started = server.Start(address);
+  CUMULON_CHECK(started.ok()) << started;
+
+  const LoadGenOptions options = FirehoseOptions(seed);
+  std::printf("firehose: %d tenants, %d submissions, %d connections -> "
+              "%s\n",
+              options.tenants, options.total_submissions, options.workers,
+              address.c_str());
+  auto report = RunLoadGen(
+      [&address]() -> Result<std::unique_ptr<Transport>> {
+        auto transport = SocketTransport::Connect(address);
+        if (!transport.ok()) return transport.status();
+        return std::unique_ptr<Transport>(std::move(transport).value());
+      },
+      options);
+  CUMULON_CHECK(report.ok()) << report.status();
+  PrintReport(*report);
+
+  // Clean shutdown through the protocol: drain, then wait the server out.
+  auto ops_transport = SocketTransport::Connect(address);
+  CUMULON_CHECK(ops_transport.ok()) << ops_transport.status();
+  ServiceClient ops(ops_transport->get());
+  CUMULON_CHECK(ops.Hello("ops").ok());
+  auto drained = ops.Drain();
+  CUMULON_CHECK(drained.ok()) << drained.status();
+  server.WaitUntilStopped();
+  CUMULON_CHECK(service.drained());
+  std::printf("drained cleanly (%lld late-queued plans persisted)\n",
+              static_cast<long long>(*drained));
+
+  if (!json_path.empty()) WriteJson(json_path, *report, drain, 0, false);
+  return 0;
+}
+
+/// --connect ADDR: drive an external daemon, then drain it (the CI smoke
+/// job asserts the `cumulon serve` process exits cleanly afterwards).
+int RunConnect(const std::string& address, const std::string& json_path,
+               uint64_t seed) {
+  PrintHeader(StrCat("E18: service daemon firehose (", address, ")"));
+  const LoadGenOptions options = FirehoseOptions(seed);
+  std::printf("firehose: %d tenants, %d submissions, %d connections\n",
+              options.tenants, options.total_submissions, options.workers);
+  auto report = RunLoadGen(
+      [&address]() -> Result<std::unique_ptr<Transport>> {
+        auto transport = SocketTransport::Connect(address);
+        if (!transport.ok()) return transport.status();
+        return std::unique_ptr<Transport>(std::move(transport).value());
+      },
+      options);
+  if (!report.ok()) {
+    std::fprintf(stderr, "load generator failed: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+  PrintReport(*report);
+
+  auto ops_transport = SocketTransport::Connect(address);
+  if (!ops_transport.ok()) {
+    std::fprintf(stderr, "drain connect failed: %s\n",
+                 ops_transport.status().ToString().c_str());
+    return 1;
+  }
+  ServiceClient ops(ops_transport->get());
+  Status hello = ops.Hello("ops");
+  if (!hello.ok()) {
+    std::fprintf(stderr, "drain HELLO failed: %s\n",
+                 hello.ToString().c_str());
+    return 1;
+  }
+  auto drained = ops.Drain();
+  if (!drained.ok()) {
+    std::fprintf(stderr, "DRAIN failed: %s\n",
+                 drained.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("daemon drained (%lld queued plans persisted)\n",
+              static_cast<long long>(*drained));
+  if (!json_path.empty()) {
+    WriteJson(json_path, *report, DrainProbeResult{}, *drained, true);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace cumulon::bench
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  std::string connect;
+  uint64_t seed = 17;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      cumulon::bench::g_quick = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--connect") == 0 && i + 1 < argc) {
+      connect = argv[++i];
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    }
+  }
+  if (!connect.empty()) {
+    return cumulon::bench::RunConnect(connect, json_path, seed);
+  }
+  return cumulon::bench::RunStandalone(json_path, seed);
+}

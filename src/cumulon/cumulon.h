@@ -15,6 +15,8 @@
 ///   baseline - MapReduce-style RMM/CPMM comparison strategies
 ///   sched    - slot arbitration and the multi-tenant workload manager
 ///   opt      - deployment predictor and time/budget-constrained search
+///   svc      - long-lived service daemon: wire protocol, tenant sessions,
+///              submission service, socket server, closed-loop load gen
 ///   obs      - metrics registry and execution tracer (cross-cutting)
 
 #include "baseline/mr_matmul.h"
@@ -58,5 +60,14 @@
 #include "sched/elastic.h"
 #include "sched/slot_pool.h"
 #include "sched/workload_manager.h"
+#include "svc/catalog.h"
+#include "svc/client.h"
+#include "svc/json.h"
+#include "svc/loadgen.h"
+#include "svc/message.h"
+#include "svc/server.h"
+#include "svc/service.h"
+#include "svc/session.h"
+#include "svc/wire.h"
 
 #endif  // CUMULON_CUMULON_H_

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/logging.h"
 #include "cost/cost_model.h"
+#include "sched/workload_manager.h"
 
 namespace cumulon {
 
@@ -82,6 +84,39 @@ FleetDecision ElasticProvisioner::Replan(const FleetState& current,
         ->Set(decision.fleet.spot_machines);
   }
   return decision;
+}
+
+ElasticFleetController::ElasticFleetController(
+    const FleetState& initial, const ElasticControllerOptions& options)
+    : options_(options),
+      provisioner_(options.policy, options.spot_discount,
+                   options.spot_hazard_per_hour, options.metrics),
+      fleet_(initial) {
+  CUMULON_CHECK_GT(options_.slots_per_machine, 0);
+}
+
+FleetDecision ElasticFleetController::Tick(WorkloadManager* manager) {
+  const double backlog = manager->BacklogSeconds();
+  FleetDecision decision;
+  {
+    MutexLock lock(&mu_);
+    decision = provisioner_.Replan(fleet_, backlog, options_.horizon_seconds,
+                                   options_.max_slowdown);
+    fleet_ = decision.fleet;
+  }
+  manager->slot_pool()->Resize(decision.fleet.machines *
+                               options_.slots_per_machine);
+  return decision;
+}
+
+FleetState ElasticFleetController::fleet() const {
+  MutexLock lock(&mu_);
+  return fleet_;
+}
+
+int ElasticFleetController::slots() const {
+  MutexLock lock(&mu_);
+  return fleet_.machines * options_.slots_per_machine;
 }
 
 }  // namespace cumulon

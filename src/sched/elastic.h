@@ -2,6 +2,8 @@
 #define CUMULON_SCHED_ELASTIC_H_
 
 #include "cloud/machine.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "obs/metrics.h"
 
 namespace cumulon {
@@ -84,6 +86,56 @@ class ElasticProvisioner {
   double spot_discount_;
   double spot_hazard_per_hour_;
   MetricsRegistry* metrics_;
+};
+
+class WorkloadManager;
+
+struct ElasticControllerOptions {
+  ElasticPolicy policy;
+
+  /// Spot market the controller may buy from (cloud/machine.h defaults).
+  double spot_discount = kDefaultSpotDiscount;
+  double spot_hazard_per_hour = kDefaultSpotHazardPerHour;
+
+  /// Task slots each provisioned machine contributes to the SlotPool.
+  int slots_per_machine = 2;
+
+  /// Epoch length the provisioner plans each fleet for.
+  double horizon_seconds = 120.0;
+
+  /// Acceptable revocation-rework multiplier when mixing in spot machines.
+  double max_slowdown = 1.25;
+
+  /// Destination of the sched.replan.* metrics. Borrowed; may be null.
+  MetricsRegistry* metrics = nullptr;
+};
+
+/// Closes PR 7's loop: the provisioner that used to re-plan against the
+/// predictor's offline backlog now follows a live WorkloadManager. Each
+/// Tick reads the manager's actual queue backlog, asks the provisioner for
+/// the next fleet, and applies the decision by resizing the manager's
+/// SlotPool to machines x slots_per_machine — running plans keep their
+/// leases while the pool drains toward the new size.
+///
+/// Thread-safe; the service daemon ticks it from a background thread.
+class ElasticFleetController {
+ public:
+  ElasticFleetController(const FleetState& initial,
+                         const ElasticControllerOptions& options);
+
+  /// One control epoch: re-plan against `manager`'s BacklogSeconds() and
+  /// resize its slot pool. Returns the decision taken.
+  FleetDecision Tick(WorkloadManager* manager);
+
+  FleetState fleet() const;
+  int slots() const;
+  const ElasticControllerOptions& options() const { return options_; }
+
+ private:
+  ElasticControllerOptions options_;
+  ElasticProvisioner provisioner_;
+  mutable Mutex mu_{"ElasticFleetController::mu_"};
+  FleetState fleet_ CUMULON_GUARDED_BY(mu_);
 };
 
 }  // namespace cumulon

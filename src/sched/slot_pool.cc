@@ -69,6 +69,16 @@ bool SlotPool::Acquire(int64_t plan_id, const std::atomic<bool>* cancel) {
   return true;
 }
 
+void SlotPool::Resize(int total_slots) {
+  CUMULON_CHECK_GT(total_slots, 0);
+  MutexLock lock(&mu_);
+  // Shrinking below the leased count drives free_ negative: outstanding
+  // leases keep running, new grants wait for releases to catch up.
+  free_ += total_slots - total_slots_;
+  total_slots_ = total_slots;
+  cv_.NotifyAll();
+}
+
 void SlotPool::Release(int64_t plan_id) {
   MutexLock lock(&mu_);
   auto it = held_.find(plan_id);
@@ -83,6 +93,11 @@ int SlotPool::FairShare(int64_t plan_id) const {
   MutexLock lock(&mu_);
   if (held_.count(plan_id) == 0) return total_slots_;
   return FairShareLocked();
+}
+
+int SlotPool::total_slots() const {
+  MutexLock lock(&mu_);
+  return total_slots_;
 }
 
 int SlotPool::free_slots() const {

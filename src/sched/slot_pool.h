@@ -53,12 +53,19 @@ class SlotPool {
   /// Returns one of `plan_id`'s leased slots to the pool.
   void Release(int64_t plan_id);
 
+  /// Retargets the pool at `total_slots` (the elastic provisioner's fleet
+  /// decisions land here: machines x slots_per_machine). Growing frees the
+  /// new slots immediately; shrinking lets outstanding leases drain — the
+  /// free count goes negative and no new grant happens until enough
+  /// releases catch up. Must stay > 0.
+  void Resize(int total_slots);
+
   /// Slots `plan_id` may use under the current load: its fair share of the
   /// pool among registered plans (ceil(total/plans), at least 1), or the
   /// whole pool when it is the only registered plan.
   int FairShare(int64_t plan_id) const;
 
-  int total_slots() const { return total_slots_; }
+  int total_slots() const;
   int free_slots() const;
   int held(int64_t plan_id) const;
   int registered_plans() const;
@@ -75,8 +82,8 @@ class SlotPool {
   bool CanGrantLocked(int64_t plan_id) const CUMULON_REQUIRES(mu_);
   int FairShareLocked() const CUMULON_REQUIRES(mu_);
 
-  const int total_slots_;
   mutable Mutex mu_{"SlotPool::mu_"};
+  int total_slots_ CUMULON_GUARDED_BY(mu_);
   CondVar cv_;
   int free_ CUMULON_GUARDED_BY(mu_);
   // registered plan -> leased slots

@@ -54,7 +54,8 @@ WorkloadManager::WorkloadManager(TileStore* store, Engine* engine,
       options_(options),
       metrics_(options.metrics != nullptr ? options.metrics
                                           : &owned_metrics_),
-      slot_pool_(engine->config().total_slots()),
+      slot_pool_(options.initial_slots > 0 ? options.initial_slots
+                                           : engine->config().total_slots()),
       started_(!options.defer_start),
       wall_start_(std::chrono::steady_clock::now()) {
   CUMULON_CHECK(store_ != nullptr);
@@ -205,6 +206,51 @@ PlanOutcome WorkloadManager::Wait(int64_t plan_id) {
   PlanEntry* entry = it->second.get();
   while (!entry->terminal) terminal_cv_.Wait(&mu_);
   return entry->outcome;
+}
+
+Result<PlanState> WorkloadManager::QueryState(int64_t plan_id) const {
+  MutexLock lock(&mu_);
+  auto it = plans_.find(plan_id);
+  if (it == plans_.end()) {
+    return Status::NotFound(StrCat("no plan with id ", plan_id));
+  }
+  return it->second->outcome.state;
+}
+
+Result<PlanOutcome> WorkloadManager::TryGetOutcome(int64_t plan_id) const {
+  MutexLock lock(&mu_);
+  auto it = plans_.find(plan_id);
+  if (it == plans_.end()) {
+    return Status::NotFound(StrCat("no plan with id ", plan_id));
+  }
+  if (!it->second->terminal) {
+    return Status::FailedPrecondition(
+        StrCat("plan ", plan_id, " still ",
+               PlanStateName(it->second->outcome.state)));
+  }
+  return it->second->outcome;
+}
+
+std::vector<int64_t> WorkloadManager::CancelAllQueued() {
+  MutexLock lock(&mu_);
+  std::vector<int64_t> cancelled;
+  cancelled.reserve(queue_.size());
+  const double now = NowSecondsLocked();
+  for (const int64_t id : queue_) {
+    PlanEntry* entry = plans_.at(id).get();
+    entry->cancel.store(true, std::memory_order_relaxed);
+    entry->outcome.state = PlanState::kCancelled;
+    entry->outcome.status = Status::Cancelled("cancelled while queued");
+    entry->outcome.start_seconds = now;
+    entry->outcome.finish_seconds = now;
+    entry->terminal = true;
+    metrics_->counter("sched.cancelled")->Increment();
+    cancelled.push_back(id);
+  }
+  queue_.clear();
+  metrics_->gauge("sched.queued")->Set(0);
+  if (!cancelled.empty()) terminal_cv_.NotifyAll();
+  return cancelled;
 }
 
 std::vector<PlanOutcome> WorkloadManager::Drain() {

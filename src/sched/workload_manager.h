@@ -122,6 +122,12 @@ struct WorkloadManagerOptions {
   /// the whole queue before the policy picks an order.
   bool defer_start = false;
 
+  /// Initial SlotPool capacity; 0 = the engine's total_slots(). The
+  /// elastic fleet controller (sched/elastic.h) resizes the pool at run
+  /// time, so a service can start on a small fleet and grow toward the
+  /// engine's configured maximum under backlog.
+  int initial_slots = 0;
+
   /// Template for every plan's executor (real_mode, startup latency,
   /// parallelize_independent_jobs, ...). Its plan_id/plan_tag/slot_pool/
   /// cancel fields are overwritten per plan; its metrics/tracer default to
@@ -178,6 +184,21 @@ class WorkloadManager {
   /// Blocks until the plan reaches a terminal state and returns its
   /// outcome. CHECK-fails on unknown ids.
   PlanOutcome Wait(int64_t plan_id);
+
+  /// Nonblocking: the plan's current state. NotFound for unknown ids.
+  Result<PlanState> QueryState(int64_t plan_id) const;
+
+  /// Nonblocking: the plan's outcome if it already reached a terminal
+  /// state, FailedPrecondition while it is still queued or running,
+  /// NotFound for unknown ids. The service daemon's poll/reaper path —
+  /// never parks a thread per plan the way Wait does.
+  Result<PlanOutcome> TryGetOutcome(int64_t plan_id) const;
+
+  /// Cancels every plan still queued (not yet dispatched to a worker) and
+  /// returns their ids. Running plans are untouched — this is the graceful
+  /// drain's first half: pull the unstarted work back for persistence,
+  /// then Drain() waits only for the in-flight plans.
+  std::vector<int64_t> CancelAllQueued();
 
   /// Waits for everything submitted so far, stops the workers, and
   /// returns all outcomes ordered by plan id. The manager accepts no

@@ -1,0 +1,97 @@
+#include "svc/catalog.h"
+
+#include "common/strings.h"
+#include "lang/expr.h"
+#include "lang/logical_optimizer.h"
+#include "lang/programs.h"
+
+namespace cumulon {
+
+namespace {
+
+/// One rung of the matmul size ladder: C = A * B with n x n inputs named
+/// after the class so the rungs never collide in a shared store.
+ProgramSpec MakeMatMulClass(const std::string& cls, int64_t n,
+                            int64_t tile_dim) {
+  // "mm-s" -> "mm_s_A": metric- and path-safe identifier.
+  std::string prefix = cls;
+  for (char& c : prefix) {
+    if (c == '-') c = '_';
+  }
+  const std::string a = StrCat(prefix, "_A");
+  const std::string b = StrCat(prefix, "_B");
+  ProgramSpec spec;
+  spec.program.Assign(StrCat(prefix, "_C"),
+                      Expr::Input(a, n, n) * Expr::Input(b, n, n));
+  spec.program = OptimizeProgram(spec.program);
+  spec.inputs = {{a, TileLayout::Square(n, n, tile_dim)},
+                 {b, TileLayout::Square(n, n, tile_dim)}};
+  return spec;
+}
+
+}  // namespace
+
+Result<ProgramSpec> MakeCatalogWorkload(const std::string& name, double scale,
+                                        int64_t tile_dim) {
+  const int64_t tile = tile_dim;
+  ProgramSpec spec;
+  if (name == "mm-s") return MakeMatMulClass(name, 1 << 10, tile);
+  if (name == "mm-m") return MakeMatMulClass(name, 1 << 12, tile);
+  if (name == "mm-l") return MakeMatMulClass(name, 1 << 13, tile);
+  if (name == "mm-xl") return MakeMatMulClass(name, 1 << 14, tile);
+  if (name == "rsvd") {
+    RsvdSpec s;
+    s.m = static_cast<int64_t>((1 << 17) * scale);
+    s.n = 1 << 14;
+    s.l = 64;
+    spec.program = OptimizeProgram(BuildRsvd1(s));
+    spec.inputs = {{"A", TileLayout::Square(s.m, s.n, tile)},
+                   {"Omega", TileLayout::Square(s.n, s.l, tile)}};
+  } else if (name == "gnmf") {
+    GnmfSpec s;
+    s.m = static_cast<int64_t>((1 << 16) * scale);
+    s.n = 1 << 14;
+    s.k = 128;
+    spec.program = OptimizeProgram(BuildGnmfIteration(s));
+    spec.inputs = {{"V", TileLayout::Square(s.m, s.n, tile)},
+                   {"W", TileLayout::Square(s.m, s.k, tile)},
+                   {"H", TileLayout::Square(s.k, s.n, tile)}};
+  } else if (name == "linreg") {
+    LinRegSpec s;
+    s.samples = static_cast<int64_t>((1 << 17) * scale);
+    s.features = 1 << 13;
+    spec.program = OptimizeProgram(BuildLinRegStep(s));
+    spec.inputs = {{"X", TileLayout::Square(s.samples, s.features, tile)},
+                   {"w", TileLayout::Square(s.features, 1, tile)},
+                   {"y", TileLayout::Square(s.samples, 1, tile)}};
+  } else if (name == "pagerank") {
+    PageRankSpec s;
+    s.n = static_cast<int64_t>((1 << 15) * scale);
+    spec.program = OptimizeProgram(BuildPageRankIteration(s));
+    spec.inputs = {{"M", TileLayout::Square(s.n, s.n, tile)},
+                   {"p", TileLayout::Square(s.n, 1, tile)}};
+  } else if (name == "logreg") {
+    LogRegSpec s;
+    s.samples = static_cast<int64_t>((1 << 17) * scale);
+    s.features = 1 << 13;
+    spec.program = OptimizeProgram(BuildLogRegStep(s));
+    spec.inputs = {{"X", TileLayout::Square(s.samples, s.features, tile)},
+                   {"w", TileLayout::Square(s.features, 1, tile)},
+                   {"y", TileLayout::Square(s.samples, 1, tile)}};
+  } else {
+    return Status::InvalidArgument(
+        StrCat("unknown workload '", name,
+               "' (expected mm-s|mm-m|mm-l|mm-xl|rsvd|gnmf|linreg|pagerank|"
+               "logreg)"));
+  }
+  return spec;
+}
+
+const std::vector<std::string>& CatalogWorkloads() {
+  static const std::vector<std::string> kClasses = {
+      "mm-s",  "mm-m",   "mm-l",     "mm-xl",  "rsvd",
+      "gnmf",  "linreg", "pagerank", "logreg"};
+  return kClasses;
+}
+
+}  // namespace cumulon

@@ -1,0 +1,38 @@
+#ifndef CUMULON_SVC_CATALOG_H_
+#define CUMULON_SVC_CATALOG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "opt/predictor.h"
+
+namespace cumulon {
+
+/// Named program classes a tenant may SUBMIT. The daemon's tenants pick
+/// from a fixed catalog instead of shipping arbitrary shapes because every
+/// class's inputs live once in the shared simulated DFS: two tenants
+/// submitting "mm-m" share the same registered input layouts, so
+/// concurrent plans can never register conflicting shapes under one name.
+///
+/// Classes:
+///   mm-s / mm-m / mm-l / mm-xl   square matmul C = A * B at 1k/4k/8k/16k
+///                                (the heavy-tailed size ladder the load
+///                                generator samples from)
+///   rsvd, gnmf, linreg, pagerank, logreg
+///                                the paper-family programs of
+///                                lang/programs.h at one service scale
+///
+/// `scale` stretches the lang workloads' leading dimension (the CLI's
+/// --scale flag); the mm-* ladder ignores it so its shapes stay identical
+/// across every submission.
+Result<ProgramSpec> MakeCatalogWorkload(const std::string& name, double scale,
+                                        int64_t tile_dim);
+
+/// Every catalog class name, mm ladder first.
+const std::vector<std::string>& CatalogWorkloads();
+
+}  // namespace cumulon
+
+#endif  // CUMULON_SVC_CATALOG_H_

@@ -1,0 +1,114 @@
+#include "svc/client.h"
+
+#include <utility>
+
+#include "common/strings.h"
+#include "svc/wire.h"
+
+namespace cumulon {
+
+Result<std::unique_ptr<SocketTransport>> SocketTransport::Connect(
+    const std::string& address) {
+  auto fd = ConnectTo(address);
+  if (!fd.ok()) return fd.status();
+  return std::unique_ptr<SocketTransport>(new SocketTransport(*fd));
+}
+
+SocketTransport::~SocketTransport() {
+  MutexLock lock(&mu_);
+  CloseFd(fd_);
+  fd_ = -1;
+}
+
+Result<JsonValue> SocketTransport::Call(const JsonValue& request) {
+  MutexLock lock(&mu_);
+  if (fd_ < 0) return Status::FailedPrecondition("transport closed");
+  CUMULON_RETURN_IF_ERROR(WriteFrame(fd_, request.ToString()));
+  auto payload = ReadFrame(fd_);
+  if (!payload.ok()) return payload.status();
+  return ParseJson(*payload);
+}
+
+Result<JsonValue> ServiceClient::Call(const JsonValue& request) {
+  auto reply = transport_->Call(request);
+  if (!reply.ok()) return reply.status();
+  if (reply->StringOr("type", "") == "ERROR") return DecodeError(*reply);
+  return reply;
+}
+
+Status ServiceClient::Hello(const std::string& token) {
+  JsonValue request = JsonValue::Object();
+  request.Set("type", "HELLO").Set("v", kProtocolVersion).Set("token", token);
+  auto reply = Call(request);
+  if (!reply.ok()) return reply.status();
+  session_ = reply->IntOr("session", 0);
+  tenant_ = reply->StringOr("tenant", "");
+  return Status::OK();
+}
+
+Result<ServiceClient::SubmitReply> ServiceClient::Submit(
+    const std::string& workload, const std::string& name,
+    double deadline_seconds, double budget_dollars) {
+  JsonValue request = JsonValue::Object();
+  request.Set("type", "SUBMIT")
+      .Set("session", session_)
+      .Set("workload", workload);
+  if (!name.empty()) request.Set("name", name);
+  if (deadline_seconds > 0.0) {
+    request.Set("deadline_seconds", deadline_seconds);
+  }
+  if (budget_dollars > 0.0) request.Set("budget_dollars", budget_dollars);
+  auto reply = Call(request);
+  if (!reply.ok()) return reply.status();
+  SubmitReply submit;
+  submit.plan = reply->IntOr("plan", 0);
+  submit.name = reply->StringOr("name", "");
+  submit.estimate_seconds = reply->NumberOr("estimate_seconds", 0.0);
+  submit.estimate_dollars = reply->NumberOr("estimate_dollars", 0.0);
+  return submit;
+}
+
+Result<ServiceClient::PollReply> ServiceClient::Poll(int64_t plan,
+                                                     int64_t cursor) {
+  JsonValue request = JsonValue::Object();
+  request.Set("type", "POLL")
+      .Set("session", session_)
+      .Set("plan", plan)
+      .Set("cursor", cursor);
+  auto reply = Call(request);
+  if (!reply.ok()) return reply.status();
+  PollReply poll;
+  poll.plan = reply->IntOr("plan", 0);
+  poll.state = reply->StringOr("state", "");
+  poll.cursor = reply->IntOr("cursor", 0);
+  poll.changed = reply->BoolOr("changed", false);
+  poll.terminal = poll.state == "DONE" || poll.state == "FAILED" ||
+                  poll.state == "CANCELLED" || poll.state == "REJECTED";
+  poll.seconds = reply->NumberOr("seconds", 0.0);
+  poll.queue_wait_seconds = reply->NumberOr("queue_wait_seconds", 0.0);
+  poll.deadline_met = reply->BoolOr("deadline_met", true);
+  return poll;
+}
+
+Status ServiceClient::Cancel(int64_t plan) {
+  JsonValue request = JsonValue::Object();
+  request.Set("type", "CANCEL").Set("session", session_).Set("plan", plan);
+  auto reply = Call(request);
+  return reply.ok() ? Status::OK() : reply.status();
+}
+
+Result<JsonValue> ServiceClient::Stats() {
+  JsonValue request = JsonValue::Object();
+  request.Set("type", "STATS").Set("session", session_);
+  return Call(request);
+}
+
+Result<int64_t> ServiceClient::Drain() {
+  JsonValue request = JsonValue::Object();
+  request.Set("type", "DRAIN").Set("session", session_);
+  auto reply = Call(request);
+  if (!reply.ok()) return reply.status();
+  return reply->IntOr("persisted", 0);
+}
+
+}  // namespace cumulon

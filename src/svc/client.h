@@ -1,0 +1,118 @@
+#ifndef CUMULON_SVC_CLIENT_H_
+#define CUMULON_SVC_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/mutex.h"
+#include "common/result.h"
+#include "common/thread_annotations.h"
+#include "svc/json.h"
+#include "svc/message.h"
+#include "svc/service.h"
+
+namespace cumulon {
+
+/// One request/response channel to a CumulonService. Call() delivers one
+/// request frame and returns the response frame (including ERROR frames —
+/// a non-OK result means the transport itself failed).
+class Transport {
+ public:
+  virtual ~Transport() = default;
+  virtual Result<JsonValue> Call(const JsonValue& request) = 0;
+};
+
+/// Frames over a connected socket. Calls are serialized per transport (the
+/// protocol is strict request/response); open one transport per concurrent
+/// caller.
+class SocketTransport : public Transport {
+ public:
+  static Result<std::unique_ptr<SocketTransport>> Connect(
+      const std::string& address);
+  ~SocketTransport() override;
+
+  Result<JsonValue> Call(const JsonValue& request) override;
+
+ private:
+  explicit SocketTransport(int fd) : fd_(fd) {}
+
+  Mutex mu_{"SocketTransport::mu_"};
+  int fd_ CUMULON_GUARDED_BY(mu_);
+};
+
+/// Direct in-process dispatch — the same protocol without sockets, for
+/// unit tests and the CLI's own administrative calls.
+class LocalTransport : public Transport {
+ public:
+  /// `service` is borrowed and must outlive the transport.
+  explicit LocalTransport(CumulonService* service) : service_(service) {}
+
+  Result<JsonValue> Call(const JsonValue& request) override {
+    return service_->Dispatch(request);
+  }
+
+ private:
+  CumulonService* service_;
+};
+
+/// Typed request helpers over a Transport. ERROR frames come back as the
+/// typed Status they encode (svc/message.h reasons), so callers branch on
+/// ErrorReason() instead of string-matching frames. Not internally
+/// synchronized — share nothing or lock externally.
+class ServiceClient {
+ public:
+  /// `transport` is borrowed and must outlive the client.
+  explicit ServiceClient(Transport* transport) : transport_(transport) {}
+
+  struct SubmitReply {
+    int64_t plan = 0;
+    std::string name;
+    double estimate_seconds = 0.0;
+    double estimate_dollars = 0.0;
+  };
+
+  struct PollReply {
+    int64_t plan = 0;
+    std::string state;
+    int64_t cursor = 0;
+    bool changed = false;
+    bool terminal = false;
+    double seconds = 0.0;
+    double queue_wait_seconds = 0.0;
+    bool deadline_met = true;
+  };
+
+  /// HELLO; remembers the session id for the calls below.
+  Status Hello(const std::string& token);
+
+  Result<SubmitReply> Submit(const std::string& workload,
+                             const std::string& name = "",
+                             double deadline_seconds = 0.0,
+                             double budget_dollars = 0.0);
+
+  Result<PollReply> Poll(int64_t plan, int64_t cursor = 0);
+
+  Status Cancel(int64_t plan);
+
+  /// STATS_OK frame, verbatim.
+  Result<JsonValue> Stats();
+
+  /// DRAIN; returns the number of queued plans persisted.
+  Result<int64_t> Drain();
+
+  int64_t session() const { return session_; }
+  const std::string& tenant() const { return tenant_; }
+
+ private:
+  /// Sends the frame and converts an ERROR response into its Status.
+  Result<JsonValue> Call(const JsonValue& request);
+
+  Transport* transport_;
+  int64_t session_ = 0;
+  std::string tenant_;
+};
+
+}  // namespace cumulon
+
+#endif  // CUMULON_SVC_CLIENT_H_

@@ -1,0 +1,387 @@
+#include "svc/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/strings.h"
+
+namespace cumulon {
+
+JsonValue JsonValue::Bool(bool value) {
+  JsonValue v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = value;
+  return v;
+}
+
+JsonValue JsonValue::Number(double value) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.num_ = value;
+  return v;
+}
+
+JsonValue JsonValue::Str(std::string value) {
+  JsonValue v;
+  v.kind_ = Kind::kString;
+  v.str_ = std::move(value);
+  return v;
+}
+
+JsonValue JsonValue::Array() {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  return v;
+}
+
+JsonValue JsonValue::Object() {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  return v;
+}
+
+JsonValue& JsonValue::Set(const std::string& key, JsonValue value) {
+  kind_ = Kind::kObject;
+  for (auto& [k, v] : members_) {
+    if (k == key) {
+      v = std::move(value);
+      return *this;
+    }
+  }
+  members_.emplace_back(key, std::move(value));
+  return *this;
+}
+
+JsonValue& JsonValue::Set(const std::string& key, const std::string& value) {
+  return Set(key, Str(value));
+}
+JsonValue& JsonValue::Set(const std::string& key, const char* value) {
+  return Set(key, Str(value));
+}
+JsonValue& JsonValue::Set(const std::string& key, double value) {
+  return Set(key, Number(value));
+}
+JsonValue& JsonValue::Set(const std::string& key, int64_t value) {
+  return Set(key, Number(static_cast<double>(value)));
+}
+JsonValue& JsonValue::Set(const std::string& key, int value) {
+  return Set(key, Number(static_cast<double>(value)));
+}
+JsonValue& JsonValue::Set(const std::string& key, bool value) {
+  return Set(key, Bool(value));
+}
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : members_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+std::string JsonValue::StringOr(const std::string& key,
+                                const std::string& fallback) const {
+  const JsonValue* v = Find(key);
+  return v != nullptr && v->is_string() ? v->str_ : fallback;
+}
+
+double JsonValue::NumberOr(const std::string& key, double fallback) const {
+  const JsonValue* v = Find(key);
+  return v != nullptr && v->is_number() ? v->num_ : fallback;
+}
+
+int64_t JsonValue::IntOr(const std::string& key, int64_t fallback) const {
+  const JsonValue* v = Find(key);
+  return v != nullptr && v->is_number() ? static_cast<int64_t>(v->num_)
+                                        : fallback;
+}
+
+bool JsonValue::BoolOr(const std::string& key, bool fallback) const {
+  const JsonValue* v = Find(key);
+  return v != nullptr && v->kind_ == Kind::kBool ? v->bool_ : fallback;
+}
+
+JsonValue& JsonValue::Append(JsonValue value) {
+  kind_ = Kind::kArray;
+  items_.push_back(std::move(value));
+  return *this;
+}
+
+namespace {
+
+void AppendEscaped(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendNumber(double value, std::string* out) {
+  if (!std::isfinite(value)) {  // JSON has no Inf/NaN
+    *out += "null";
+    return;
+  }
+  // Integers (plan ids, counts, cursors) print without an exponent or a
+  // trailing ".0" so the frames stay grep-able.
+  if (value == std::floor(value) && std::fabs(value) < 9.0e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%lld",
+                  static_cast<long long>(value));
+    *out += buf;
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  *out += buf;
+}
+
+void AppendValue(const JsonValue& v, std::string* out) {
+  switch (v.kind()) {
+    case JsonValue::Kind::kNull:
+      *out += "null";
+      break;
+    case JsonValue::Kind::kBool:
+      *out += v.boolean() ? "true" : "false";
+      break;
+    case JsonValue::Kind::kNumber:
+      AppendNumber(v.number(), out);
+      break;
+    case JsonValue::Kind::kString:
+      AppendEscaped(v.str(), out);
+      break;
+    case JsonValue::Kind::kArray: {
+      out->push_back('[');
+      bool first = true;
+      for (const JsonValue& item : v.items()) {
+        if (!first) out->push_back(',');
+        first = false;
+        AppendValue(item, out);
+      }
+      out->push_back(']');
+      break;
+    }
+    case JsonValue::Kind::kObject: {
+      out->push_back('{');
+      bool first = true;
+      for (const auto& [key, value] : v.members()) {
+        if (!first) out->push_back(',');
+        first = false;
+        AppendEscaped(key, out);
+        out->push_back(':');
+        AppendValue(value, out);
+      }
+      out->push_back('}');
+      break;
+    }
+  }
+}
+
+/// Recursive-descent parser over the input buffer.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    auto value = ParseValue(0);
+    if (!value.ok()) return value.status();
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON document");
+    }
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  Status Error(const std::string& what) const {
+    return Status::InvalidArgument(
+        StrCat("JSON parse error at offset ", pos_, ": ", what));
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<JsonValue> ParseValue(int depth) {
+    if (depth > kMaxDepth) return Error("nesting too deep");
+    SkipSpace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject(depth);
+    if (c == '[') return ParseArray(depth);
+    if (c == '"') {
+      auto s = ParseString();
+      if (!s.ok()) return s.status();
+      return JsonValue::Str(std::move(*s));
+    }
+    if (c == 't' || c == 'f') return ParseKeyword(c == 't');
+    if (c == 'n') {
+      if (text_.compare(pos_, 4, "null") != 0) return Error("bad literal");
+      pos_ += 4;
+      return JsonValue::Null();
+    }
+    return ParseNumber();
+  }
+
+  Result<JsonValue> ParseKeyword(bool value) {
+    const char* word = value ? "true" : "false";
+    const size_t len = value ? 4 : 5;
+    if (text_.compare(pos_, len, word) != 0) return Error("bad literal");
+    pos_ += len;
+    return JsonValue::Bool(value);
+  }
+
+  Result<JsonValue> ParseNumber() {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Error("expected a value");
+    char* end = nullptr;
+    const double value = std::strtod(text_.c_str() + start, &end);
+    if (end != text_.c_str() + pos_) return Error("malformed number");
+    return JsonValue::Number(value);
+  }
+
+  Result<std::string> ParseString() {
+    if (!Consume('"')) return Error("expected '\"'");
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return Error("bad \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= h - '0';
+              else if (h >= 'a' && h <= 'f') code |= h - 'a' + 10;
+              else if (h >= 'A' && h <= 'F') code |= h - 'A' + 10;
+              else return Error("bad \\u escape");
+            }
+            // UTF-8 encode the BMP code point (surrogate pairs — absent
+            // from this protocol's ASCII payloads — pass through as-is).
+            if (code < 0x80) {
+              out.push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+              out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+              out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            }
+            break;
+          }
+          default:
+            return Error("bad escape character");
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Result<JsonValue> ParseArray(int depth) {
+    Consume('[');
+    JsonValue array = JsonValue::Array();
+    SkipSpace();
+    if (Consume(']')) return array;
+    while (true) {
+      auto item = ParseValue(depth + 1);
+      if (!item.ok()) return item.status();
+      array.Append(std::move(*item));
+      SkipSpace();
+      if (Consume(']')) return array;
+      if (!Consume(',')) return Error("expected ',' or ']'");
+    }
+  }
+
+  Result<JsonValue> ParseObject(int depth) {
+    Consume('{');
+    JsonValue object = JsonValue::Object();
+    SkipSpace();
+    if (Consume('}')) return object;
+    while (true) {
+      SkipSpace();
+      auto key = ParseString();
+      if (!key.ok()) return key.status();
+      SkipSpace();
+      if (!Consume(':')) return Error("expected ':'");
+      auto value = ParseValue(depth + 1);
+      if (!value.ok()) return value.status();
+      object.Set(*key, std::move(*value));
+      SkipSpace();
+      if (Consume('}')) return object;
+      if (!Consume(',')) return Error("expected ',' or '}'");
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string JsonValue::ToString() const {
+  std::string out;
+  AppendValue(*this, &out);
+  return out;
+}
+
+Result<JsonValue> ParseJson(const std::string& text) {
+  return Parser(text).Parse();
+}
+
+}  // namespace cumulon

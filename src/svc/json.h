@@ -1,0 +1,90 @@
+#ifndef CUMULON_SVC_JSON_H_
+#define CUMULON_SVC_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+
+namespace cumulon {
+
+/// Minimal JSON document model for the service wire protocol: null, bool,
+/// double, string, array, object. Objects preserve insertion order (frames
+/// stay diffable in logs and tests). Self-contained — the repo takes no
+/// external JSON dependency for a protocol this small.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() : kind_(Kind::kNull) {}
+
+  static JsonValue Null() { return JsonValue(); }
+  static JsonValue Bool(bool value);
+  static JsonValue Number(double value);
+  static JsonValue Str(std::string value);
+  static JsonValue Array();
+  static JsonValue Object();
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+
+  // Scalar access (defaults for mismatched kinds; protocol handlers use
+  // the keyed *Or getters below instead of branching on kind).
+  bool boolean() const { return kind_ == Kind::kBool && bool_; }
+  double number() const { return kind_ == Kind::kNumber ? num_ : 0.0; }
+  const std::string& str() const { return str_; }
+
+  // --- object ---
+  /// Adds or replaces `key`; returns *this so frames build as chains.
+  JsonValue& Set(const std::string& key, JsonValue value);
+  JsonValue& Set(const std::string& key, const std::string& value);
+  JsonValue& Set(const std::string& key, const char* value);
+  JsonValue& Set(const std::string& key, double value);
+  JsonValue& Set(const std::string& key, int64_t value);
+  JsonValue& Set(const std::string& key, int value);
+  JsonValue& Set(const std::string& key, bool value);
+
+  /// Member lookup; null when absent or this is not an object.
+  const JsonValue* Find(const std::string& key) const;
+  bool Has(const std::string& key) const { return Find(key) != nullptr; }
+
+  std::string StringOr(const std::string& key,
+                       const std::string& fallback) const;
+  double NumberOr(const std::string& key, double fallback) const;
+  int64_t IntOr(const std::string& key, int64_t fallback) const;
+  bool BoolOr(const std::string& key, bool fallback) const;
+
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+
+  // --- array ---
+  JsonValue& Append(JsonValue value);
+  const std::vector<JsonValue>& items() const { return items_; }
+
+  /// Compact serialization (no whitespace), RFC 8259 string escaping.
+  std::string ToString() const;
+
+ private:
+  Kind kind_;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/// Parses one JSON document (trailing whitespace allowed, trailing garbage
+/// is an error). InvalidArgument on malformed input; nesting depth capped
+/// so a hostile frame cannot blow the stack.
+Result<JsonValue> ParseJson(const std::string& text);
+
+}  // namespace cumulon
+
+#endif  // CUMULON_SVC_JSON_H_

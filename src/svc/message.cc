@@ -1,0 +1,125 @@
+#include "svc/message.h"
+
+#include "common/strings.h"
+
+namespace cumulon {
+
+Status TypedError(StatusCode code, const std::string& reason,
+                  const std::string& message) {
+  return Status(code, StrCat("[", reason, "] ", message));
+}
+
+std::string ErrorReason(const Status& status) {
+  const std::string& msg = status.message();
+  if (!msg.empty() && msg[0] == '[') {
+    const size_t close = msg.find(']');
+    if (close != std::string::npos && close > 1) {
+      return msg.substr(1, close - 1);
+    }
+  }
+  return "internal";
+}
+
+std::string ErrorText(const Status& status) {
+  const std::string& msg = status.message();
+  if (!msg.empty() && msg[0] == '[') {
+    const size_t close = msg.find(']');
+    if (close != std::string::npos) {
+      size_t start = close + 1;
+      while (start < msg.size() && msg[start] == ' ') ++start;
+      return msg.substr(start);
+    }
+  }
+  return msg;
+}
+
+JsonValue EncodeError(const Status& status, int64_t plan_id) {
+  JsonValue frame = JsonValue::Object();
+  frame.Set("type", "ERROR")
+      .Set("code", StatusCodeToString(status.code()))
+      .Set("reason", ErrorReason(status))
+      .Set("message", ErrorText(status));
+  if (plan_id > 0) frame.Set("plan", plan_id);
+  return frame;
+}
+
+namespace {
+
+StatusCode ParseStatusCode(const std::string& name) {
+  for (const StatusCode code :
+       {StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kAlreadyExists, StatusCode::kOutOfRange,
+        StatusCode::kFailedPrecondition, StatusCode::kResourceExhausted,
+        StatusCode::kInternal, StatusCode::kUnimplemented,
+        StatusCode::kCancelled}) {
+    if (name == StatusCodeToString(code)) return code;
+  }
+  return StatusCode::kInternal;
+}
+
+}  // namespace
+
+Status DecodeError(const JsonValue& frame) {
+  const StatusCode code = ParseStatusCode(frame.StringOr("code", "Internal"));
+  const std::string reason = frame.StringOr("reason", "internal");
+  const std::string message = frame.StringOr("message", "");
+  return TypedError(code, reason, message);
+}
+
+JsonValue SubmitRequest::ToJson() const {
+  JsonValue value = JsonValue::Object();
+  value.Set("tenant", tenant)
+      .Set("name", name)
+      .Set("workload", workload)
+      .Set("deadline_seconds", deadline_seconds)
+      .Set("budget_dollars", budget_dollars);
+  return value;
+}
+
+Result<SubmitRequest> SubmitRequest::FromJson(const JsonValue& value) {
+  SubmitRequest request;
+  request.tenant = value.StringOr("tenant", "");
+  request.name = value.StringOr("name", "");
+  request.workload = value.StringOr("workload", "");
+  request.deadline_seconds = value.NumberOr("deadline_seconds", 0.0);
+  request.budget_dollars = value.NumberOr("budget_dollars", 0.0);
+  if (request.workload.empty()) {
+    return TypedError(StatusCode::kInvalidArgument, "proto.malformed",
+                      "submit record is missing 'workload'");
+  }
+  return request;
+}
+
+std::string EncodeQueuedPlans(const std::vector<SubmitRequest>& plans) {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("v", kProtocolVersion);
+  JsonValue array = JsonValue::Array();
+  for (const SubmitRequest& plan : plans) array.Append(plan.ToJson());
+  doc.Set("plans", std::move(array));
+  return doc.ToString();
+}
+
+Result<std::vector<SubmitRequest>> DecodeQueuedPlans(
+    const std::string& text) {
+  auto doc = ParseJson(text);
+  if (!doc.ok()) return doc.status();
+  if (doc->IntOr("v", 0) != kProtocolVersion) {
+    return Status::InvalidArgument(
+        StrCat("drain file carries version ", doc->IntOr("v", 0),
+               ", this daemon speaks ", kProtocolVersion));
+  }
+  const JsonValue* plans = doc->Find("plans");
+  if (plans == nullptr || !plans->is_array()) {
+    return Status::InvalidArgument("drain file has no 'plans' array");
+  }
+  std::vector<SubmitRequest> requests;
+  requests.reserve(plans->items().size());
+  for (const JsonValue& item : plans->items()) {
+    auto request = SubmitRequest::FromJson(item);
+    if (!request.ok()) return request.status();
+    requests.push_back(std::move(*request));
+  }
+  return requests;
+}
+
+}  // namespace cumulon

@@ -1,0 +1,82 @@
+#ifndef CUMULON_SVC_MESSAGE_H_
+#define CUMULON_SVC_MESSAGE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "svc/json.h"
+
+namespace cumulon {
+
+/// Version of the frame schema. A HELLO carrying a different version is
+/// rejected with reason "proto.version"; bump this when a message changes
+/// incompatibly.
+inline constexpr int kProtocolVersion = 1;
+
+/// Message types (the "type" field of every frame). Requests:
+///   HELLO   {v, token}
+///   SUBMIT  {session, workload, name?, deadline_seconds?, budget_dollars?}
+///   POLL    {session, plan, cursor?}
+///   RESULT  {session, plan}
+///   CANCEL  {session, plan}
+///   STATS   {session}
+///   DRAIN   {session}
+/// Responses mirror the request type with an _OK suffix, or are one ERROR
+/// frame {type:"ERROR", code, reason, message, plan?}. docs/service.md is
+/// the field-level contract.
+///
+/// Typed errors: machine-readable `reason` slugs riding on Status. The
+/// reason travels inside the Status message as a "[reason] " prefix so it
+/// survives every Status-returning layer between the service and the wire.
+///   auth.unknown_token     HELLO token not accepted
+///   auth.unknown_session   request names a session that was never opened
+///   proto.version          HELLO protocol version mismatch
+///   proto.malformed        frame is not valid JSON / missing fields
+///   quota.inflight         tenant at max in-flight plans
+///   quota.budget           tenant's aggregate dollar budget exhausted
+///   admission.deadline     WorkloadManager: deadline infeasible
+///   admission.budget       WorkloadManager: estimated cost over budget
+///   draining               daemon is draining; no new SUBMITs
+///   workload.unknown       SUBMIT names no catalog workload
+///   plan.unknown           plan id never assigned
+///   plan.foreign           plan belongs to another tenant
+///   plan.terminal          CANCEL on an already-finished plan
+///   plan.not_terminal      RESULT on a still-queued/running plan
+Status TypedError(StatusCode code, const std::string& reason,
+                  const std::string& message);
+
+/// The "[reason]" slug of a typed error, or "internal" for a plain Status.
+std::string ErrorReason(const Status& status);
+
+/// The human text of a typed error (the message minus the reason tag).
+std::string ErrorText(const Status& status);
+
+/// {"type":"ERROR","code":...,"reason":...,"message":...[,"plan":id]}.
+JsonValue EncodeError(const Status& status, int64_t plan_id = 0);
+
+/// Reconstructs the typed Status carried by an ERROR frame (client side).
+Status DecodeError(const JsonValue& frame);
+
+/// One tenant submission, as carried by a SUBMIT frame and as persisted by
+/// a graceful drain. `tenant` comes from the session on the wire but is
+/// explicit in the persisted form.
+struct SubmitRequest {
+  std::string tenant;
+  std::string name;      // empty = service assigns "<workload>-<plan id>"
+  std::string workload;  // catalog class (svc/catalog.h)
+  double deadline_seconds = 0.0;
+  double budget_dollars = 0.0;
+
+  JsonValue ToJson() const;
+  static Result<SubmitRequest> FromJson(const JsonValue& value);
+};
+
+/// Serialization of the drain file: {"v":1,"plans":[SubmitRequest...]}.
+std::string EncodeQueuedPlans(const std::vector<SubmitRequest>& plans);
+Result<std::vector<SubmitRequest>> DecodeQueuedPlans(const std::string& text);
+
+}  // namespace cumulon
+
+#endif  // CUMULON_SVC_MESSAGE_H_

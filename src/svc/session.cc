@@ -1,0 +1,140 @@
+#include "svc/session.h"
+
+#include "common/strings.h"
+#include "svc/message.h"
+
+namespace cumulon {
+
+SessionManager::SessionManager(const SessionOptions& options)
+    : options_(options) {}
+
+Result<int64_t> SessionManager::Open(int protocol_version,
+                                     const std::string& token) {
+  if (protocol_version != kProtocolVersion) {
+    return TypedError(
+        StatusCode::kFailedPrecondition, "proto.version",
+        StrCat("client speaks protocol v", protocol_version,
+               ", this daemon speaks v", kProtocolVersion));
+  }
+  std::string tenant;
+  auto it = options_.tokens.find(token);
+  if (it != options_.tokens.end()) {
+    tenant = it->second;
+  } else if (options_.open_auth && !token.empty()) {
+    tenant = token;
+  } else {
+    return TypedError(StatusCode::kNotFound, "auth.unknown_token",
+                      "token not accepted by this daemon");
+  }
+
+  int64_t id = 0;
+  int open = 0;
+  {
+    MutexLock lock(&mu_);
+    id = next_session_id_++;
+    sessions_[id] = SessionState{tenant, clock_.ElapsedSeconds()};
+    open = static_cast<int>(sessions_.size());
+  }
+  if (options_.metrics != nullptr) {
+    options_.metrics->counter("svc.sessions.opened")->Increment();
+    options_.metrics->gauge("svc.sessions.active")->Set(open);
+  }
+  return id;
+}
+
+Result<std::string> SessionManager::TenantOf(int64_t session_id) const {
+  MutexLock lock(&mu_);
+  auto it = sessions_.find(session_id);
+  if (it == sessions_.end()) {
+    return TypedError(StatusCode::kNotFound, "auth.unknown_session",
+                      StrCat("no open session ", session_id,
+                             " (send HELLO first)"));
+  }
+  return it->second.tenant;
+}
+
+Status SessionManager::AdmitCheck(const std::string& tenant,
+                                  double estimate_dollars) const {
+  const TenantQuota quota = QuotaFor(tenant);
+  MutexLock lock(&mu_);
+  auto it = tenants_.find(tenant);
+  const int inflight = it == tenants_.end() ? 0 : it->second.inflight;
+  const double spent = it == tenants_.end() ? 0.0 : it->second.spent_dollars;
+  if (inflight >= quota.max_inflight_plans) {
+    return TypedError(
+        StatusCode::kResourceExhausted, "quota.inflight",
+        StrCat("tenant '", tenant, "' already has ", inflight,
+               " plans in flight (quota ", quota.max_inflight_plans, ")"));
+  }
+  if (quota.aggregate_budget_dollars > 0.0 &&
+      spent + estimate_dollars > quota.aggregate_budget_dollars) {
+    return TypedError(
+        StatusCode::kResourceExhausted, "quota.budget",
+        StrCat("tenant '", tenant, "' spent ", FormatMoney(spent),
+               " of its ", FormatMoney(quota.aggregate_budget_dollars),
+               " budget; this plan's estimate ",
+               FormatMoney(estimate_dollars), " does not fit"));
+  }
+  return Status::OK();
+}
+
+void SessionManager::OnAdmitted(const std::string& tenant,
+                                double estimate_dollars) {
+  MutexLock lock(&mu_);
+  TenantState& state = tenants_[tenant];
+  ++state.inflight;
+  state.spent_dollars += estimate_dollars;
+}
+
+void SessionManager::OnFinished(const std::string& tenant) {
+  MutexLock lock(&mu_);
+  auto it = tenants_.find(tenant);
+  if (it != tenants_.end() && it->second.inflight > 0) {
+    --it->second.inflight;
+  }
+}
+
+void SessionManager::CloseLocked(int64_t session_id) {
+  auto it = sessions_.find(session_id);
+  if (it == sessions_.end()) return;
+  if (options_.tracer != nullptr) {
+    TraceSpan span;
+    span.name = StrCat("session:", it->second.tenant);
+    span.category = "session";
+    span.parent_id = -1;  // top level: sessions outlive any one plan span
+    span.machine = -1;
+    span.slot = static_cast<int>(session_id);
+    span.start_seconds = it->second.opened_seconds;
+    span.duration_seconds =
+        clock_.ElapsedSeconds() - it->second.opened_seconds;
+    options_.tracer->AddSpan(std::move(span));
+  }
+  sessions_.erase(it);
+  if (options_.metrics != nullptr) {
+    options_.metrics->gauge("svc.sessions.active")
+        ->Set(static_cast<int64_t>(sessions_.size()));
+  }
+}
+
+void SessionManager::Close(int64_t session_id) {
+  MutexLock lock(&mu_);
+  CloseLocked(session_id);
+}
+
+void SessionManager::CloseAll() {
+  MutexLock lock(&mu_);
+  while (!sessions_.empty()) CloseLocked(sessions_.begin()->first);
+}
+
+int SessionManager::open_sessions() const {
+  MutexLock lock(&mu_);
+  return static_cast<int>(sessions_.size());
+}
+
+TenantQuota SessionManager::QuotaFor(const std::string& tenant) const {
+  auto it = options_.tenant_quotas.find(tenant);
+  return it == options_.tenant_quotas.end() ? options_.default_quota
+                                            : it->second;
+}
+
+}  // namespace cumulon

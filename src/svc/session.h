@@ -1,0 +1,112 @@
+#ifndef CUMULON_SVC_SESSION_H_
+#define CUMULON_SVC_SESSION_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/mutex.h"
+#include "common/result.h"
+#include "common/stopwatch.h"
+#include "common/thread_annotations.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace cumulon {
+
+/// Per-tenant admission limits, enforced by the daemon *before* the
+/// WorkloadManager's deadline/budget feasibility check.
+struct TenantQuota {
+  /// Plans a tenant may have queued or running at once.
+  int max_inflight_plans = 8;
+
+  /// Aggregate predicted spend across all of the tenant's admitted plans
+  /// over this daemon's lifetime; 0 = unlimited. Charged at admission with
+  /// the predictor's estimate (the same number the manager's budget check
+  /// uses), so an over-budget tenant is refused before touching the queue.
+  double aggregate_budget_dollars = 0.0;
+};
+
+struct SessionOptions {
+  /// true: any HELLO token opens a session for the tenant named by the
+  /// token (the local-trust default — the socket is the auth boundary).
+  /// false: only tokens present in `tokens` are accepted.
+  bool open_auth = true;
+
+  /// token -> tenant. Consulted first even under open_auth, so named
+  /// credentials can map several tokens onto one tenant.
+  std::map<std::string, std::string> tokens;
+
+  TenantQuota default_quota;
+
+  /// Per-tenant overrides of default_quota.
+  std::map<std::string, TenantQuota> tenant_quotas;
+
+  /// svc.sessions.* metrics. Borrowed; may be null.
+  MetricsRegistry* metrics = nullptr;
+
+  /// Records one wall-clock "session" span per session at close (lane =
+  /// session id). Borrowed; may be null.
+  Tracer* tracer = nullptr;
+};
+
+/// Tenant authentication and quota accounting for the service daemon.
+/// Sessions are cheap handles (an id + a tenant); quota state is keyed by
+/// tenant, so one tenant connecting twice shares one in-flight count and
+/// one aggregate budget. Thread-safe.
+class SessionManager {
+ public:
+  explicit SessionManager(const SessionOptions& options);
+
+  /// HELLO: validates the protocol version and the token, opens a session.
+  /// Typed errors: proto.version, auth.unknown_token.
+  Result<int64_t> Open(int protocol_version, const std::string& token);
+
+  /// The tenant a session was opened for. Typed error: auth.unknown_session.
+  Result<std::string> TenantOf(int64_t session_id) const;
+
+  /// Quota gate for one submission with predicted cost `estimate_dollars`.
+  /// Typed errors: quota.inflight, quota.budget.
+  Status AdmitCheck(const std::string& tenant, double estimate_dollars) const;
+
+  /// Charges an admitted plan against the tenant (inflight +1, budget
+  /// debit). Also usable for restored plans whose tenant has no session.
+  void OnAdmitted(const std::string& tenant, double estimate_dollars);
+
+  /// Releases the in-flight slot when a plan reaches a terminal state.
+  /// Spent budget stays charged — the quota is an aggregate.
+  void OnFinished(const std::string& tenant);
+
+  /// Closes one session (connection teardown); emits its trace span.
+  void Close(int64_t session_id);
+
+  /// Drain: closes every open session.
+  void CloseAll();
+
+  int open_sessions() const;
+  TenantQuota QuotaFor(const std::string& tenant) const;
+
+ private:
+  struct SessionState {
+    std::string tenant;
+    double opened_seconds = 0.0;  // wall seconds since manager start
+  };
+  struct TenantState {
+    int inflight = 0;
+    double spent_dollars = 0.0;
+  };
+
+  void CloseLocked(int64_t session_id) CUMULON_REQUIRES(mu_);
+
+  SessionOptions options_;
+  Stopwatch clock_;  // wall time base for session spans
+
+  mutable Mutex mu_{"SessionManager::mu_"};
+  int64_t next_session_id_ CUMULON_GUARDED_BY(mu_) = 1;
+  std::map<int64_t, SessionState> sessions_ CUMULON_GUARDED_BY(mu_);
+  std::map<std::string, TenantState> tenants_ CUMULON_GUARDED_BY(mu_);
+};
+
+}  // namespace cumulon
+
+#endif  // CUMULON_SVC_SESSION_H_

@@ -1,0 +1,236 @@
+#include "svc/wire.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/strings.h"
+
+namespace cumulon {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::Internal(StrCat(what, ": ", std::strerror(errno)));
+}
+
+Status WriteAll(int fd, const char* data, size_t size) {
+  size_t done = 0;
+  while (done < size) {
+    // MSG_NOSIGNAL: writing to a peer-closed socket must surface as EPIPE,
+    // not a process-killing SIGPIPE. send() rejects non-socket fds
+    // (ENOTSOCK) — the pipe-based tests and any future fd transports fall
+    // back to write() below.
+    ssize_t n = ::send(fd, data + done, size - done, MSG_NOSIGNAL);
+    if (n < 0 && errno == ENOTSOCK) {
+      n = ::write(fd, data + done, size - done);
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("write");
+    }
+    if (n == 0) return Status::Internal("write returned 0");
+    done += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+/// Reads exactly `size` bytes. `at_boundary` distinguishes a clean EOF
+/// (peer closed between frames) from a truncated frame.
+Status ReadAll(int fd, char* data, size_t size, bool at_boundary) {
+  size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::read(fd, data + done, size - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("read");
+    }
+    if (n == 0) {
+      if (done == 0 && at_boundary) {
+        return Status::Cancelled("connection closed");
+      }
+      return Status::Internal("connection closed mid-frame");
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WriteFrame(int fd, const std::string& payload) {
+  if (payload.size() > kMaxFramePayload) {
+    return Status::InvalidArgument(
+        StrCat("frame payload of ", payload.size(), " bytes exceeds the ",
+               kMaxFramePayload, "-byte limit"));
+  }
+  const uint32_t len = htonl(static_cast<uint32_t>(payload.size()));
+  char header[4];
+  std::memcpy(header, &len, 4);
+  // One header write + one payload write; TCP_NODELAY is irrelevant for
+  // the local sockets this protocol targets.
+  CUMULON_RETURN_IF_ERROR(WriteAll(fd, header, 4));
+  return WriteAll(fd, payload.data(), payload.size());
+}
+
+Result<std::string> ReadFrame(int fd) {
+  char header[4];
+  CUMULON_RETURN_IF_ERROR(ReadAll(fd, header, 4, /*at_boundary=*/true));
+  uint32_t len = 0;
+  std::memcpy(&len, header, 4);
+  len = ntohl(len);
+  if (len > kMaxFramePayload) {
+    return Status::InvalidArgument(
+        StrCat("frame length ", len, " exceeds the ", kMaxFramePayload,
+               "-byte limit"));
+  }
+  std::string payload(len, '\0');
+  if (len > 0) {
+    CUMULON_RETURN_IF_ERROR(
+        ReadAll(fd, payload.data(), len, /*at_boundary=*/false));
+  }
+  return payload;
+}
+
+namespace {
+
+Result<int> ListenUnix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path) {
+    return Status::InvalidArgument(
+        StrCat("unix socket path too long: ", path));
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  ::unlink(path.c_str());  // replace a stale socket from a prior run
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    const Status st = Errno(StrCat("bind ", path));
+    ::close(fd);
+    return st;
+  }
+  if (::listen(fd, 128) != 0) {
+    const Status st = Errno("listen");
+    ::close(fd);
+    return st;
+  }
+  return fd;
+}
+
+Result<int> ConnectUnix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path) {
+    return Status::InvalidArgument(
+        StrCat("unix socket path too long: ", path));
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    const Status st = Errno(StrCat("connect ", path));
+    ::close(fd);
+    return st;
+  }
+  return fd;
+}
+
+Result<sockaddr_in> ParseTcp(const std::string& hostport) {
+  const size_t colon = hostport.rfind(':');
+  if (colon == std::string::npos) {
+    return Status::InvalidArgument(
+        StrCat("tcp address needs HOST:PORT, got '", hostport, "'"));
+  }
+  const std::string host = hostport.substr(0, colon);
+  const int port = std::atoi(hostport.c_str() + colon + 1);
+  if (port <= 0 || port > 65535) {
+    return Status::InvalidArgument(StrCat("bad tcp port in '", hostport, "'"));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument(
+        StrCat("bad IPv4 host '", host, "' (no resolver in this build)"));
+  }
+  return addr;
+}
+
+Result<int> ListenTcp(const std::string& hostport) {
+  auto addr = ParseTcp(hostport);
+  if (!addr.ok()) return addr.status();
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&*addr), sizeof *addr) != 0) {
+    const Status st = Errno(StrCat("bind ", hostport));
+    ::close(fd);
+    return st;
+  }
+  if (::listen(fd, 128) != 0) {
+    const Status st = Errno("listen");
+    ::close(fd);
+    return st;
+  }
+  return fd;
+}
+
+Result<int> ConnectTcp(const std::string& hostport) {
+  auto addr = ParseTcp(hostport);
+  if (!addr.ok()) return addr.status();
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&*addr), sizeof *addr) != 0) {
+    const Status st = Errno(StrCat("connect ", hostport));
+    ::close(fd);
+    return st;
+  }
+  return fd;
+}
+
+}  // namespace
+
+Result<int> ListenOn(const std::string& address) {
+  if (address.rfind("unix:", 0) == 0) return ListenUnix(address.substr(5));
+  if (address.rfind("tcp:", 0) == 0) return ListenTcp(address.substr(4));
+  return Status::InvalidArgument(
+      StrCat("address must start with unix: or tcp:, got '", address, "'"));
+}
+
+Result<int> ConnectTo(const std::string& address) {
+  if (address.rfind("unix:", 0) == 0) return ConnectUnix(address.substr(5));
+  if (address.rfind("tcp:", 0) == 0) return ConnectTcp(address.substr(4));
+  return Status::InvalidArgument(
+      StrCat("address must start with unix: or tcp:, got '", address, "'"));
+}
+
+Result<int> AcceptConnection(int listen_fd) {
+  while (true) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd >= 0) return fd;
+    if (errno == EINTR) continue;
+    if (errno == EINVAL || errno == EBADF) {
+      return Status::Cancelled("listener shut down");
+    }
+    return Errno("accept");
+  }
+}
+
+void ShutdownFd(int fd) {
+  if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+}
+
+void CloseFd(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+}  // namespace cumulon

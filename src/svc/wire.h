@@ -1,0 +1,49 @@
+#ifndef CUMULON_SVC_WIRE_H_
+#define CUMULON_SVC_WIRE_H_
+
+#include <string>
+
+#include "common/result.h"
+
+namespace cumulon {
+
+/// Transport framing of the service protocol: every message is one frame,
+///
+///   +----------------------+---------------------+
+///   | length (4B big-endian)| payload (UTF-8 JSON)|
+///   +----------------------+---------------------+
+///
+/// over a stream socket. Frames are independent — no pipelining state —
+/// so a reader resynchronizes at every frame boundary. Payloads above
+/// kMaxFramePayload are rejected on both sides (a hostile peer cannot make
+/// the daemon buffer an unbounded message).
+inline constexpr size_t kMaxFramePayload = 4u << 20;
+
+/// Writes one frame, retrying short writes. Internal on socket errors.
+Status WriteFrame(int fd, const std::string& payload);
+
+/// Reads one frame. Cancelled with message "connection closed" on a clean
+/// EOF at a frame boundary; Internal on mid-frame EOF or socket errors;
+/// InvalidArgument on an oversized length prefix.
+Result<std::string> ReadFrame(int fd);
+
+/// Binds and listens on `address`:
+///   "unix:/path/to.sock"  — Unix domain socket (any stale file replaced)
+///   "tcp:HOST:PORT"       — local TCP (HOST is an IPv4 literal)
+/// Returns the listening fd.
+Result<int> ListenOn(const std::string& address);
+
+/// Connects to an address in the same syntax. Returns the connected fd.
+Result<int> ConnectTo(const std::string& address);
+
+/// Accepts one connection; Cancelled once the listening fd is shut down.
+Result<int> AcceptConnection(int listen_fd);
+
+/// Half-closes both directions so a thread blocked in ReadFrame/accept on
+/// this fd wakes with an error; CloseFd then releases the descriptor.
+void ShutdownFd(int fd);
+void CloseFd(int fd);
+
+}  // namespace cumulon
+
+#endif  // CUMULON_SVC_WIRE_H_

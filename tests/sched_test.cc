@@ -1,4 +1,5 @@
 #include <atomic>
+#include <chrono>
 #include <string>
 #include <thread>
 #include <vector>
@@ -13,6 +14,7 @@
 #include "dfs/sim_dfs.h"
 #include "exec/physical_plan.h"
 #include "matrix/dense_matrix.h"
+#include "sched/elastic.h"
 #include "sched/slot_pool.h"
 #include "sched/workload_manager.h"
 
@@ -485,6 +487,181 @@ TEST(SchedStressTest, ConcurrentPlansMatchSerialBitForBit) {
   // Slot leases all returned.
   EXPECT_EQ(manager.slot_pool()->free_slots(),
             manager.slot_pool()->total_slots());
+}
+
+// ---------------------------------------------------------------------------
+// Shutdown semantics: nonblocking queries, queue pull-back, drain races
+// ---------------------------------------------------------------------------
+
+TEST_F(SchedSimTest, QueryStateAndTryGetOutcomeAreNonblocking) {
+  WorkloadManagerOptions options = SimManagerOptions();
+  options.defer_start = true;
+  WorkloadManager manager(&store_, engine_.get(), &cost_, options);
+  auto id = manager.Submit(MakeSubmission("q", 1024, 5.0, 0.1));
+  ASSERT_TRUE(id.ok());
+
+  auto state = manager.QueryState(*id);
+  ASSERT_TRUE(state.ok());
+  EXPECT_EQ(*state, PlanState::kQueued);
+  // Not terminal yet: FailedPrecondition, and the call does not park.
+  auto early = manager.TryGetOutcome(*id);
+  ASSERT_FALSE(early.ok());
+  EXPECT_EQ(early.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(manager.QueryState(999).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(manager.TryGetOutcome(999).status().code(),
+            StatusCode::kNotFound);
+
+  manager.Start();
+  manager.Wait(*id);
+  auto done = manager.TryGetOutcome(*id);
+  ASSERT_TRUE(done.ok()) << done.status();
+  EXPECT_EQ(done->state, PlanState::kDone);
+  manager.Drain();
+}
+
+TEST_F(SchedSimTest, CancelAllQueuedPullsBackUnstartedPlans) {
+  WorkloadManagerOptions options = SimManagerOptions();
+  options.defer_start = true;
+  WorkloadManager manager(&store_, engine_.get(), &cost_, options);
+  std::vector<int64_t> ids;
+  for (int i = 0; i < 3; ++i) {
+    auto id = manager.Submit(
+        MakeSubmission(StrCat("pull", i), 1024, 10.0, 0.1));
+    ASSERT_TRUE(id.ok());
+    ids.push_back(*id);
+  }
+  const std::vector<int64_t> cancelled = manager.CancelAllQueued();
+  EXPECT_EQ(cancelled.size(), 3u);
+  EXPECT_EQ(manager.queued_plans(), 0);
+  for (const int64_t id : ids) {
+    auto outcome = manager.TryGetOutcome(id);
+    ASSERT_TRUE(outcome.ok()) << outcome.status();
+    EXPECT_EQ(outcome->state, PlanState::kCancelled);
+    // A Wait after the pull-back returns immediately with the same state.
+    EXPECT_EQ(manager.Wait(id).state, PlanState::kCancelled);
+  }
+  manager.Drain();
+  EXPECT_EQ(manager.metrics()->counter("sched.cancelled")->Value(), 3);
+}
+
+TEST_F(SchedSimTest, DrainWithInFlightPlansFinishesThem) {
+  // Start the queue, then immediately pull back whatever has not been
+  // dispatched: the drain must still run the in-flight plans to a clean
+  // terminal state and return every slot.
+  WorkloadManagerOptions options = SimManagerOptions();
+  options.defer_start = true;
+  options.max_concurrent_plans = 1;
+  WorkloadManager manager(&store_, engine_.get(), &cost_, options);
+  const int kPlans = 6;
+  for (int i = 0; i < kPlans; ++i) {
+    ASSERT_TRUE(
+        manager.Submit(MakeSubmission(StrCat("d", i), 1024, 10.0, 0.1))
+            .ok());
+  }
+  manager.Start();
+  // Let the worker dispatch at least the head of the queue before pulling
+  // the rest back, so the drain really has in-flight work to finish.
+  while (manager.queued_plans() == kPlans) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const std::vector<int64_t> pulled = manager.CancelAllQueued();
+  const std::vector<PlanOutcome> outcomes = manager.Drain();
+  ASSERT_EQ(outcomes.size(), static_cast<size_t>(kPlans));
+  int done = 0, cancelled = 0;
+  for (const PlanOutcome& outcome : outcomes) {
+    ASSERT_TRUE(outcome.state == PlanState::kDone ||
+                outcome.state == PlanState::kCancelled)
+        << PlanStateName(outcome.state);
+    (outcome.state == PlanState::kDone ? done : cancelled)++;
+  }
+  EXPECT_EQ(done + cancelled, kPlans);
+  // Everything pulled back was really cancelled, and the dispatched
+  // remainder completed.
+  EXPECT_EQ(cancelled, static_cast<int>(pulled.size()));
+  EXPECT_GE(done, 1);  // the dispatched head of the queue ran
+  EXPECT_EQ(manager.slot_pool()->free_slots(),
+            manager.slot_pool()->total_slots());
+}
+
+TEST_F(SchedSimTest, CancelRacingDrainStaysConsistent) {
+  WorkloadManagerOptions options = SimManagerOptions();
+  options.defer_start = true;
+  options.max_concurrent_plans = 2;
+  WorkloadManager manager(&store_, engine_.get(), &cost_, options);
+  std::vector<int64_t> ids;
+  for (int i = 0; i < 10; ++i) {
+    auto id = manager.Submit(
+        MakeSubmission(StrCat("race", i), 1024, 10.0, 0.1));
+    ASSERT_TRUE(id.ok());
+    ids.push_back(*id);
+  }
+  manager.Start();
+  std::thread canceller([&] {
+    // Individual cancels racing the drain's queue pull-back: every verdict
+    // is acceptable (cancelled it first, lost the race to the pull-back,
+    // or the plan already finished) — but never a crash or a hang.
+    for (size_t i = 0; i < ids.size(); i += 2) {
+      const Status st = manager.Cancel(ids[i]);
+      EXPECT_TRUE(st.ok() ||
+                  st.code() == StatusCode::kFailedPrecondition ||
+                  st.code() == StatusCode::kNotFound)
+          << st;
+    }
+  });
+  manager.CancelAllQueued();
+  canceller.join();
+  const std::vector<PlanOutcome> outcomes = manager.Drain();
+  ASSERT_EQ(outcomes.size(), ids.size());
+  for (const PlanOutcome& outcome : outcomes) {
+    EXPECT_TRUE(outcome.state == PlanState::kDone ||
+                outcome.state == PlanState::kCancelled)
+        << PlanStateName(outcome.state);
+  }
+  EXPECT_EQ(manager.slot_pool()->free_slots(),
+            manager.slot_pool()->total_slots());
+}
+
+// ---------------------------------------------------------------------------
+// ElasticFleetController against a live manager
+// ---------------------------------------------------------------------------
+
+TEST_F(SchedSimTest, FleetControllerScalesPoolWithBacklog) {
+  WorkloadManagerOptions options = SimManagerOptions();
+  options.defer_start = true;  // hold the backlog steady while we tick
+  options.initial_slots = 2;
+  WorkloadManager manager(&store_, engine_.get(), &cost_, options);
+  EXPECT_EQ(manager.slot_pool()->total_slots(), 2);
+
+  ElasticControllerOptions controller_options;
+  controller_options.policy.min_machines = 1;
+  controller_options.policy.max_machines = 8;
+  controller_options.policy.target_backlog_seconds_per_machine = 120.0;
+  controller_options.slots_per_machine = 2;
+  ElasticFleetController controller(FleetState{1, 0}, controller_options);
+
+  // An hour of queued work: the controller must buy machines and grow the
+  // manager's slot pool to match.
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(
+        manager.Submit(MakeSubmission(StrCat("b", i), 1024, 1800.0, 0.5))
+            .ok());
+  }
+  ASSERT_GT(manager.BacklogSeconds(), 0.0);
+  const FleetDecision grow = controller.Tick(&manager);
+  EXPECT_TRUE(grow.scaled_out);
+  EXPECT_GT(grow.fleet.machines, 1);
+  EXPECT_EQ(manager.slot_pool()->total_slots(),
+            grow.fleet.machines * controller_options.slots_per_machine);
+  EXPECT_EQ(controller.slots(), manager.slot_pool()->total_slots());
+
+  // Backlog gone: the next tick shrinks back to the floor.
+  manager.CancelAllQueued();
+  manager.Drain();
+  EXPECT_EQ(manager.BacklogSeconds(), 0.0);
+  const FleetDecision shrink = controller.Tick(&manager);
+  EXPECT_TRUE(shrink.scaled_in);
+  EXPECT_EQ(shrink.fleet.machines, 1);
+  EXPECT_EQ(manager.slot_pool()->total_slots(), 2);
 }
 
 }  // namespace

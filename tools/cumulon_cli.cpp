@@ -10,16 +10,25 @@
 //       Search the deployment space; print the Pareto frontier and the
 //       constrained optimum.
 //   cumulon submit --workloads rsvd,gnmf,linreg [--deadline-seconds S]
-//                  [--budget-dollars D] [--policy fifo|fair|edf]
+//                  [--budget-dollars D] [--policy fifo|fair|edf] [--json 1]
 //       Submit several workloads to the multi-tenant workload manager on
 //       one simulated cluster: each is admission-checked against its
 //       deadline/budget using the predictor's estimate, then scheduled by
 //       the chosen policy. --deadline-seconds/--budget-dollars accept one
 //       value for all submissions or a comma list matched by position
-//       (0 = unconstrained).
+//       (0 = unconstrained). --json 1 prints one machine-readable report
+//       instead of the human schedule. Exits 1 when any submission is
+//       rejected.
+//   cumulon serve --listen unix:/tmp/cumulon.sock [--state-dir DIR]
+//                 [--min-machines N] [--max-machines N] [--machines N]
+//                 [--slots S] [--concurrent N] [--policy fifo|fair|edf]
+//       Run the long-lived service daemon (src/svc): tenant sessions over
+//       a framed JSON protocol, per-tenant quotas, elastic fleet control
+//       against the live backlog, graceful drain with queued-plan
+//       persistence into --state-dir. Blocks until a client sends DRAIN.
 //
-// Workloads: rsvd, gnmf, linreg, pagerank, logreg (paper-family programs
-// at cloud scale; see src/lang/programs.h).
+// Workloads: the svc catalog (src/svc/catalog.h) — the mm-s/m/l/xl matmul
+// ladder plus rsvd, gnmf, linreg, pagerank, logreg at cloud scale.
 
 #include <cstdio>
 #include <cstdlib>
@@ -71,53 +80,9 @@ Result<Args> ParseArgs(int argc, char** argv) {
 }
 
 Result<ProgramSpec> MakeWorkload(const std::string& name, double scale) {
-  ProgramSpec spec;
-  const int64_t tile = 2048;
-  if (name == "rsvd") {
-    RsvdSpec s;
-    s.m = static_cast<int64_t>((1 << 17) * scale);
-    s.n = 1 << 14;
-    s.l = 64;
-    spec.program = OptimizeProgram(BuildRsvd1(s));
-    spec.inputs = {{"A", TileLayout::Square(s.m, s.n, tile)},
-                   {"Omega", TileLayout::Square(s.n, s.l, tile)}};
-  } else if (name == "gnmf") {
-    GnmfSpec s;
-    s.m = static_cast<int64_t>((1 << 16) * scale);
-    s.n = 1 << 14;
-    s.k = 128;
-    spec.program = OptimizeProgram(BuildGnmfIteration(s));
-    spec.inputs = {{"V", TileLayout::Square(s.m, s.n, tile)},
-                   {"W", TileLayout::Square(s.m, s.k, tile)},
-                   {"H", TileLayout::Square(s.k, s.n, tile)}};
-  } else if (name == "linreg") {
-    LinRegSpec s;
-    s.samples = static_cast<int64_t>((1 << 17) * scale);
-    s.features = 1 << 13;
-    spec.program = OptimizeProgram(BuildLinRegStep(s));
-    spec.inputs = {{"X", TileLayout::Square(s.samples, s.features, tile)},
-                   {"w", TileLayout::Square(s.features, 1, tile)},
-                   {"y", TileLayout::Square(s.samples, 1, tile)}};
-  } else if (name == "pagerank") {
-    PageRankSpec s;
-    s.n = static_cast<int64_t>((1 << 15) * scale);
-    spec.program = OptimizeProgram(BuildPageRankIteration(s));
-    spec.inputs = {{"M", TileLayout::Square(s.n, s.n, tile)},
-                   {"p", TileLayout::Square(s.n, 1, tile)}};
-  } else if (name == "logreg") {
-    LogRegSpec s;
-    s.samples = static_cast<int64_t>((1 << 17) * scale);
-    s.features = 1 << 13;
-    spec.program = OptimizeProgram(BuildLogRegStep(s));
-    spec.inputs = {{"X", TileLayout::Square(s.samples, s.features, tile)},
-                   {"w", TileLayout::Square(s.features, 1, tile)},
-                   {"y", TileLayout::Square(s.samples, 1, tile)}};
-  } else {
-    return Status::InvalidArgument(
-        StrCat("unknown workload '", name,
-               "' (expected rsvd|gnmf|linreg|pagerank|logreg)"));
-  }
-  return spec;
+  // One catalog for the CLI and the service daemon: same names, same
+  // shapes (so a `predict` estimate matches what `serve` admits).
+  return MakeCatalogWorkload(name, scale, /*tile_dim=*/2048);
 }
 
 int RunCalibrate() {
@@ -287,9 +252,20 @@ int RunSubmit(const Args& args) {
   if (!trace_path.empty()) manager_options.tracer = &tracer;
   WorkloadManager manager(&store, &engine, &cost, manager_options);
 
-  std::printf("cluster %s, policy %s:\n", cluster.ToString().c_str(),
-              SchedPolicyName(*policy));
+  // --json 1: one machine-readable report on stdout instead of the human
+  // schedule (stderr still carries hard errors).
+  const bool json = args.Has("json");
+  JsonValue report = JsonValue::Object();
+  report.Set("cluster", cluster.ToString())
+      .Set("policy", SchedPolicyName(*policy));
+  JsonValue submissions = JsonValue::Array();
+
+  if (!json) {
+    std::printf("cluster %s, policy %s:\n", cluster.ToString().c_str(),
+                SchedPolicyName(*policy));
+  }
   std::vector<int64_t> admitted;
+  int rejected = 0;
   for (size_t i = 0; i < workloads.size(); ++i) {
     auto spec = MakeWorkload(workloads[i], args.GetDouble("scale", 1.0));
     if (!spec.ok()) {
@@ -316,26 +292,57 @@ int RunSubmit(const Args& args) {
       std::fprintf(stderr, "%s\n", lowered.status().ToString().c_str());
       return 1;
     }
+    const std::string name = submission.name;
     submission.plan = std::move(lowered->plan);
     auto id = manager.Submit(std::move(submission));
+    JsonValue entry = JsonValue::Object();
+    entry.Set("workload", workloads[i])
+        .Set("name", name)
+        .Set("admitted", id.ok())
+        .Set("estimate_seconds", estimate->seconds)
+        .Set("estimate_dollars", estimate->dollars);
     if (id.ok()) {
-      std::printf("  ADMIT  %s-%zu as plan %lld (est %s, %s)\n",
-                  workloads[i].c_str(), i + 1,
-                  static_cast<long long>(*id),
-                  FormatDuration(estimate->seconds).c_str(),
-                  FormatMoney(estimate->dollars).c_str());
+      entry.Set("plan", *id);
+      if (!json) {
+        std::printf("  ADMIT  %s as plan %lld (est %s, %s)\n", name.c_str(),
+                    static_cast<long long>(*id),
+                    FormatDuration(estimate->seconds).c_str(),
+                    FormatMoney(estimate->dollars).c_str());
+      }
       admitted.push_back(*id);
     } else {
-      std::printf("  REJECT %s-%zu: %s\n", workloads[i].c_str(), i + 1,
-                  id.status().message().c_str());
+      entry.Set("reason", std::string(id.status().message()));
+      if (!json) {
+        std::printf("  REJECT %s: %s\n", name.c_str(),
+                    id.status().message().c_str());
+      }
+      rejected++;
     }
+    submissions.Append(std::move(entry));
   }
 
   manager.Start();
   const std::vector<PlanOutcome> outcomes = manager.Drain();
-  std::printf("schedule (%s clock):\n",
-              manager_options.virtual_time ? "virtual" : "wall");
+  if (!json) {
+    std::printf("schedule (%s clock):\n",
+                manager_options.virtual_time ? "virtual" : "wall");
+  }
+  JsonValue schedule = JsonValue::Array();
   for (const PlanOutcome& outcome : outcomes) {
+    if (json) {
+      JsonValue entry = JsonValue::Object();
+      entry.Set("plan", outcome.plan_id)
+          .Set("name", outcome.name)
+          .Set("state", PlanStateName(outcome.state))
+          .Set("start_seconds", outcome.start_seconds)
+          .Set("finish_seconds", outcome.finish_seconds)
+          .Set("queue_wait_seconds", outcome.queue_wait_seconds());
+      if (outcome.deadline_abs_seconds > 0.0) {
+        entry.Set("deadline_met", outcome.deadline_met);
+      }
+      schedule.Append(std::move(entry));
+      continue;
+    }
     std::printf("  plan %lld %-12s %-9s start %8.1fs finish %8.1fs"
                 " wait %6.1fs%s\n",
                 static_cast<long long>(outcome.plan_id),
@@ -348,13 +355,24 @@ int RunSubmit(const Args& args) {
                     : "");
   }
   const MetricsSnapshot snapshot = metrics.Snapshot();
-  std::printf("admitted %lld, rejected %lld, completed %lld, "
-              "deadline misses %lld\n",
-              static_cast<long long>(snapshot.CounterOr("sched.admitted", 0)),
-              static_cast<long long>(snapshot.CounterOr("sched.rejected", 0)),
-              static_cast<long long>(snapshot.CounterOr("sched.completed", 0)),
-              static_cast<long long>(
-                  snapshot.CounterOr("sched.deadline.missed", 0)));
+  if (json) {
+    report.Set("submissions", std::move(submissions))
+        .Set("schedule", std::move(schedule))
+        .Set("admitted", snapshot.CounterOr("sched.admitted", 0))
+        .Set("rejected", snapshot.CounterOr("sched.rejected", 0))
+        .Set("completed", snapshot.CounterOr("sched.completed", 0))
+        .Set("deadline_missed", snapshot.CounterOr("sched.deadline.missed", 0));
+    std::printf("%s\n", report.ToString().c_str());
+  } else {
+    std::printf("admitted %lld, rejected %lld, completed %lld, "
+                "deadline misses %lld\n",
+                static_cast<long long>(snapshot.CounterOr("sched.admitted", 0)),
+                static_cast<long long>(snapshot.CounterOr("sched.rejected", 0)),
+                static_cast<long long>(
+                    snapshot.CounterOr("sched.completed", 0)),
+                static_cast<long long>(
+                    snapshot.CounterOr("sched.deadline.missed", 0)));
+  }
   if (!trace_path.empty()) {
     Status st = tracer.WriteChromeJson(trace_path);
     if (!st.ok()) {
@@ -362,11 +380,15 @@ int RunSubmit(const Args& args) {
                    st.ToString().c_str());
       return 1;
     }
-    std::printf("trace: %lld spans -> %s (chrome://tracing)\n",
-                static_cast<long long>(tracer.span_count()),
-                trace_path.c_str());
+    if (!json) {
+      std::printf("trace: %lld spans -> %s (chrome://tracing)\n",
+                  static_cast<long long>(tracer.span_count()),
+                  trace_path.c_str());
+    }
   }
-  return 0;
+  // A rejected submission is a failed request: scripts keying off the exit
+  // code see it without parsing the report.
+  return rejected > 0 ? 1 : 0;
 }
 
 int RunPlan(const Args& args) {
@@ -406,6 +428,88 @@ int RunPlan(const Args& args) {
   return 0;
 }
 
+int RunServe(const Args& args) {
+  auto machine = FindMachine(args.Get("type", "m1.large"));
+  if (!machine.ok()) {
+    std::fprintf(stderr, "%s\n", machine.status().ToString().c_str());
+    return 1;
+  }
+  auto policy = ParseSchedPolicy(args.Get("policy", "fair"));
+  if (!policy.ok()) {
+    std::fprintf(stderr, "%s\n", policy.status().ToString().c_str());
+    return 1;
+  }
+  ServiceOptions options;
+  options.machine = *machine;
+  options.state_dir = args.Get("state-dir", "");
+  options.elastic.min_machines = args.GetInt("min-machines", 2);
+  options.elastic.max_machines = args.GetInt("max-machines", 16);
+  options.initial_machines = args.GetInt("machines", 0);
+  options.slots_per_machine = args.GetInt("slots", 2);
+  options.enable_elastic = args.GetInt("elastic", 1) != 0;
+  options.policy = *policy;
+  options.max_concurrent_plans = args.GetInt("concurrent", 4);
+  options.scale = args.GetDouble("scale", 1.0);
+  options.session.default_quota.max_inflight_plans =
+      args.GetInt("quota-inflight", 8);
+  options.session.default_quota.aggregate_budget_dollars =
+      args.GetDouble("quota-budget", 0.0);
+  MetricsRegistry metrics;
+  options.metrics = &metrics;
+  Tracer tracer(Tracer::ClockDomain::kWall);
+  const std::string trace_path = args.Get("trace", "");
+  if (!trace_path.empty()) options.tracer = &tracer;
+
+  CumulonService service(options);
+  ServiceServer server(&service);
+  const std::string address = args.Get("listen", "unix:/tmp/cumulon.sock");
+  Status started = server.Start(address);
+  if (!started.ok()) {
+    std::fprintf(stderr, "%s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::printf("cumulon serve: listening on %s (fleet %d..%d x %s, "
+              "policy %s)\n",
+              address.c_str(), options.elastic.min_machines,
+              options.elastic.max_machines, machine->name.c_str(),
+              SchedPolicyName(*policy));
+  if (service.restored_plans() > 0) {
+    std::printf("restored %d queued plan(s) from %s\n",
+                service.restored_plans(), options.state_dir.c_str());
+  }
+  std::fflush(stdout);
+
+  // Runs until a tenant (or an operator via `DRAIN`) drains the daemon.
+  server.WaitUntilStopped();
+
+  const MetricsSnapshot snapshot = metrics.Snapshot();
+  std::printf("drained: accepted %lld, rejected %lld (quota %lld, "
+              "admission %lld), completed %lld, persisted %lld\n",
+              static_cast<long long>(
+                  snapshot.CounterOr("svc.submit.accepted", 0)),
+              static_cast<long long>(
+                  snapshot.CounterOr("svc.submit.rejected.quota", 0) +
+                  snapshot.CounterOr("svc.submit.rejected.admission", 0) +
+                  snapshot.CounterOr("svc.submit.rejected.draining", 0)),
+              static_cast<long long>(
+                  snapshot.CounterOr("svc.submit.rejected.quota", 0)),
+              static_cast<long long>(
+                  snapshot.CounterOr("svc.submit.rejected.admission", 0)),
+              static_cast<long long>(snapshot.CounterOr("sched.completed", 0)),
+              static_cast<long long>(
+                  snapshot.CounterOr("svc.drain.persisted", 0)));
+  if (!trace_path.empty()) {
+    Status st = tracer.WriteChromeJson(trace_path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "writing trace failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("trace: %zu spans -> %s (chrome://tracing)\n",
+                tracer.span_count(), trace_path.c_str());
+  }
+  return 0;
+}
+
 void PrintUsage() {
   std::fprintf(stderr,
                "usage: cumulon <command> [flags]\n"
@@ -417,7 +521,12 @@ void PrintUsage() {
                "  submit  --workloads W1,W2,... [--deadline-seconds S[,S2..]]"
                " [--budget-dollars D[,D2..]] [--policy fifo|fair|edf]"
                " [--concurrent N] [--type T] [--machines N] [--slots S]"
-               " [--scale F] [--trace FILE]\n");
+               " [--scale F] [--trace FILE] [--json 1]\n"
+               "  serve   --listen unix:PATH|tcp:HOST:PORT [--state-dir DIR]"
+               " [--min-machines N] [--max-machines N] [--machines N]"
+               " [--slots S] [--concurrent N] [--policy fifo|fair|edf]"
+               " [--quota-inflight N] [--quota-budget D] [--elastic 0|1]"
+               " [--type T] [--scale F] [--trace FILE]\n");
 }
 
 }  // namespace
@@ -433,6 +542,7 @@ int main(int argc, char** argv) {
   if (args->command == "predict") return RunPredict(*args);
   if (args->command == "plan") return RunPlan(*args);
   if (args->command == "submit") return RunSubmit(*args);
+  if (args->command == "serve") return RunServe(*args);
   std::fprintf(stderr, "unknown command '%s'\n", args->command.c_str());
   PrintUsage();
   return 2;
