@@ -91,15 +91,44 @@ Result<PlanStats> Executor::Run(const PhysicalPlan& plan) {
         engine_->config().total_slots(),
         options_.tracer != nullptr ? options_.tracer : GlobalTracer());
   }
+  // One memory-budget group per run, on this frame for the same lifetime
+  // reason as the steal domain. The engine's tile cache takes a standing
+  // reservation on every node ledger up front — the cache enforces its own
+  // LRU cap, so charging its full budget keeps the ledger an upper bound
+  // on the node's resident bytes without per-insert accounting.
+  std::unique_ptr<MemoryBudgetGroup> memory_budget;
+  if (options_.real_mode && options_.memory_budget_bytes > 0) {
+    const int64_t cache_reserve = CacheReserveBytes();
+    if (cache_reserve >= options_.memory_budget_bytes) {
+      return Status::InvalidArgument(StrCat(
+          "memory_budget_bytes (", options_.memory_budget_bytes,
+          ") does not cover the tile cache's per-node reservation (",
+          cache_reserve, "); shrink the cache or raise the budget"));
+    }
+    memory_budget = std::make_unique<MemoryBudgetGroup>(
+        engine_->config().num_machines, options_.memory_budget_bytes);
+    for (int node = 0; node < memory_budget->num_nodes(); ++node) {
+      CUMULON_CHECK(memory_budget->node(node)->TryAcquire(cache_reserve));
+    }
+  }
   CUMULON_ASSIGN_OR_RETURN(
       PlanStats stats,
       options_.parallelize_independent_jobs
-          ? RunLeveled(plan, &run_metrics, steal.get())
-          : RunSequential(plan, &run_metrics, steal.get()));
+          ? RunLeveled(plan, &run_metrics, steal.get(), memory_budget.get())
+          : RunSequential(plan, &run_metrics, steal.get(),
+                          memory_budget.get()));
   if (TileCacheGroup* caches = engine_->tile_caches()) {
     const TileCacheStats totals = caches->TotalStats();
     metrics_->gauge("cache.resident_bytes")->Set(totals.resident_bytes);
     metrics_->gauge("cache.resident_tiles")->Set(totals.resident_tiles);
+  }
+  if (memory_budget != nullptr) {
+    stats.memory_peak_bytes = memory_budget->MaxPeakBytes();
+    metrics_->gauge("mem.budget.bytes")
+        ->Set(options_.memory_budget_bytes);
+    metrics_->gauge("mem.budget.peak_bytes")->Set(stats.memory_peak_bytes);
+    metrics_->gauge("mem.budget.cache_reserved_bytes")
+        ->Set(CacheReserveBytes());
   }
   stats.metrics = SnapshotDelta(before, metrics_->Snapshot());
   // Replace the shared-delta exec.* counters with the per-run exact ones.
@@ -117,7 +146,13 @@ Result<PlanStats> Executor::Run(const PhysicalPlan& plan) {
   return stats;
 }
 
-BuildContext Executor::MakeBuildContext() const {
+int64_t Executor::CacheReserveBytes() const {
+  TileCacheGroup* caches = engine_->tile_caches();
+  return caches != nullptr ? caches->bytes_per_node() : 0;
+}
+
+BuildContext Executor::MakeBuildContext(
+    MemoryBudgetGroup* memory_budget) const {
   BuildContext ctx;
   ctx.store = store_;
   ctx.cost = cost_;
@@ -131,6 +166,16 @@ BuildContext Executor::MakeBuildContext() const {
     ctx.node_cache_bytes = caches->bytes_per_node();
     ctx.cache_nodes = engine_->config().num_machines;
   }
+  // task_pin_bytes feeds two consumers: real-mode task readers pin against
+  // it, and the declared-cost streaming term predicts refetch reads from it
+  // — so it is derived from the budget in both modes, while the ledger
+  // group itself exists only in real mode.
+  if (options_.memory_budget_bytes > 0) {
+    const int slots = std::max(engine_->config().slots_per_machine, 1);
+    ctx.task_pin_bytes = std::max<int64_t>(
+        (options_.memory_budget_bytes - CacheReserveBytes()) / slots, 0);
+  }
+  ctx.memory_budget = memory_budget;
   return ctx;
 }
 
@@ -191,6 +236,11 @@ void Executor::FoldJobStats(const std::string& name, JobStats stats,
   totals->cache_misses += stats.cache_misses;
   totals->bytes_read_cached += stats.bytes_read_cached;
   totals->stall_seconds += stats.stall_seconds;
+  totals->spill_evictions += stats.spill_evictions;
+  totals->spill_evicted_bytes += stats.spill_evicted_bytes;
+  totals->spill_refetches += stats.spill_refetches;
+  totals->spill_refetch_bytes += stats.spill_refetch_bytes;
+  totals->spill_unpinned_reads += stats.spill_unpinned_reads;
   totals->revoked_machines += stats.revoked_machines;
   totals->rescheduled_tasks += stats.rescheduled_tasks;
   totals->revoked_wasted_seconds += stats.revoked_wasted_seconds;
@@ -222,6 +272,17 @@ void Executor::FoldJobStats(const std::string& name, JobStats stats,
     add("exec.steal.stolen", stats.splits_stolen);
     add("exec.steal.attempts", stats.steal_attempts);
   }
+  // Spill counters likewise appear only when the job actually streamed
+  // under budget pressure, so unbudgeted runs keep their exact historical
+  // metric set.
+  if (stats.spill_evictions > 0 || stats.spill_refetches > 0 ||
+      stats.spill_unpinned_reads > 0) {
+    add("exec.spill.evictions", stats.spill_evictions);
+    add("exec.spill.bytes", stats.spill_evicted_bytes);
+    add("exec.spill.refetches", stats.spill_refetches);
+    add("exec.spill.refetch_bytes", stats.spill_refetch_bytes);
+    add("exec.spill.unpinned", stats.spill_unpinned_reads);
+  }
 
   totals->jobs.push_back(JobRecord{name, std::move(stats)});
 }
@@ -250,10 +311,23 @@ void Executor::RecordStealActivity(const StealDomainStats& before,
   stats->steal_attempts = after.steal_attempts - before.steal_attempts;
 }
 
+void Executor::RecordSpillActivity(const MemoryBudget::Counters& before,
+                                   const MemoryBudgetGroup* memory_budget,
+                                   JobStats* stats) const {
+  if (memory_budget == nullptr) return;
+  const MemoryBudget::Counters after = memory_budget->TotalCounters();
+  stats->spill_evictions = after.evictions - before.evictions;
+  stats->spill_evicted_bytes = after.evicted_bytes - before.evicted_bytes;
+  stats->spill_refetches = after.refetches - before.refetches;
+  stats->spill_refetch_bytes = after.refetch_bytes - before.refetch_bytes;
+  stats->spill_unpinned_reads = after.unpinned_reads - before.unpinned_reads;
+}
+
 Result<PlanStats> Executor::RunSequential(const PhysicalPlan& plan,
                                           MetricsRegistry* run_metrics,
-                                          StealDomain* steal) {
-  BuildContext ctx = MakeBuildContext();
+                                          StealDomain* steal,
+                                          MemoryBudgetGroup* memory_budget) {
+  BuildContext ctx = MakeBuildContext(memory_budget);
   ctx.steal = steal;
 
   PlanStats totals;
@@ -265,6 +339,9 @@ Result<PlanStats> Executor::RunSequential(const PhysicalPlan& plan,
                                           : TileCacheStats{};
     const StealDomainStats steal_before =
         steal != nullptr ? steal->stats() : StealDomainStats{};
+    const MemoryBudget::Counters spill_before =
+        memory_budget != nullptr ? memory_budget->TotalCounters()
+                                 : MemoryBudget::Counters{};
     const JobTraceScope trace = BeginJobTrace(job->name());
     TagJobSpec(&built.spec, trace.job_id);
     built.spec.steal_domain = steal;
@@ -272,6 +349,7 @@ Result<PlanStats> Executor::RunSequential(const PhysicalPlan& plan,
     EndJobTrace(trace, stats);
     RecordCacheActivity(cache_before, &stats);
     RecordStealActivity(steal_before, steal, &stats);
+    RecordSpillActivity(spill_before, memory_budget, &stats);
 
     if (!options_.real_mode) {
       // Register output tile placement so later jobs get correct locality.
@@ -294,8 +372,9 @@ Result<PlanStats> Executor::RunSequential(const PhysicalPlan& plan,
 
 Result<PlanStats> Executor::RunLeveled(const PhysicalPlan& plan,
                                        MetricsRegistry* run_metrics,
-                                       StealDomain* steal) {
-  BuildContext ctx = MakeBuildContext();
+                                       StealDomain* steal,
+                                       MemoryBudgetGroup* memory_budget) {
+  BuildContext ctx = MakeBuildContext(memory_budget);
   ctx.steal = steal;
 
   const std::vector<int> levels = JobLevels(plan);
@@ -330,6 +409,9 @@ Result<PlanStats> Executor::RunLeveled(const PhysicalPlan& plan,
                                           : TileCacheStats{};
     const StealDomainStats steal_before =
         steal != nullptr ? steal->stats() : StealDomainStats{};
+    const MemoryBudget::Counters spill_before =
+        memory_budget != nullptr ? memory_budget->TotalCounters()
+                                 : MemoryBudget::Counters{};
     const JobTraceScope trace = BeginJobTrace(merged.name);
     TagJobSpec(&merged, trace.job_id);
     merged.steal_domain = steal;
@@ -337,6 +419,7 @@ Result<PlanStats> Executor::RunLeveled(const PhysicalPlan& plan,
     EndJobTrace(trace, stats);
     RecordCacheActivity(cache_before, &stats);
     RecordStealActivity(steal_before, steal, &stats);
+    RecordSpillActivity(spill_before, memory_budget, &stats);
     if (!options_.real_mode) {
       CUMULON_CHECK_EQ(merged_outputs.size(), stats.task_runs.size());
       for (size_t t = 0; t < merged_outputs.size(); ++t) {

@@ -8,6 +8,7 @@
 #include "cluster/engine.h"
 #include "common/result.h"
 #include "cost/cost_model.h"
+#include "exec/memory_budget.h"
 #include "exec/physical_plan.h"
 #include "matrix/kernel_config.h"
 #include "matrix/tile_store.h"
@@ -68,6 +69,25 @@ struct ExecutorOptions {
   /// Results are bit-identical either way — splits write disjoint tiles.
   /// Real mode only.
   bool enable_work_stealing = false;
+
+  /// Out-of-core streaming (exec/memory_budget.h): per-node byte budget
+  /// covering everything the node's tasks keep resident at once — the tile
+  /// cache's standing reservation, in-flight prefetches, pinned operand
+  /// panels, and task scratch, all weighed as aligned Tile::MemoryBytes
+  /// footprints. Each task slot pins at most its share
+  /// ((budget - cache reservation) / slots_per_machine); under pressure
+  /// the least-recently-used panel spills (tiles are immutable and stay in
+  /// the DFS, so a spill is a drop plus a possible later re-fetch).
+  /// Compute order never changes, so results are bit-identical to an
+  /// unbudgeted run; exec.spill.* / mem.budget.* metrics and the "spill"
+  /// trace category expose the traffic. <= 0 = unbudgeted (resident
+  /// execution). The ledger only runs in real mode — Run then fails with
+  /// InvalidArgument when the budget cannot even fund the engine's
+  /// tile-cache reservation; in sim mode the budget instead feeds the
+  /// declared-cost streaming term (cost/cost_model.h
+  /// StreamingRefetchBytes), so predictions show the stream-vs-resident
+  /// crossover.
+  int64_t memory_budget_bytes = 0;
 
   /// Records job spans (and, in sim mode, per-job startup spans) so every
   /// engine task span nests under its job. Borrowed; falls back to
@@ -137,6 +157,20 @@ struct PlanStats {
   /// model's residual read time in sim mode.
   double stall_seconds = 0.0;
 
+  // Out-of-core spill totals over the plan (sums of the jobs' JobStats
+  // spill fields; all zero without a memory budget).
+  int64_t spill_evictions = 0;
+  int64_t spill_evicted_bytes = 0;
+  int64_t spill_refetches = 0;
+  int64_t spill_refetch_bytes = 0;
+  /// Reads that streamed through the budget window without pinning (the
+  /// degenerate tight-budget mode where the pin share is consumed by the
+  /// prefetch in-flight window).
+  int64_t spill_unpinned_reads = 0;
+  /// Highest per-node ledger usage observed during the run; always <=
+  /// ExecutorOptions::memory_budget_bytes when budgeted.
+  int64_t memory_peak_bytes = 0;
+
   // Transient-machine losses over the plan (sums of the jobs'
   // JobStats revocation fields; all zero without an injected
   // RevocationController — see cloud/revocation.h).
@@ -189,10 +223,12 @@ class Executor {
 
   Result<PlanStats> RunSequential(const PhysicalPlan& plan,
                                   MetricsRegistry* run_metrics,
-                                  StealDomain* steal);
+                                  StealDomain* steal,
+                                  MemoryBudgetGroup* memory_budget);
   Result<PlanStats> RunLeveled(const PhysicalPlan& plan,
                                MetricsRegistry* run_metrics,
-                               StealDomain* steal);
+                               StealDomain* steal,
+                               MemoryBudgetGroup* memory_budget);
   Status DropTemporaries(const PhysicalPlan& plan);
 
   /// Status::Cancelled when options_.cancel has flipped, OK otherwise.
@@ -203,8 +239,13 @@ class Executor {
   void TagJobSpec(JobSpec* spec, int64_t trace_parent) const;
 
   /// Shared Build inputs, including the engine's node-cache budget so the
-  /// declared task costs model the cache the engine actually has.
-  BuildContext MakeBuildContext() const;
+  /// declared task costs model the cache the engine actually has, and the
+  /// per-run memory-budget group when streaming is on.
+  BuildContext MakeBuildContext(MemoryBudgetGroup* memory_budget) const;
+
+  /// Bytes of the per-node budget standing behind the engine's tile cache
+  /// (0 when caching is off).
+  int64_t CacheReserveBytes() const;
 
   /// Folds the engine's cache-counter delta across one job into `stats`.
   void RecordCacheActivity(const TileCacheStats& before,
@@ -214,6 +255,12 @@ class Executor {
   /// (no-op when stealing is off).
   void RecordStealActivity(const StealDomainStats& before,
                            const StealDomain* steal, JobStats* stats) const;
+
+  /// Folds the memory-budget group's spill-counter delta across one job
+  /// into `stats` (no-op when unbudgeted).
+  void RecordSpillActivity(const MemoryBudget::Counters& before,
+                           const MemoryBudgetGroup* memory_budget,
+                           JobStats* stats) const;
 
   /// Opens the job span (after a sim-mode startup span) so the engine's
   /// task spans nest under it.

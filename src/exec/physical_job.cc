@@ -4,7 +4,9 @@
 #include <memory>
 
 #include "cluster/steal_domain.h"
+#include "common/aligned_buffer.h"
 #include "common/strings.h"
+#include "exec/memory_budget.h"
 #include "exec/prefetch_pipeline.h"
 
 namespace cumulon {
@@ -306,6 +308,19 @@ Result<BuiltJob> MatMulJob::Build(const BuildContext& ctx) const {
         task.cost.bytes_read += a_bytes + b_bytes;
         task.cost.bytes_read_cached = static_cast<int64_t>(
             a_bytes * a_hit_frac + b_bytes * b_hit_frac);
+        if (ctx.task_pin_bytes > 0) {
+          // Out-of-core streaming term (cost/cost_model.h): the compute
+          // order touches the A block once per j unit and the B block once
+          // per i unit; whatever fraction of the working set exceeds the
+          // task's pin share is re-fetched on each extra touch.
+          const int64_t working_set =
+              a_bytes + b_bytes + TileBytes(lc, ib, jb);
+          task.cost.bytes_read += static_cast<int64_t>(
+              StreamingRefetchBytes(a_bytes, static_cast<double>(j1 - jb),
+                                    working_set, ctx.task_pin_bytes) +
+              StreamingRefetchBytes(b_bytes, static_cast<double>(i1 - ib),
+                                    working_set, ctx.task_pin_bytes));
+        }
         for (int64_t i = ib; i < i1; ++i) {
           for (int64_t j = jb; j < j1; ++j) {
             const int64_t mi = lc.TileRowsAt(i);
@@ -344,9 +359,13 @@ Result<BuiltJob> MatMulJob::Build(const BuildContext& ctx) const {
           const int64_t budget = ctx.prefetch_budget_bytes;
           StealDomain* const steal = ctx.steal;
           const KernelMode kmode = ctx.kernel_mode;
+          MemoryBudgetGroup* const mem = ctx.memory_budget;
+          const int64_t pin_bytes = ctx.task_pin_bytes;
           task.work = [store, a, b, out_layout, out_name, epilogue, ib, i1,
-                       jb, j1, k0, k1, budget, steal, kmode,
+                       jb, j1, k0, k1, budget, steal, kmode, mem, pin_bytes,
                        task_name = task.name](int machine) -> Status {
+            MemoryBudget* const ledger =
+                mem != nullptr ? mem->node(machine) : nullptr;
             // One unit of work = one output tile (i,j): fold its k range,
             // run the epilogue, write the tile. Units write disjoint
             // tiles, so results do not depend on who executes them.
@@ -363,6 +382,8 @@ Result<BuiltJob> MatMulJob::Build(const BuildContext& ctx) const {
             auto compute_unit = [&](TaskTileReader* reader, int64_t i,
                                     int64_t j) -> Status {
               Tile acc(out_layout.TileRowsAt(i), out_layout.TileColsAt(j));
+              const TaskTileReader::ScratchReservation scratch =
+                  reader->PinScratch(acc.MemoryBytes());
               for (int64_t k = k0; k < k1; ++k) {
                 CUMULON_ASSIGN_OR_RETURN(
                     std::shared_ptr<const Tile> ta,
@@ -386,8 +407,10 @@ Result<BuiltJob> MatMulJob::Build(const BuildContext& ctx) const {
               // tiles recur across the block (A per j, B per i), so they
               // go through the memo, which bounds the task's live set to
               // exactly the bi*bk + bk*bj tiles TaskMemoryBytes budgets
-              // for.
-              TaskTileReader reader(store, machine, budget);
+              // for (or, under a memory budget, to the pin window — older
+              // panels spill and stream back in).
+              TaskTileReader reader(store, machine, budget, ledger,
+                                    pin_bytes);
               for (int64_t i = ib; i < i1; ++i) {
                 for (int64_t j = jb; j < j1; ++j) hint_unit(&reader, i, j);
               }
@@ -407,7 +430,8 @@ Result<BuiltJob> MatMulJob::Build(const BuildContext& ctx) const {
             for (int64_t i = ib; i < i1; ++i) {
               for (int64_t j = jb; j < j1; ++j) {
                 scope.Add([&, i, j]() -> Status {
-                  TaskTileReader reader(store, machine, budget);
+                  TaskTileReader reader(store, machine, budget, ledger,
+                                        pin_bytes);
                   hint_unit(&reader, i, j);
                   return compute_unit(&reader, i, j);
                 });
@@ -495,9 +519,13 @@ Result<BuiltJob> SumJob::Build(const BuildContext& ctx) const {
       const int64_t budget = ctx.prefetch_budget_bytes;
       StealDomain* const steal = ctx.steal;
       const KernelMode kmode = ctx.kernel_mode;
+      MemoryBudgetGroup* const mem = ctx.memory_budget;
+      const int64_t pin_bytes = ctx.task_pin_bytes;
       task.work = [store, parts, out_name, out_layout, epilogue, group,
-                   budget, steal, kmode,
+                   budget, steal, kmode, mem, pin_bytes,
                    task_name = task.name](int machine) -> Status {
+        MemoryBudget* const ledger =
+            mem != nullptr ? mem->node(machine) : nullptr;
         auto hint_unit = [&](TaskTileReader* reader, const TileId& id) {
           for (const std::string& part : parts) {
             reader->Hint(part, id, TileBytes(out_layout, id.row, id.col));
@@ -508,6 +536,8 @@ Result<BuiltJob> SumJob::Build(const BuildContext& ctx) const {
                                 const TileId& id) -> Status {
           Tile acc(out_layout.TileRowsAt(id.row),
                    out_layout.TileColsAt(id.col));
+          const TaskTileReader::ScratchReservation scratch =
+              reader->PinScratch(2 * acc.MemoryBytes());
           for (const std::string& part : parts) {
             CUMULON_ASSIGN_OR_RETURN(std::shared_ptr<const Tile> t,
                                      reader->Read(part, id));
@@ -519,7 +549,7 @@ Result<BuiltJob> SumJob::Build(const BuildContext& ctx) const {
                             std::make_shared<Tile>(std::move(acc)), machine);
         };
         if (steal == nullptr) {
-          TaskTileReader reader(store, machine, budget);
+          TaskTileReader reader(store, machine, budget, ledger, pin_bytes);
           for (const TileId& id : group) hint_unit(&reader, id);
           for (const TileId& id : group) {
             CUMULON_RETURN_IF_ERROR(compute_unit(&reader, id));
@@ -529,7 +559,7 @@ Result<BuiltJob> SumJob::Build(const BuildContext& ctx) const {
         TaskSplitScope scope(steal, task_name, machine);
         for (const TileId& id : group) {
           scope.Add([&, id]() -> Status {
-            TaskTileReader reader(store, machine, budget);
+            TaskTileReader reader(store, machine, budget, ledger, pin_bytes);
             hint_unit(&reader, id);
             return compute_unit(&reader, id);
           });
@@ -608,9 +638,13 @@ Result<BuiltJob> EwChainJob::Build(const BuildContext& ctx) const {
       const int64_t budget = ctx.prefetch_budget_bytes;
       StealDomain* const steal = ctx.steal;
       const KernelMode kmode = ctx.kernel_mode;
+      MemoryBudgetGroup* const mem = ctx.memory_budget;
+      const int64_t pin_bytes = ctx.task_pin_bytes;
       task.work = [store, in_name, out_name, out_layout, steps, group,
-                   budget, steal, kmode,
+                   budget, steal, kmode, mem, pin_bytes,
                    task_name = task.name](int machine) -> Status {
+        MemoryBudget* const ledger =
+            mem != nullptr ? mem->node(machine) : nullptr;
         auto hint_unit = [&](TaskTileReader* reader, const TileId& id) {
           reader->Hint(in_name, id, TileBytes(out_layout, id.row, id.col));
           HintEwStepOperands(steps, out_layout, id, reader);
@@ -620,6 +654,10 @@ Result<BuiltJob> EwChainJob::Build(const BuildContext& ctx) const {
           CUMULON_ASSIGN_OR_RETURN(std::shared_ptr<const Tile> t,
                                    reader->Read(in_name, id));
           Tile value = *t;
+          // Scratch covers the working copy plus the transient input tile
+          // still alive in `t`.
+          const TaskTileReader::ScratchReservation scratch =
+              reader->PinScratch(2 * value.MemoryBytes());
           CUMULON_RETURN_IF_ERROR(
               RunEwSteps(steps, reader, id, &value, kmode));
           return store->Put(out_name, id,
@@ -627,7 +665,7 @@ Result<BuiltJob> EwChainJob::Build(const BuildContext& ctx) const {
                             machine);
         };
         if (steal == nullptr) {
-          TaskTileReader reader(store, machine, budget);
+          TaskTileReader reader(store, machine, budget, ledger, pin_bytes);
           for (const TileId& id : group) hint_unit(&reader, id);
           for (const TileId& id : group) {
             CUMULON_RETURN_IF_ERROR(compute_unit(&reader, id));
@@ -637,7 +675,7 @@ Result<BuiltJob> EwChainJob::Build(const BuildContext& ctx) const {
         TaskSplitScope scope(steal, task_name, machine);
         for (const TileId& id : group) {
           scope.Add([&, id]() -> Status {
-            TaskTileReader reader(store, machine, budget);
+            TaskTileReader reader(store, machine, budget, ledger, pin_bytes);
             hint_unit(&reader, id);
             return compute_unit(&reader, id);
           });
@@ -753,9 +791,13 @@ Result<BuiltJob> AggregateJob::Build(const BuildContext& ctx) const {
       const int64_t budget = ctx.prefetch_budget_bytes;
       StealDomain* const steal = ctx.steal;
       const KernelMode kmode = ctx.kernel_mode;
+      MemoryBudgetGroup* const mem = ctx.memory_budget;
+      const int64_t pin_bytes = ctx.task_pin_bytes;
       task.work = [store, in_name, out_name, in_layout, out_layout, epilogue,
-                   rows_mode, s0, s1, cross, budget, steal, kmode,
-                   task_name = task.name](int machine) -> Status {
+                   rows_mode, s0, s1, cross, budget, steal, kmode, mem,
+                   pin_bytes, task_name = task.name](int machine) -> Status {
+        MemoryBudget* const ledger =
+            mem != nullptr ? mem->node(machine) : nullptr;
         // One unit = one output stripe s (row sums: grid row; col sums:
         // grid column), reading its full cross range of input tiles.
         auto hint_unit = [&](TaskTileReader* reader, int64_t s) {
@@ -771,13 +813,30 @@ Result<BuiltJob> AggregateJob::Build(const BuildContext& ctx) const {
           const TileId out_id = rows_mode ? TileId{s, 0} : TileId{0, s};
           Tile acc(out_layout.TileRowsAt(out_id.row),
                    out_layout.TileColsAt(out_id.col));
-          for (int64_t x = 0; x < cross; ++x) {
-            const TileId in_id = rows_mode ? TileId{s, x} : TileId{x, s};
-            CUMULON_ASSIGN_OR_RETURN(std::shared_ptr<const Tile> t,
-                                     reader->Read(in_name, in_id));
+          // Scratch covers the accumulator, the per-chunk partial, and the
+          // transient input tile being reduced.
+          const TaskTileReader::ScratchReservation scratch =
+              reader->PinScratch(
+                  2 * acc.MemoryBytes() +
+                  AlignedFootprintBytes(in_layout.tile_rows() *
+                                        in_layout.tile_cols() * 8));
+          // Panel-partial reduction (tile_ops.h): each kAggPanelTiles-wide
+          // panel folds into a zero partial, combined left-to-right into
+          // acc. Panel width is a constant, so resident and streamed runs
+          // at any budget add in the identical order.
+          for (int64_t x0 = 0; x0 < cross; x0 += kAggPanelTiles) {
+            const int64_t x1 = std::min(x0 + kAggPanelTiles, cross);
+            Tile partial(acc.rows(), acc.cols());
+            for (int64_t x = x0; x < x1; ++x) {
+              const TileId in_id = rows_mode ? TileId{s, x} : TileId{x, s};
+              CUMULON_ASSIGN_OR_RETURN(std::shared_ptr<const Tile> t,
+                                       reader->Read(in_name, in_id));
+              CUMULON_RETURN_IF_ERROR(
+                  rows_mode ? RowSumsPartialInto(*t, &partial)
+                            : ColSumsIntoWithMode(kmode, *t, &partial));
+            }
             CUMULON_RETURN_IF_ERROR(
-                rows_mode ? RowSumsInto(*t, &acc)
-                          : ColSumsIntoWithMode(kmode, *t, &acc));
+                CombineAggPartialWithMode(kmode, partial, &acc));
           }
           CUMULON_RETURN_IF_ERROR(
               RunEwSteps(epilogue, reader, out_id, &acc, kmode));
@@ -785,7 +844,7 @@ Result<BuiltJob> AggregateJob::Build(const BuildContext& ctx) const {
                             std::make_shared<Tile>(std::move(acc)), machine);
         };
         if (steal == nullptr) {
-          TaskTileReader reader(store, machine, budget);
+          TaskTileReader reader(store, machine, budget, ledger, pin_bytes);
           for (int64_t s = s0; s < s1; ++s) hint_unit(&reader, s);
           for (int64_t s = s0; s < s1; ++s) {
             CUMULON_RETURN_IF_ERROR(compute_unit(&reader, s));
@@ -795,7 +854,7 @@ Result<BuiltJob> AggregateJob::Build(const BuildContext& ctx) const {
         TaskSplitScope scope(steal, task_name, machine);
         for (int64_t s = s0; s < s1; ++s) {
           scope.Add([&, s]() -> Status {
-            TaskTileReader reader(store, machine, budget);
+            TaskTileReader reader(store, machine, budget, ledger, pin_bytes);
             hint_unit(&reader, s);
             return compute_unit(&reader, s);
           });
@@ -870,8 +929,13 @@ Result<BuiltJob> TransposeJob::Build(const BuildContext& ctx) const {
       const TileLayout out_layout = lc;
       const int64_t budget = ctx.prefetch_budget_bytes;
       StealDomain* const steal = ctx.steal;
+      MemoryBudgetGroup* const mem = ctx.memory_budget;
+      const int64_t pin_bytes = ctx.task_pin_bytes;
       task.work = [store, in_name, out_name, out_layout, group, budget,
-                   steal, task_name = task.name](int machine) -> Status {
+                   steal, mem, pin_bytes,
+                   task_name = task.name](int machine) -> Status {
+        MemoryBudget* const ledger =
+            mem != nullptr ? mem->node(machine) : nullptr;
         auto hint_unit = [&](TaskTileReader* reader, const TileId& id) {
           // Input tile (j,i) has the transposed shape of output (i,j),
           // which is the same serialized size.
@@ -885,13 +949,16 @@ Result<BuiltJob> TransposeJob::Build(const BuildContext& ctx) const {
               reader->Read(in_name, TileId{id.col, id.row}));
           Tile out_tile(out_layout.TileRowsAt(id.row),
                         out_layout.TileColsAt(id.col));
+          // Scratch covers the output tile plus the transient input tile.
+          const TaskTileReader::ScratchReservation scratch =
+              reader->PinScratch(2 * out_tile.MemoryBytes());
           CUMULON_RETURN_IF_ERROR(TransposeTile(*t, &out_tile));
           return store->Put(out_name, id,
                             std::make_shared<Tile>(std::move(out_tile)),
                             machine);
         };
         if (steal == nullptr) {
-          TaskTileReader reader(store, machine, budget);
+          TaskTileReader reader(store, machine, budget, ledger, pin_bytes);
           for (const TileId& id : group) hint_unit(&reader, id);
           for (const TileId& id : group) {
             CUMULON_RETURN_IF_ERROR(compute_unit(&reader, id));
@@ -901,7 +968,7 @@ Result<BuiltJob> TransposeJob::Build(const BuildContext& ctx) const {
         TaskSplitScope scope(steal, task_name, machine);
         for (const TileId& id : group) {
           scope.Add([&, id]() -> Status {
-            TaskTileReader reader(store, machine, budget);
+            TaskTileReader reader(store, machine, budget, ledger, pin_bytes);
             hint_unit(&reader, id);
             return compute_unit(&reader, id);
           });

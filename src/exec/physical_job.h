@@ -16,7 +16,8 @@
 
 namespace cumulon {
 
-class StealDomain;  // cluster/steal_domain.h
+class StealDomain;        // cluster/steal_domain.h
+class MemoryBudgetGroup;  // exec/memory_budget.h
 
 /// Inputs a physical job needs to turn itself into schedulable tasks.
 struct BuildContext {
@@ -55,6 +56,19 @@ struct BuildContext {
   /// Only meaningful with attach_work; the executor fills it from
   /// ExecutorOptions::prefetch_budget_bytes.
   int64_t prefetch_budget_bytes = 0;
+
+  /// Out-of-core streaming (exec/memory_budget.h). When non-null, every
+  /// task reader charges its held bytes — in-flight prefetches, pinned
+  /// operand panels, scratch reservations — to its node's ledger, pinning
+  /// at most `task_pin_bytes` at once and spilling least-recently-used
+  /// panels under pressure (they are re-fetched from the DFS on the next
+  /// touch). Compute order is unchanged, so budgeted runs stay
+  /// bit-identical to resident ones. Borrowed from the executor's per-run
+  /// group; null = classic resident behavior. The executor derives
+  /// task_pin_bytes as the node budget minus the tile-cache reservation,
+  /// divided by the machine's task slots.
+  MemoryBudgetGroup* memory_budget = nullptr;
+  int64_t task_pin_bytes = 0;
 };
 
 /// One output tile a task will produce; used by the executor in simulation

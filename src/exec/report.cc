@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "common/strings.h"
+#include "obs/quantile_sketch.h"
 
 namespace cumulon {
 
@@ -66,6 +67,35 @@ std::string FormatPlanStats(const PlanStats& stats) {
                       ? 100.0 * stats.stall_seconds / task_seconds
                       : 0.0,
                   FormatDuration(task_seconds).c_str());
+    out += line;
+  }
+  if (stats.spill_evictions > 0 || stats.spill_refetches > 0) {
+    std::snprintf(line, sizeof(line),
+                  "spill: %lld panels evicted (%s), %lld refetched (%s); "
+                  "peak resident %s\n",
+                  static_cast<long long>(stats.spill_evictions),
+                  FormatBytes(stats.spill_evicted_bytes).c_str(),
+                  static_cast<long long>(stats.spill_refetches),
+                  FormatBytes(stats.spill_refetch_bytes).c_str(),
+                  FormatBytes(stats.memory_peak_bytes).c_str());
+    out += line;
+  }
+  // Task-duration quantiles from a bounded-memory sketch
+  // (obs/quantile_sketch.h): exact for plans up to a few thousand tasks,
+  // within the sketch's rank-error bound beyond that.
+  QuantileSketch durations;
+  for (const JobRecord& record : stats.jobs) {
+    for (const TaskRunInfo& run : record.stats.task_runs) {
+      durations.Add(run.duration_seconds);
+    }
+  }
+  if (durations.count() > 1) {
+    std::snprintf(line, sizeof(line),
+                  "task time: p50=%s p99=%s max=%s over %lld tasks\n",
+                  FormatDuration(durations.Quantile(0.50)).c_str(),
+                  FormatDuration(durations.Quantile(0.99)).c_str(),
+                  FormatDuration(durations.max()).c_str(),
+                  static_cast<long long>(durations.count()));
     out += line;
   }
   return out;

@@ -86,22 +86,53 @@ Status TransposeTile(const Tile& a, Tile* out);
 Status AccumulateInto(const Tile& x, Tile* acc);
 Status AccumulateIntoWithMode(KernelMode mode, const Tile& x, Tile* acc);
 
-/// Sum of all elements.
+/// Sum of all elements. The plain entry points below resolve
+/// ReduceMode::kAuto (kernel_config.h): the strictly ordered fold unless
+/// CUMULON_REDUCE=fast opts the process into the reorder-tolerant
+/// multi-accumulator path.
 double TileSum(const Tile& t);
+double TileSumWithMode(ReduceMode mode, const Tile& t);
 
 /// acc[r] += sum_c t(r, c): folds a tile into a rows x 1 accumulator.
 Status RowSumsInto(const Tile& t, Tile* acc);
+Status RowSumsIntoWithMode(ReduceMode mode, const Tile& t, Tile* acc);
 
 /// acc[c] += sum_r t(r, c): folds a tile into a 1 x cols accumulator.
 /// Vectorized over columns when AVX2 is available — each accumulator
 /// element still receives rows in ascending order, so bit-identical.
-/// (RowSumsInto / TileSum / FrobeniusNorm reduce *within* a row and stay
-/// scalar: vectorizing them would reorder the additions.)
+/// (RowSumsInto / TileSum / FrobeniusNorm reduce *within* a row, so
+/// speeding them up necessarily reorders additions — that lives behind
+/// the opt-in ReduceMode::kFast / CUMULON_REDUCE=fast path above.)
 Status ColSumsInto(const Tile& t, Tile* acc);
 Status ColSumsIntoWithMode(KernelMode mode, const Tile& t, Tile* acc);
 
 /// Frobenius norm.
 double FrobeniusNorm(const Tile& t);
+double FrobeniusNormWithMode(ReduceMode mode, const Tile& t);
+
+// --- Chunk-level partial aggregates (out-of-core streaming) ---------------
+//
+// The streaming aggregate path reduces its input stripe in fixed-size
+// panels: each panel folds into a zero-initialized partial, and finished
+// partials are combined left-to-right into the stripe accumulator. Panel
+// width is the constant below — never derived from the memory budget — so
+// a resident run and a streamed run at any budget perform the identical
+// sequence of floating-point additions and produce bit-identical results.
+
+/// Input tiles one aggregate panel spans before its partial is folded into
+/// the stripe accumulator.
+inline constexpr int64_t kAggPanelTiles = 8;
+
+/// partial[r] += sum_c t(r, c): the per-panel building block — the same
+/// ascending fold as RowSumsInto, named for the call sites that build
+/// panel partials rather than whole-stripe accumulators.
+Status RowSumsPartialInto(const Tile& t, Tile* partial);
+
+/// acc += partial element-wise, one IEEE add per element, no FMA — so the
+/// left-to-right combine order fully determines the result bits.
+Status CombineAggPartial(const Tile& partial, Tile* acc);
+Status CombineAggPartialWithMode(KernelMode mode, const Tile& partial,
+                                 Tile* acc);
 
 /// max_i |a[i] - b[i]|; returns an error if shapes differ.
 Result<double> MaxAbsDiff(const Tile& a, const Tile& b);

@@ -1,0 +1,191 @@
+#include "obs/quantile_sketch.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/metrics.h"
+
+namespace cumulon {
+
+namespace {
+
+Counter* CollapseCounter() {
+  static Counter* counter =
+      MetricsRegistry::Default()->counter("obs.quantile.collapses");
+  return counter;
+}
+
+Counter* SampleCounter() {
+  static Counter* counter =
+      MetricsRegistry::Default()->counter("obs.quantile.samples");
+  return counter;
+}
+
+}  // namespace
+
+QuantileSketch::QuantileSketch(int buffer_size, int max_buffers)
+    : buffer_size_(std::max(buffer_size, 2)),
+      max_buffers_(std::max(max_buffers, 2)) {
+  partial_.reserve(static_cast<size_t>(buffer_size_));
+}
+
+void QuantileSketch::Add(double value) {
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  SampleCounter()->Increment();
+  partial_.push_back(value);
+  if (static_cast<int>(partial_.size()) >= buffer_size_) {
+    FlushPartial();
+    CollapseWhileOver();
+  }
+}
+
+void QuantileSketch::FlushPartial() {
+  if (partial_.empty()) return;
+  // A short partial (merge leftovers) still becomes a weight-1 buffer;
+  // Buffer::values need not be full — the weighted merge in CollapseOnce
+  // handles runs of any length.
+  Buffer buffer;
+  buffer.weight = 1;
+  buffer.values = std::move(partial_);
+  std::sort(buffer.values.begin(), buffer.values.end());
+  partial_.clear();
+  partial_.reserve(static_cast<size_t>(buffer_size_));
+  buffers_.push_back(std::move(buffer));
+}
+
+void QuantileSketch::CollapseWhileOver() {
+  while (static_cast<int>(buffers_.size()) > max_buffers_) CollapseOnce();
+}
+
+void QuantileSketch::CollapseOnce() {
+  // Pick the two smallest-weight buffers (ties: the older one first) so
+  // heavy summaries collapse rarely and the error bound grows slowly.
+  size_t i1 = 0;
+  for (size_t i = 1; i < buffers_.size(); ++i) {
+    if (buffers_[i].weight < buffers_[i1].weight) i1 = i;
+  }
+  size_t i2 = i1 == 0 ? 1 : 0;
+  for (size_t i = 0; i < buffers_.size(); ++i) {
+    if (i != i1 && buffers_[i].weight < buffers_[i2].weight) i2 = i;
+  }
+  if (i1 > i2) std::swap(i1, i2);
+  const Buffer& b1 = buffers_[i1];
+  const Buffer& b2 = buffers_[i2];
+  const int64_t w1 = b1.weight;
+  const int64_t w2 = b2.weight;
+  const int64_t w = w1 + w2;
+
+  // Weighted merge of the two sorted runs, emitting the element covering
+  // every target rank offset + j*w (offset centered in the first stride,
+  // deterministic so repeated runs produce identical sketches).
+  const int64_t total_weight =
+      w1 * static_cast<int64_t>(b1.values.size()) +
+      w2 * static_cast<int64_t>(b2.values.size());
+  const int64_t out_size = total_weight / w;  // == buffer_size_ when full
+  Buffer merged;
+  merged.weight = w;
+  merged.values.reserve(static_cast<size_t>(std::max<int64_t>(out_size, 1)));
+  size_t p1 = 0;
+  size_t p2 = 0;
+  int64_t cumulative = 0;
+  const int64_t offset = (w + 1) / 2;
+  int64_t next_rank = offset;
+  while (p1 < b1.values.size() || p2 < b2.values.size()) {
+    double value;
+    int64_t weight;
+    if (p2 >= b2.values.size() ||
+        (p1 < b1.values.size() && b1.values[p1] <= b2.values[p2])) {
+      value = b1.values[p1++];
+      weight = w1;
+    } else {
+      value = b2.values[p2++];
+      weight = w2;
+    }
+    cumulative += weight;
+    while (next_rank <= cumulative &&
+           static_cast<int64_t>(merged.values.size()) < out_size) {
+      merged.values.push_back(value);
+      next_rank += w;
+    }
+  }
+  if (merged.values.empty()) merged.values.push_back(b1.values.front());
+
+  error_items_ += static_cast<double>(w) / 2.0;
+  ++collapses_;
+  CollapseCounter()->Increment();
+
+  buffers_.erase(buffers_.begin() + static_cast<ptrdiff_t>(i2));
+  buffers_[i1] = std::move(merged);
+}
+
+void QuantileSketch::Merge(const QuantileSketch& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  error_items_ += other.error_items_;
+  for (const Buffer& buffer : other.buffers_) buffers_.push_back(buffer);
+  for (double value : other.partial_) {
+    partial_.push_back(value);
+    if (static_cast<int>(partial_.size()) >= buffer_size_) FlushPartial();
+  }
+  CollapseWhileOver();
+}
+
+double QuantileSketch::Quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::min(std::max(q, 0.0), 1.0);
+  // Gather every (value, weight) pair, including the exact partial buffer.
+  std::vector<std::pair<double, int64_t>> items;
+  size_t total_values = partial_.size();
+  for (const Buffer& buffer : buffers_) total_values += buffer.values.size();
+  items.reserve(total_values);
+  int64_t total_weight = 0;
+  for (const Buffer& buffer : buffers_) {
+    for (double value : buffer.values) {
+      items.emplace_back(value, buffer.weight);
+      total_weight += buffer.weight;
+    }
+  }
+  for (double value : partial_) {
+    items.emplace_back(value, 1);
+    total_weight += 1;
+  }
+  if (items.empty()) return 0.0;
+  std::sort(items.begin(), items.end());
+  // Same convention as ExactPercentile: 1-based rank ceil(q*n), clamped.
+  int64_t target = static_cast<int64_t>(
+      std::ceil(q * static_cast<double>(total_weight)));
+  target = std::min(std::max<int64_t>(target, 1), total_weight);
+  int64_t cumulative = 0;
+  for (const auto& [value, weight] : items) {
+    cumulative += weight;
+    if (cumulative >= target) return value;
+  }
+  return items.back().first;
+}
+
+double QuantileSketch::rank_error_bound() const {
+  if (count_ == 0 || error_items_ == 0.0) return 0.0;
+  return error_items_ / static_cast<double>(count_);
+}
+
+int64_t QuantileSketch::MemoryBytes() const {
+  size_t values = partial_.capacity();
+  for (const Buffer& buffer : buffers_) values += buffer.values.capacity();
+  return static_cast<int64_t>(values * sizeof(double) +
+                              buffers_.capacity() * sizeof(Buffer));
+}
+
+}  // namespace cumulon

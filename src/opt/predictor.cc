@@ -95,6 +95,7 @@ Result<PredictionResult> PredictProgram(const ProgramSpec& spec,
   ExecutorOptions exec_options;
   exec_options.real_mode = false;
   exec_options.job_startup_seconds = options.job_startup_seconds;
+  exec_options.memory_budget_bytes = options.memory_budget_bytes;
   if (options.tracer != nullptr) exec_options.tracer = options.tracer;
   if (options.metrics != nullptr) exec_options.metrics = options.metrics;
   Executor executor(&store, &engine, &options.cost, exec_options);

@@ -52,6 +52,14 @@ struct PredictorOptions {
   /// sim.io_overlap_fraction as given.
   double prefetch_overlap_fraction = -1.0;
 
+  /// Per-node memory budget of the target deployment (bytes; <= 0 =
+  /// unbudgeted). The prediction's declared task costs then include the
+  /// out-of-core streaming term (cost/cost_model.h StreamingRefetchBytes):
+  /// tasks whose working set exceeds their pin share of the budget are
+  /// charged the panel re-reads a streamed run would do, so predicted
+  /// times show the stream-vs-resident crossover as the budget shrinks.
+  int64_t memory_budget_bytes = 0;
+
   /// Records the simulated schedule as per-job/per-task spans on the
   /// virtual clock (the trace's total span equals the predicted time).
   /// Wired into both the sim engine and the executor; the tuner's probe

@@ -16,6 +16,7 @@
 #include "common/stopwatch.h"
 #include "common/strings.h"
 #include "common/thread_annotations.h"
+#include "obs/quantile_sketch.h"
 #include "svc/message.h"
 
 namespace cumulon {
@@ -56,8 +57,11 @@ struct AcceptedPlan {
 
 struct WorkerResult {
   LoadGenReport counts;  // latency fields unused; merged by the caller
-  std::vector<double> admission_seconds;
-  std::vector<double> completion_seconds;
+  // Bounded-memory latency sketches (obs/quantile_sketch.h): each worker
+  // owns its sketches single-threaded, the caller merges after join. A
+  // firehose run no longer buffers one double per request.
+  QuantileSketch admission_seconds;
+  QuantileSketch completion_seconds;
   Status connect_status;  // non-OK when the worker never got a transport
 };
 
@@ -123,7 +127,7 @@ void RunWorker(const TransportFactory& connect, const LoadGenOptions& options,
     Stopwatch rpc;
     auto reply = client->Submit(item.workload, /*name=*/"",
                                 item.deadline_seconds);
-    out->admission_seconds.push_back(rpc.ElapsedSeconds());
+    out->admission_seconds.Add(rpc.ElapsedSeconds());
     if (reply.ok()) {
       out->counts.accepted++;
       accepted.push_back({reply->plan, item.tenant, submit_at});
@@ -186,8 +190,8 @@ void RunWorker(const TransportFactory& connect, const LoadGenOptions& options,
         continue;
       }
       if (poll->terminal) {
-        out->completion_seconds.push_back(clock.ElapsedSeconds() -
-                                          plan.submit_at_seconds);
+        out->completion_seconds.Add(clock.ElapsedSeconds() -
+                                    plan.submit_at_seconds);
         if (poll->state == "DONE") {
           out->counts.completed++;
         } else if (poll->state == "FAILED") {
@@ -268,8 +272,8 @@ Result<LoadGenReport> RunLoadGen(const TransportFactory& connect,
 
   LoadGenReport report;
   report.wall_seconds = wall.ElapsedSeconds();
-  std::vector<double> admission;
-  std::vector<double> completion;
+  QuantileSketch admission;
+  QuantileSketch completion;
   int connected = 0;
   Status first_connect_error = Status::OK();
   for (const WorkerResult& r : results) {
@@ -289,27 +293,22 @@ Result<LoadGenReport> RunLoadGen(const TransportFactory& connect,
     report.failed += r.counts.failed;
     report.cancelled += r.counts.cancelled;
     report.poll_timeouts += r.counts.poll_timeouts;
-    admission.insert(admission.end(), r.admission_seconds.begin(),
-                     r.admission_seconds.end());
-    completion.insert(completion.end(), r.completion_seconds.begin(),
-                      r.completion_seconds.end());
+    admission.Merge(r.admission_seconds);
+    completion.Merge(r.completion_seconds);
   }
   if (connected == 0) {
     return Status(first_connect_error.code(),
                   StrCat("no loadgen worker could connect: ",
                          first_connect_error.message()));
   }
-  report.admission_p50_seconds = ExactPercentile(admission, 0.50);
-  report.admission_p99_seconds = ExactPercentile(admission, 0.99);
-  report.admission_max_seconds =
-      admission.empty() ? 0.0
-                        : *std::max_element(admission.begin(), admission.end());
-  report.completion_p50_seconds = ExactPercentile(completion, 0.50);
-  report.completion_p99_seconds = ExactPercentile(completion, 0.99);
-  report.completion_max_seconds =
-      completion.empty()
-          ? 0.0
-          : *std::max_element(completion.begin(), completion.end());
+  report.admission_p50_seconds = admission.Quantile(0.50);
+  report.admission_p99_seconds = admission.Quantile(0.99);
+  report.admission_max_seconds = admission.max();  // min/max stay exact
+  report.completion_p50_seconds = completion.Quantile(0.50);
+  report.completion_p99_seconds = completion.Quantile(0.99);
+  report.completion_max_seconds = completion.max();
+  report.latency_rank_error = std::max(admission.rank_error_bound(),
+                                       completion.rank_error_bound());
   return report;
 }
 

@@ -72,6 +72,9 @@ struct LoadGenReport {
   double wall_seconds = 0.0;
 
   /// Client-observed SUBMIT round-trip latency (the admission decision).
+  /// Quantiles come from bounded-memory sketches (obs/quantile_sketch.h),
+  /// accurate to within latency_rank_error of the exact sample rank; max
+  /// is tracked exactly.
   double admission_p50_seconds = 0.0;
   double admission_p99_seconds = 0.0;
   double admission_max_seconds = 0.0;
@@ -80,6 +83,11 @@ struct LoadGenReport {
   double completion_p50_seconds = 0.0;
   double completion_p99_seconds = 0.0;
   double completion_max_seconds = 0.0;
+
+  /// Guaranteed rank-error ceiling of the quantiles above, as a fraction
+  /// of the sample count (the worse of the two sketches). 0.0 when the
+  /// sketches never collapsed, i.e. the quantiles are exact.
+  double latency_rank_error = 0.0;
 };
 
 /// Opens one Transport per worker via `connect` and drives the load.

@@ -1,0 +1,197 @@
+// Property tests for the bounded-memory quantile sketch: the guaranteed
+// rank-error bound must hold against the exact oracle on random AND
+// adversarial streams, the sketch must stay exact until its first buffer
+// collapse, and memory must stay capped regardless of stream length.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/quantile_sketch.h"
+#include "svc/loadgen.h"
+
+namespace cumulon {
+namespace {
+
+// 1-based rank window: the position of `value` in the sorted stream must
+// land within `slack` ranks of the target rank for quantile q.
+void ExpectWithinRankError(const std::vector<double>& sorted, double q,
+                           double value, double slack_ranks,
+                           const char* what) {
+  const int64_t n = static_cast<int64_t>(sorted.size());
+  const int64_t target =
+      std::clamp<int64_t>(static_cast<int64_t>(std::ceil(q * n)), 1, n);
+  // All ranks the returned value could occupy (duplicates span a range).
+  const auto lo_it = std::lower_bound(sorted.begin(), sorted.end(), value);
+  const auto hi_it = std::upper_bound(sorted.begin(), sorted.end(), value);
+  ASSERT_NE(lo_it, hi_it) << what << ": sketch returned a value not in the "
+                          << "stream (q=" << q << ", value=" << value << ")";
+  const int64_t lo_rank = (lo_it - sorted.begin()) + 1;
+  const int64_t hi_rank = hi_it - sorted.begin();
+  const int64_t distance =
+      target < lo_rank ? lo_rank - target
+                       : (target > hi_rank ? target - hi_rank : 0);
+  EXPECT_LE(static_cast<double>(distance), slack_ranks)
+      << what << ": q=" << q << " n=" << n << " value=" << value
+      << " target rank=" << target << " value ranks=[" << lo_rank << ","
+      << hi_rank << "]";
+}
+
+void CheckAgainstOracle(const std::vector<double>& stream, const char* what) {
+  QuantileSketch sketch;
+  for (double v : stream) sketch.Add(v);
+  std::vector<double> sorted = stream;
+  std::sort(sorted.begin(), sorted.end());
+
+  ASSERT_EQ(sketch.count(), static_cast<int64_t>(stream.size()));
+  EXPECT_EQ(sketch.min(), sorted.front()) << what << ": min is exact";
+  EXPECT_EQ(sketch.max(), sorted.back()) << what << ": max is exact";
+
+  const double bound = sketch.rank_error_bound();
+  EXPECT_LT(bound, 0.05) << what
+                         << ": default sketch bound should stay small";
+  // +1 rank of slack for the discretization of ceil(q*n) at tiny q.
+  const double slack = bound * static_cast<double>(sorted.size()) + 1.0;
+  for (double q : {0.0, 0.01, 0.10, 0.25, 0.50, 0.75, 0.90, 0.99, 1.0}) {
+    ExpectWithinRankError(sorted, q, sketch.Quantile(q), slack, what);
+  }
+}
+
+TEST(QuantileSketchTest, EmptySketchIsZero) {
+  QuantileSketch sketch;
+  EXPECT_EQ(sketch.count(), 0);
+  EXPECT_EQ(sketch.Quantile(0.5), 0.0);
+  EXPECT_EQ(sketch.min(), 0.0);
+  EXPECT_EQ(sketch.max(), 0.0);
+  EXPECT_EQ(sketch.rank_error_bound(), 0.0);
+}
+
+TEST(QuantileSketchTest, ExactUntilFirstCollapse) {
+  // Exact for n < buffer_size * (max_buffers + 1): the first collapse
+  // fires on the add that completes the (max_buffers + 1)-th buffer.
+  QuantileSketch sketch(/*buffer_size=*/256, /*max_buffers=*/8);
+  std::mt19937_64 rng(7);
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  std::vector<double> stream;
+  for (int i = 0; i < 256 * 9 - 1; ++i) {
+    const double v = dist(rng);
+    stream.push_back(v);
+    sketch.Add(v);
+  }
+  ASSERT_EQ(sketch.collapses(), 0);
+  EXPECT_EQ(sketch.rank_error_bound(), 0.0);
+  for (double q : {0.01, 0.25, 0.50, 0.75, 0.99}) {
+    EXPECT_EQ(sketch.Quantile(q), ExactPercentile(stream, q))
+        << "pre-collapse sketch must match the exact oracle at q=" << q;
+  }
+}
+
+TEST(QuantileSketchTest, RandomStreamsRespectBound) {
+  std::mt19937_64 rng(42);
+  std::uniform_real_distribution<double> uniform(0.0, 1000.0);
+  std::exponential_distribution<double> heavy_tail(0.02);
+  std::vector<double> u, e;
+  for (int i = 0; i < 50000; ++i) {
+    u.push_back(uniform(rng));
+    e.push_back(heavy_tail(rng));  // latency-shaped, like loadgen feeds it
+  }
+  CheckAgainstOracle(u, "uniform");
+  CheckAgainstOracle(e, "exponential");
+}
+
+TEST(QuantileSketchTest, AdversarialStreamsRespectBound) {
+  const int n = 40000;
+  std::vector<double> ascending, descending, duplicates, alternating;
+  for (int i = 0; i < n; ++i) {
+    ascending.push_back(static_cast<double>(i));
+    descending.push_back(static_cast<double>(n - i));
+    duplicates.push_back(static_cast<double>(i % 3));
+    // Extremes alternating with a slow ramp: collapse-order stress.
+    alternating.push_back(i % 2 == 0 ? 1e9 + i : -1e9 - i);
+  }
+  CheckAgainstOracle(ascending, "sorted ascending");
+  CheckAgainstOracle(descending, "sorted descending");
+  CheckAgainstOracle(duplicates, "heavy duplicates");
+  CheckAgainstOracle(alternating, "alternating extremes");
+}
+
+TEST(QuantileSketchTest, MergeComposesBounds) {
+  std::mt19937_64 rng(3);
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  QuantileSketch a, b;
+  std::vector<double> all;
+  for (int i = 0; i < 30000; ++i) {
+    const double va = dist(rng), vb = 2.0 + dist(rng);
+    a.Add(va);
+    b.Add(vb);
+    all.push_back(va);
+    all.push_back(vb);
+  }
+  a.Merge(b);
+  ASSERT_EQ(a.count(), static_cast<int64_t>(all.size()));
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(a.min(), all.front());
+  EXPECT_EQ(a.max(), all.back());
+  const double slack =
+      a.rank_error_bound() * static_cast<double>(all.size()) + 1.0;
+  for (double q : {0.05, 0.50, 0.95, 0.99}) {
+    ExpectWithinRankError(all, q, a.Quantile(q), slack, "merged");
+  }
+}
+
+TEST(QuantileSketchTest, MemoryStaysBoundedOnLongStreams) {
+  QuantileSketch sketch;
+  std::mt19937_64 rng(9);
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  int64_t peak = 0;
+  for (int i = 0; i < 500000; ++i) {
+    sketch.Add(dist(rng));
+    if ((i & 0xFFF) == 0) peak = std::max(peak, sketch.MemoryBytes());
+  }
+  peak = std::max(peak, sketch.MemoryBytes());
+  // (max_buffers + 1) full buffers of doubles, with generous headroom for
+  // vector bookkeeping — the point is: independent of the 500k count.
+  EXPECT_LE(peak, 4 * (12 + 1) * 512 * static_cast<int64_t>(sizeof(double)));
+  EXPECT_GT(sketch.collapses(), 0) << "a 500k stream must have collapsed";
+  EXPECT_GT(sketch.rank_error_bound(), 0.0);
+  EXPECT_LT(sketch.rank_error_bound(), 0.05);
+}
+
+// The loadgen contract: sketch p50/p99 within the published rank-error of
+// the exact percentiles it replaced.
+TEST(QuantileSketchTest, MatchesExactPercentileWithinBound) {
+  std::mt19937_64 rng(17);
+  std::lognormal_distribution<double> latency(-3.0, 0.8);
+  std::vector<double> samples;
+  QuantileSketch sketch;
+  for (int i = 0; i < 80000; ++i) {
+    const double v = latency(rng);
+    samples.push_back(v);
+    sketch.Add(v);
+  }
+  std::vector<double> sorted = samples;
+  std::sort(sorted.begin(), sorted.end());
+  const int64_t n = static_cast<int64_t>(sorted.size());
+  const auto rank_of = [&](double q) {
+    return std::clamp<int64_t>(static_cast<int64_t>(std::ceil(q * n)), 1, n);
+  };
+  for (double q : {0.50, 0.99}) {
+    const double exact = ExactPercentile(samples, q);
+    const double approx = sketch.Quantile(q);
+    // Convert the rank bound into a value window around the exact rank.
+    const int64_t slack = static_cast<int64_t>(
+        std::ceil(sketch.rank_error_bound() * static_cast<double>(n))) + 1;
+    const int64_t r = rank_of(q);
+    const double lo = sorted[static_cast<size_t>(std::max<int64_t>(r - slack, 1) - 1)];
+    const double hi = sorted[static_cast<size_t>(std::min<int64_t>(r + slack, n) - 1)];
+    EXPECT_GE(approx, lo) << "q=" << q << " exact=" << exact;
+    EXPECT_LE(approx, hi) << "q=" << q << " exact=" << exact;
+  }
+}
+
+}  // namespace
+}  // namespace cumulon

@@ -6,6 +6,8 @@
 //       Predict time and dollar cost of one workload on one cluster.
 //       --trace out.json writes the simulated schedule as a Chrome
 //       trace_event file; --metrics 1 prints the run's counters.
+//       --memory-budget-mb M charges tasks the out-of-core streaming
+//       refetch term against an M MB per-node memory budget.
 //   cumulon plan --workload gnmf [--deadline MIN] [--budget DOLLARS]
 //       Search the deployment space; print the Pareto frontier and the
 //       constrained optimum.
@@ -136,6 +138,10 @@ int RunPredict(const Args& args) {
   PredictorOptions options;
   options.lowering.tile_dim = 2048;
   options.tune_mm_per_job = !args.Has("no-tuner");
+  // --memory-budget-mb charges tasks the out-of-core streaming refetch
+  // term, so predictions show the stream-vs-resident crossover.
+  options.memory_budget_bytes = static_cast<int64_t>(
+      args.GetDouble("memory-budget-mb", 0.0) * 1024.0 * 1024.0);
   // --trace records the simulated schedule on the virtual clock;
   // --metrics prints the run's counters. Either one turns the shared
   // registry on so dfs.* traffic is attributed too.
@@ -515,7 +521,8 @@ void PrintUsage() {
                "usage: cumulon <command> [flags]\n"
                "  calibrate\n"
                "  predict --workload W [--type T] [--machines N] [--slots S]"
-               " [--scale F] [--no-tuner 1] [--trace FILE] [--metrics 1]\n"
+               " [--scale F] [--no-tuner 1] [--memory-budget-mb MB]"
+               " [--trace FILE] [--metrics 1]\n"
                "  plan    --workload W [--deadline MIN] [--budget DOLLARS]"
                " [--scale F]\n"
                "  submit  --workloads W1,W2,... [--deadline-seconds S[,S2..]]"

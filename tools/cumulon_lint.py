@@ -38,9 +38,10 @@ import sys
 import tempfile
 
 METRIC_NAME_RE = re.compile(
-    r'^(exec|engine|dfs|cache|prefetch|sched|plan|cluster|svc)\.[a-z0-9_.]+$')
+    r'^(exec|engine|dfs|cache|prefetch|sched|plan|cluster|svc|mem|obs)'
+    r'\.[a-z0-9_.]+$')
 METRIC_PREFIX_RE = re.compile(
-    r'^(exec|engine|dfs|cache|prefetch|sched|plan|cluster|svc)'
+    r'^(exec|engine|dfs|cache|prefetch|sched|plan|cluster|svc|mem|obs)'
     r'\.([a-z0-9_.]+\.)?$')
 STRING_LITERAL_RE = re.compile(r'"((?:[^"\\]|\\.)*)"')
 
