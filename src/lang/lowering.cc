@@ -21,7 +21,13 @@ class Lowerer {
  public:
   Lowerer(const std::map<std::string, TiledMatrix>& inputs,
           const LoweringOptions& options)
-      : env_(inputs), options_(options) {}
+      : env_(inputs), options_(options) {
+    // Caller bindings may carry versioned names minted by a previous
+    // Lower() call (e.g. "x@v1" rebound by an iterative driver). Those
+    // names are taken: a fresh target version must never collide with
+    // them, or the new job would silently overwrite its own input.
+    for (const auto& [target, matrix] : env_) taken_names_.insert(matrix.name);
+  }
 
   Status LowerProgram(const Program& program) {
     for (const Assignment& a : program.assignments) {
@@ -54,9 +60,19 @@ class Lowerer {
   /// name always denotes exactly one immutable value — required both for
   /// CSE key stability and to avoid read/write races within a job.
   std::string TargetMatrixName(const std::string& target) {
-    const int version = ++target_versions_[target];
-    if (version == 1 && env_.find(target) == env_.end()) return target;
-    return StrCat(target, "@v", version);
+    int version = ++target_versions_[target];
+    if (version == 1 && env_.find(target) == env_.end() &&
+        taken_names_.count(target) == 0) {
+      taken_names_.insert(target);
+      return target;
+    }
+    std::string name = StrCat(target, "@v", version);
+    while (taken_names_.count(name) > 0) {
+      version = ++target_versions_[target];
+      name = StrCat(target, "@v", version);
+    }
+    taken_names_.insert(name);
+    return name;
   }
 
   Status LowerAssignment(const Assignment& a) {
@@ -319,6 +335,10 @@ class Lowerer {
   std::map<std::string, int> target_versions_;
   std::map<std::string, TiledMatrix> cse_;
   std::set<std::string> produced_;  // matrices created by this program
+  /// Every matrix name this plan may not mint again: caller bindings
+  /// (including versioned names from earlier Lower calls) plus names
+  /// already assigned by TargetMatrixName.
+  std::set<std::string> taken_names_;
   int temp_counter_ = 0;
 };
 

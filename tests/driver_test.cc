@@ -7,6 +7,7 @@
 #include "cost/cost_model.h"
 #include "exec/executor.h"
 #include "lang/driver.h"
+#include "lang/lowering.h"
 #include "lang/programs.h"
 #include "matrix/dense_matrix.h"
 #include "matrix/tiled_matrix.h"
@@ -128,6 +129,42 @@ TEST_F(DriverTest, PredicateErrorPropagates) {
   auto run = RunIterative(body, {{"x", x}}, &executor_, options);
   ASSERT_FALSE(run.ok());
   EXPECT_EQ(run.status().code(), StatusCode::kInternal);
+}
+
+/// Regression: an iterative driver re-binds a target to the versioned
+/// output of the previous iteration ("x" -> "x@v1"). A fresh Lowerer
+/// restarts its version counter, so without tracking the names already
+/// taken by the caller's bindings it would mint "x@v1" again — one job
+/// consuming and producing the same matrix, breaking the
+/// one-immutable-value-per-name invariant lowering documents.
+TEST_F(DriverTest, RelowerWithReboundVersionedBindingDoesNotCollide) {
+  Program body;
+  body.Assign("x", Scale(Expr::Input("x", 8, 8), 2.0));
+  LoweringOptions lowering;
+  lowering.tile_dim = 8;
+  std::map<std::string, TiledMatrix> bindings;
+  bindings.insert_or_assign("x", TiledMatrix{"x", TileLayout::Square(8, 8, 8)});
+  ASSERT_TRUE(
+      StoreDense(DenseMatrix::Constant(8, 8, 1.0), bindings.at("x"), &store_)
+          .ok());
+  for (int iteration = 0; iteration < 3; ++iteration) {
+    auto lowered = Lower(body, bindings, lowering);
+    ASSERT_TRUE(lowered.ok()) << lowered.status();
+    const TiledMatrix out = lowered->outputs.at("x");
+    // The new value must land under a fresh name, never the input's: a
+    // job that reads and writes the same matrix races against itself.
+    EXPECT_NE(out.name, bindings.at("x").name) << "iteration " << iteration;
+    for (const auto& job : lowered->plan.jobs) {
+      for (const std::string& input : job->InputMatrices()) {
+        EXPECT_NE(input, out.name) << "iteration " << iteration;
+      }
+    }
+    ASSERT_TRUE(executor_.Run(lowered->plan).ok());
+    bindings.insert_or_assign("x", out);
+  }
+  auto result = LoadDense(bindings.at("x"), &store_);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->At(0, 0), 8.0);  // 2^3
 }
 
 TEST_F(DriverTest, ZeroIterationsIsANoOp) {
