@@ -50,7 +50,8 @@ void RunShape(const Shape& shape) {
     Status st = AddMatMul(a, b, c_cumulon, params, {}, &plan);
     CUMULON_CHECK(st.ok()) << st;
     PlanStats stats = world.Run(plan);
-    world.store()->DeleteMatrix("C_cumulon");
+    Status deleted = world.store()->DeleteMatrix("C_cumulon");
+    CUMULON_CHECK(deleted.ok()) << deleted;
     if (!have_best || stats.total_seconds < cumulon.total_seconds) {
       cumulon = std::move(stats);
       have_best = true;

@@ -13,7 +13,7 @@ namespace cumulon {
 /// contract applies: callers must check ok() (or status()) before calling
 /// value(); violating that is a programmer error and aborts via CHECK.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit conversions from T and Status keep call sites terse, matching
   /// the absl::StatusOr idiom.
@@ -24,6 +24,10 @@ class Result {
 
   bool ok() const { return value_.has_value(); }
   const Status& status() const { return status_; }
+
+  /// Explicitly discards this result, value and error alike (see
+  /// Status::IgnoreError()).
+  void IgnoreError() const {}
 
   const T& value() const& {
     CUMULON_CHECK(ok()) << "Result::value() on error: " << status_.ToString();

@@ -27,7 +27,11 @@ enum class StatusCode {
 const char* StatusCodeToString(StatusCode code);
 
 /// A success-or-error value. Cheap to copy in the OK case (empty message).
-class Status {
+/// [[nodiscard]]: dropping a returned Status on the floor is a build error
+/// under -Werror=unused-result; a deliberate discard must say so via
+/// IgnoreError() (the linter bans `(void)` casts of calls, which would
+/// silence the warning without leaving a greppable trace).
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -62,6 +66,12 @@ class Status {
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
   }
+
+  /// Explicitly discards this status. The sanctioned alternative to a
+  /// naked `(void)` cast at sites where failure is genuinely ignorable
+  /// (best-effort cleanup, test teardown) — grep for IgnoreError() to
+  /// audit every swallowed error in the tree.
+  void IgnoreError() const {}
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }

@@ -139,6 +139,13 @@ class MatMulJob : public PhysicalJob {
   /// Number of k ranges the params split this multiply into.
   int64_t NumKSplits() const;
 
+  /// Structural accessors for the plan verifier's split-arithmetic pass
+  /// (src/verify), which re-derives tile coverage from first principles.
+  const MatMulParams& params() const { return params_; }
+  const TiledMatrix& a() const { return a_; }
+  const TiledMatrix& b() const { return b_; }
+  const TiledMatrix& out() const { return out_; }
+
   /// Worst-case working set of one task: the input block a task buffers
   /// (bi x bk tiles of A, bk x bj of B) plus one output accumulator. The
   /// optimizer rejects split parameters whose tasks exceed a slot's share

@@ -9,6 +9,17 @@
 
 namespace cumulon {
 
+/// The determinism contract of a plan: everything a replay needs to be
+/// bit-identical. Stamped by Lower() (the seed all randomized choices
+/// derive from, plus the *resolved* — never kAuto — reduction order the
+/// run will fold with) and checked at admission by the plan verifier
+/// (verify.plan.determinism in src/verify).
+struct PlanDeterminism {
+  bool recorded = false;
+  uint64_t seed = 0;
+  ReduceMode reduce_mode = ReduceMode::kAuto;
+};
+
 /// An executable plan: jobs run sequentially in order (Cumulon materializes
 /// every job's output in the DFS, so inter-job dependencies are implicit in
 /// the matrix names). `temporaries` lists intermediate matrices the
@@ -16,6 +27,7 @@ namespace cumulon {
 struct PhysicalPlan {
   std::vector<std::unique_ptr<PhysicalJob>> jobs;
   std::vector<std::string> temporaries;
+  PlanDeterminism determinism;
 
   PhysicalPlan() = default;
   PhysicalPlan(PhysicalPlan&&) = default;

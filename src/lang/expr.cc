@@ -17,6 +17,26 @@ ExprPtr Expr::Input(std::string name, int64_t rows, int64_t cols) {
   return e;
 }
 
+ExprPtr Expr::MakeUncheckedForTest(ExprKind kind, int64_t rows, int64_t cols,
+                                   ExprPtr left, ExprPtr right,
+                                   std::string input_name) {
+  auto e = std::shared_ptr<Expr>(new Expr(kind, rows, cols));
+  e->left_ = std::move(left);
+  e->right_ = std::move(right);
+  e->input_name_ = std::move(input_name);
+  return e;
+}
+
+void Expr::MutateLeftForTest(const ExprPtr& node, ExprPtr new_left) {
+  // Tying a cycle makes the shared_ptr graph leak; mutation tests accept
+  // that for the handful of nodes involved.
+  const_cast<Expr*>(node.get())->left_ = std::move(new_left);
+}
+
+void Expr::MutateRightForTest(const ExprPtr& node, ExprPtr new_right) {
+  const_cast<Expr*>(node.get())->right_ = std::move(new_right);
+}
+
 Result<ExprPtr> Expr::MatMul(ExprPtr a, ExprPtr b) {
   if (a == nullptr || b == nullptr) {
     return Status::InvalidArgument("MatMul: null operand");

@@ -68,6 +68,21 @@ class Expr {
 
   std::string DebugString() const;
 
+  /// Test-only backdoor: mints a node with NO factory validation, so the
+  /// verifier's mutation tests (tests/verify_test.cc) can build malformed
+  /// IR — wrong shapes, missing operands — that the public factories
+  /// refuse to construct. Never call outside tests.
+  static ExprPtr MakeUncheckedForTest(ExprKind kind, int64_t rows,
+                                      int64_t cols, ExprPtr left,
+                                      ExprPtr right,
+                                      std::string input_name = "");
+
+  /// Test-only backdoor: rewrites a child edge of an existing node in
+  /// place (the IR is otherwise immutable), letting mutation tests tie a
+  /// cycle into the DAG. Never call outside tests.
+  static void MutateLeftForTest(const ExprPtr& node, ExprPtr new_left);
+  static void MutateRightForTest(const ExprPtr& node, ExprPtr new_right);
+
  private:
   Expr(ExprKind kind, int64_t rows, int64_t cols)
       : kind_(kind), rows_(rows), cols_(cols) {}

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "verify/verify.h"
 
 namespace cumulon {
 
@@ -115,6 +116,17 @@ Program OptimizeProgram(const Program& program) {
   Program out;
   for (const Assignment& a : program.assignments) {
     out.Assign(a.target, OptimizeExpr(a.expr));
+  }
+  // Rewrite verification: the optimizer must preserve the logical IR's
+  // invariants (shapes, acyclicity, CSE soundness). A violation is an
+  // optimizer bug — fatal in debug builds; in release the sound fallback
+  // is the unoptimized program (slower, never wrong).
+  const Status verified = VerifyProgramStatus(out);
+  if (!verified.ok()) {
+    CUMULON_CHECK(!VerifyChecksAreFatal())
+        << "logical optimizer produced invalid IR:\n"
+        << verified.ToString();
+    return program;
   }
   return out;
 }

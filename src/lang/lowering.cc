@@ -4,7 +4,10 @@
 #include <utility>
 #include <vector>
 
+#include "common/logging.h"
 #include "common/strings.h"
+#include "matrix/kernel_config.h"
+#include "verify/verify.h"
 
 namespace cumulon {
 
@@ -349,7 +352,35 @@ Result<LoweredProgram> Lower(const Program& program,
                              const LoweringOptions& options) {
   Lowerer lowerer(inputs, options);
   CUMULON_RETURN_IF_ERROR(lowerer.LowerProgram(program));
-  return lowerer.Take();
+  LoweredProgram lowered = lowerer.Take();
+
+  // Stamp the determinism contract: the plan records the concrete reduce
+  // mode (resolved against CUMULON_REDUCE now, at plan-build time), so a
+  // replay under a different environment still folds identically.
+  lowered.plan.determinism.recorded = true;
+  lowered.plan.determinism.seed = options.seed;
+  lowered.plan.determinism.reduce_mode =
+      ResolveReduceMode(options.reduce_mode);
+
+  // Post-lowering verification: lowering knows the exact resident set (the
+  // caller's bindings), so this is the one edge where the dependency pass
+  // can prove every consumed matrix exists. A failure here is a lowering
+  // bug — fatal in debug builds, a typed verify.* error in release.
+  PlanVerifyOptions verify_options;
+  verify_options.check_external = true;
+  for (const auto& [name, matrix] : inputs) {
+    verify_options.external_matrices.insert(matrix.name);
+  }
+  verify_options.require_determinism = true;
+  const Status verified = VerifyPlanStatus(lowered.plan, verify_options);
+  if (!verified.ok()) {
+    CUMULON_CHECK(!VerifyChecksAreFatal())
+        << "lowering produced an invalid plan:\n"
+        << verified.ToString() << "\n"
+        << lowered.plan.DebugString();
+    return verified;
+  }
+  return lowered;
 }
 
 }  // namespace cumulon

@@ -39,6 +39,14 @@ struct LoweringOptions {
 
   /// Prefix for generated intermediate matrix names.
   std::string temp_prefix = "tmp";
+
+  /// Determinism contract stamped into the plan (PhysicalPlan::determinism)
+  /// and enforced at admission by the verifier: the seed every randomized
+  /// choice derives from, and the reduction order — resolved through
+  /// ResolveReduceMode at lowering time so the plan records the concrete
+  /// (ordered/fast) mode a replay must use, never kAuto.
+  uint64_t seed = 11;
+  ReduceMode reduce_mode = ReduceMode::kAuto;
 };
 
 /// Result of lowering: the executable plan plus, for every assignment

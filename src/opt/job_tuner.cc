@@ -2,6 +2,7 @@
 
 #include "common/strings.h"
 #include "exec/physical_plan.h"
+#include "verify/verify.h"
 
 namespace cumulon {
 
@@ -57,6 +58,16 @@ Result<TunedMatMul> TuneMatMulParams(const TileLayout& a, const TileLayout& b,
   TunedMatMul best;
   bool have_best = false;
   for (const MatMulParams& params : candidates) {
+    // Split-arithmetic screening (verify.split): the candidate's blocks
+    // must tile this multiply's (gi, gj, gk) grid before it is worth a
+    // probe simulation — and before Build's blocking loops could hang on
+    // a degenerate extent.
+    if (!VerifyMatMulSplit(params, a.grid_rows(), b.grid_cols(),
+                           a.grid_cols())
+             .ok()) {
+      ++best.rejected_by_verify;
+      continue;
+    }
     if (MatMulJob::TaskMemoryBytes(a, b, params) > slot_memory) {
       ++best.rejected_by_memory;
       continue;

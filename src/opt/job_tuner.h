@@ -36,6 +36,9 @@ struct TunedMatMul {
   double predicted_seconds = 0.0;
   int feasible_candidates = 0;
   int rejected_by_memory = 0;
+  /// Candidates screened out by the split-arithmetic verifier
+  /// (verify.split in src/verify) before any probe simulation ran.
+  int rejected_by_verify = 0;
 };
 
 /// Evaluates the candidate portfolio for out = A * B on `cluster` and

@@ -48,6 +48,9 @@ Result<PredictionResult> PredictProgram(const ProgramSpec& spec,
   }
 
   LoweringOptions lowering = options.lowering;
+  // The plan's determinism contract records the predictor's seed, so the
+  // simulated schedule and any later replay derive from the same stream.
+  lowering.seed = options.seed;
   if (options.tune_mm_per_job) {
     // Per-operator optimization: choose every multiply's splits for this
     // cluster. The callback only sees grid extents, so reconstruct

@@ -4,7 +4,9 @@
 #include <limits>
 #include <set>
 
+#include "common/logging.h"
 #include "common/strings.h"
+#include "verify/verify.h"
 
 namespace cumulon {
 
@@ -54,7 +56,21 @@ Result<std::vector<PlanPoint>> EnumeratePlans(const ProgramSpec& spec,
                                               const SearchSpace& space,
                                               const PredictorOptions& options) {
   std::vector<PlanPoint> points;
-  const auto mm_candidates = ResolveMmCandidates(space);
+  // Screen the split candidates before any prediction run: a malformed
+  // candidate (bi/bj < 1, negative bk) would hang or miscover the tile
+  // grid deep inside lowering. Grid extents are unknown at this shape-
+  // generic stage, so only the grid-independent arithmetic applies;
+  // job-level grids are re-checked by the tuner and the plan verifier.
+  std::vector<MatMulParams> mm_candidates;
+  for (const MatMulParams& mm : ResolveMmCandidates(space)) {
+    const VerifyReport screened = VerifyMatMulSplit(mm);
+    if (!screened.ok()) {
+      CUMULON_CHECK(!VerifyChecksAreFatal())
+          << "invalid MatMul split candidate: " << screened.ToString();
+      continue;
+    }
+    mm_candidates.push_back(mm);
+  }
   for (const MachineProfile& machine : ResolveMachines(space)) {
     for (int n : ResolveClusterSizes(space)) {
       for (int slots : ResolveSlots(space, machine)) {

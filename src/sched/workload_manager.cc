@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "common/strings.h"
+#include "verify/verify.h"
 
 namespace cumulon {
 
@@ -110,6 +111,31 @@ Result<int64_t> WorkloadManager::Submit(Submission submission) {
     return Status::FailedPrecondition("workload manager is draining");
   }
   metrics_->counter("sched.submitted")->Increment();
+
+  // Static plan verification ahead of cost-based admission: a structurally
+  // broken plan (dependency cycle, double-produced matrix, infeasible
+  // split) is rejected with its typed verify.* reason before it can
+  // occupy a queue slot or fleet time. Residency and the determinism
+  // contract are not enforced here — submitters may hand-assemble plans
+  // against matrices already in the store.
+  {
+    PlanVerifyOptions verify_options;
+    verify_options.cost = cost_;
+    if (options_.executor.real_mode) {
+      verify_options.memory_budget_bytes =
+          options_.executor.memory_budget_bytes;
+      TileCacheGroup* caches = engine_->tile_caches();
+      verify_options.cache_reserve_bytes =
+          caches != nullptr ? caches->bytes_per_node() : 0;
+    }
+    const Status verified =
+        VerifyPlanStatus(submission.plan, verify_options, metrics_);
+    if (!verified.ok()) {
+      metrics_->counter("sched.rejected")->Increment();
+      metrics_->counter("sched.rejected.verify")->Increment();
+      return verified;
+    }
+  }
 
   const AdmissionEstimate& est = submission.estimate;
   if (options_.admission_control && est.valid) {

@@ -44,6 +44,10 @@ inline constexpr int kProtocolVersion = 1;
 ///   plan.foreign           plan belongs to another tenant
 ///   plan.terminal          CANCEL on an already-finished plan
 ///   plan.not_terminal      RESULT on a still-queued/running plan
+///   verify.*               SUBMIT's plan failed static verification
+///                          (src/verify; slug table in
+///                          docs/observability.md "Verifier error
+///                          reasons")
 Status TypedError(StatusCode code, const std::string& reason,
                   const std::string& message);
 

@@ -10,6 +10,7 @@
 #include "common/logging.h"
 #include "common/strings.h"
 #include "svc/catalog.h"
+#include "verify/verify.h"
 
 namespace cumulon {
 
@@ -296,6 +297,45 @@ JsonValue CumulonService::SubmitInternal(const SubmitRequest& request,
   lowering.temp_prefix = StrCat("svc", id, "_tmp");
   auto lowered = PrepareProgram(*spec, &store_, lowering);
   if (!lowered.ok()) return EncodeError(lowered.status(), id);
+  if (options_.plan_mutator_for_test) {
+    options_.plan_mutator_for_test(&lowered->plan);
+  }
+
+  // SUBMIT-time static verification, ahead of admission: the lowered plan
+  // must pass the full verifier suite — dependency order against the
+  // catalog inputs as the resident set, exactly-once tile coverage, split
+  // arithmetic, and the lowering-stamped determinism contract. A broken
+  // plan is rejected here with its typed verify.* reason on the wire
+  // (docs/service.md), never discovered mid-execution on the fleet.
+  {
+    PlanVerifyOptions verify_options;
+    verify_options.cost = &options_.predictor.cost;
+    verify_options.check_external = true;
+    for (const TiledMatrix& input : spec->inputs) {
+      verify_options.external_matrices.insert(input.name);
+    }
+    verify_options.require_determinism = true;
+    const Status verified =
+        VerifyPlanStatus(lowered->plan, verify_options, metrics_,
+                         options_.tracer);
+    if (!verified.ok()) {
+      MutexLock lock(&mu_);
+      PlanRecord& rec = records_[id];
+      rec.id = id;
+      rec.tenant = request.tenant;
+      rec.request = request;
+      rec.estimate = *estimate;
+      rec.state = SvcPlanState::kRejected;
+      rec.terminal = true;
+      rec.reject_status = verified;
+      rec.submit_wall_seconds = wall_clock_.ElapsedSeconds();
+      rec.finish_wall_seconds = rec.submit_wall_seconds;
+      metrics_->counter(restored ? "svc.restore.rejected"
+                                 : "svc.submit.rejected.verify")
+          ->Increment();
+      return EncodeError(verified, id);
+    }
+  }
   submission.plan = std::move(lowered->plan);
 
   auto mgr_id = manager_.Submit(std::move(submission));
@@ -310,13 +350,19 @@ JsonValue CumulonService::SubmitInternal(const SubmitRequest& request,
   rec.estimate = *estimate;
   rec.submit_wall_seconds = wall_clock_.ElapsedSeconds();
   if (!mgr_id.ok()) {
-    // The manager's two admission verdicts, surfaced as typed reasons.
+    // The manager's admission verdicts, surfaced as typed reasons. A
+    // verify.* rejection already carries its typed "[reason] " prefix —
+    // pass it through untouched (its message may mention "budget").
+    const bool is_verify =
+        mgr_id.status().message().rfind("[verify.", 0) == 0;
     const bool budget =
         mgr_id.status().message().find("budget") != std::string::npos;
     const Status typed =
-        TypedError(mgr_id.status().code(),
-                   budget ? "admission.budget" : "admission.deadline",
-                   mgr_id.status().message());
+        is_verify
+            ? mgr_id.status()
+            : TypedError(mgr_id.status().code(),
+                         budget ? "admission.budget" : "admission.deadline",
+                         mgr_id.status().message());
     rec.state = SvcPlanState::kRejected;
     rec.terminal = true;
     rec.reject_status = typed;

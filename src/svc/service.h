@@ -2,6 +2,7 @@
 #define CUMULON_SVC_SERVICE_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -88,6 +89,12 @@ struct ServiceOptions {
   /// The manager's virtual-clock plan spans stay off — the two clock
   /// domains do not share a timeline. Borrowed; may be null.
   Tracer* tracer = nullptr;
+
+  /// Test-only: mutates every freshly lowered plan before the SUBMIT-time
+  /// verifier sees it. SUBMIT carries catalog workload names (never raw
+  /// plans), so this is the hook tests use to corrupt a valid plan and
+  /// assert the typed verify.* rejection reaches the wire.
+  std::function<void(PhysicalPlan*)> plan_mutator_for_test;
 };
 
 /// The daemon behind `cumulon serve`: one shared simulated cluster, a

@@ -11,6 +11,7 @@
 #include "lang/programs.h"
 #include "matrix/dense_matrix.h"
 #include "matrix/tiled_matrix.h"
+#include "verify/verify.h"
 
 namespace cumulon {
 namespace {
@@ -36,6 +37,16 @@ class CseTest : public ::testing::Test {
     lowering.enable_cse = cse;
     auto lowered = Lower(program, bindings_, lowering);
     CUMULON_CHECK(lowered.ok()) << lowered.status();
+    // CSE reuse must never break the plan invariants: full verifier pass
+    // (dependencies, coverage, determinism) on every lowered plan.
+    PlanVerifyOptions verify_options;
+    verify_options.check_external = true;
+    for (const auto& [name, matrix] : bindings_) {
+      verify_options.external_matrices.insert(matrix.name);
+    }
+    verify_options.require_determinism = true;
+    const VerifyReport report = VerifyPlan(lowered->plan, verify_options);
+    CUMULON_CHECK(report.ok()) << report.ToString();
     return std::move(lowered).value();
   }
 
@@ -64,6 +75,8 @@ TEST_F(CseTest, IdenticalSubexpressionsLowerOnce) {
     lowering.enable_cse = cse;
     auto lowered = Lower(p, bindings_, lowering);
     CUMULON_CHECK(lowered.ok()) << lowered.status();
+    const VerifyReport report = VerifyPlan(lowered->plan);
+    CUMULON_CHECK(report.ok()) << report.ToString();
     return lowered->plan.jobs.size();
   };
   EXPECT_LT(lower_with(true), lower_with(false));

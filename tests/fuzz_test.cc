@@ -20,6 +20,7 @@
 #include "matrix/dense_matrix.h"
 #include "matrix/tiled_matrix.h"
 #include "obs/trace.h"
+#include "verify/verify.h"
 
 namespace cumulon {
 namespace {
@@ -154,9 +155,26 @@ TEST_P(LoweringFuzzTest, DistributedMatchesInterpreter) {
       lowering.tile_dim = kTile;
       lowering.enable_fusion = fusion;
       const Program& to_run = program;
-      auto lowered = Lower(optimize ? OptimizeProgram(to_run) : to_run,
-                           bindings, lowering);
+      const Program rewritten = optimize ? OptimizeProgram(to_run) : to_run;
+      // Every randomized rewrite must leave the logical IR sound.
+      {
+        const VerifyReport report = VerifyProgram(rewritten);
+        ASSERT_TRUE(report.ok()) << report.ToString();
+      }
+      auto lowered = Lower(rewritten, bindings, lowering);
       ASSERT_TRUE(lowered.ok()) << lowered.status();
+      // ... and every lowered plan must pass the full physical suite.
+      {
+        PlanVerifyOptions verify_options;
+        verify_options.check_external = true;
+        for (const auto& [name, matrix] : bindings) {
+          verify_options.external_matrices.insert(matrix.name);
+        }
+        verify_options.require_determinism = true;
+        const VerifyReport report =
+            VerifyPlan(lowered->plan, verify_options);
+        ASSERT_TRUE(report.ok()) << report.ToString();
+      }
 
       RealEngine engine(ClusterConfig{MachineProfile{}, 2, 2},
                         RealEngineOptions{});
@@ -200,6 +218,10 @@ TEST_P(LeveledFuzzTest, LeveledExecutionMatchesInterpreter) {
   lowering.tile_dim = kTile;
   auto lowered = Lower(program, bindings, lowering);
   ASSERT_TRUE(lowered.ok()) << lowered.status();
+  {
+    const VerifyReport report = VerifyPlan(lowered->plan);
+    ASSERT_TRUE(report.ok()) << report.ToString();
+  }
 
   RealEngine engine(ClusterConfig{MachineProfile{}, 2, 2},
                     RealEngineOptions{});

@@ -310,7 +310,7 @@ TEST(ServiceTest, CursorChangesOnlyOnStateTransitions) {
   auto second = client.Poll(submit->plan, first->cursor);
   ASSERT_TRUE(second.ok());
   EXPECT_FALSE(second->changed);  // nothing moved since
-  client.Drain();
+  client.Drain().IgnoreError();
 }
 
 TEST(ServiceTest, RejectsOverQuotaSubmitWithTypedError) {
@@ -334,7 +334,42 @@ TEST(ServiceTest, RejectsOverQuotaSubmitWithTypedError) {
   auto rejected = client.Poll(/*plan=*/2);
   ASSERT_TRUE(rejected.ok()) << rejected.status();
   EXPECT_EQ(rejected->state, "REJECTED");
-  client.Drain();
+  client.Drain().IgnoreError();
+}
+
+TEST(ServiceTest, RejectsCorruptedPlanWithTypedVerifyError) {
+  // SUBMIT carries catalog workload names, so the only way to reach the
+  // daemon with a broken plan is a miscompile between lowering and
+  // admission — injected here through the test-only plan mutator. The
+  // verifier must refuse it before the manager ever sees it, with the
+  // typed verify.* reason on the wire.
+  ServiceOptions options = SmallServiceOptions();
+  options.plan_mutator_for_test = [](PhysicalPlan* plan) {
+    // Strip the determinism contract Lower() just stamped — the smallest
+    // corruption every lowered plan is guaranteed to carry.
+    plan->determinism = {};
+  };
+  CumulonService service(options);
+  LocalTransport transport(&service);
+  ServiceClient client(&transport);
+  ASSERT_TRUE(client.Hello("alice").ok());
+
+  auto submit = client.Submit("mm-s");
+  ASSERT_FALSE(submit.ok());
+  EXPECT_EQ(submit.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(ErrorReason(submit.status()).rfind("verify.", 0), 0u)
+      << ErrorReason(submit.status());
+  EXPECT_EQ(
+      service.metrics()->counter("svc.submit.rejected.verify")->Value(), 1);
+  // Rejected pre-admission: the manager never counted a submission.
+  EXPECT_EQ(service.metrics()->counter("sched.admitted")->Value(), 0);
+  EXPECT_EQ(service.metrics()->counter("svc.submit.accepted")->Value(), 0);
+
+  // The verdict is pollable, like every other rejection.
+  auto rejected = client.Poll(/*plan=*/1);
+  ASSERT_TRUE(rejected.ok()) << rejected.status();
+  EXPECT_EQ(rejected->state, "REJECTED");
+  client.Drain().IgnoreError();
 }
 
 TEST(ServiceTest, RejectsUnknownWorkloadAndForeignPlans) {
@@ -359,7 +394,7 @@ TEST(ServiceTest, RejectsUnknownWorkloadAndForeignPlans) {
   auto missing = alice.Poll(99999);
   ASSERT_FALSE(missing.ok());
   EXPECT_EQ(ErrorReason(missing.status()), "plan.unknown");
-  alice.Drain();
+  alice.Drain().IgnoreError();
 }
 
 TEST(ServiceTest, HelloVersionAndSessionChecks) {
@@ -382,7 +417,7 @@ TEST(ServiceTest, HelloVersionAndSessionChecks) {
   LocalTransport transport(&service);
   ServiceClient client(&transport);
   ASSERT_TRUE(client.Hello("x").ok());
-  client.Drain();
+  client.Drain().IgnoreError();
 }
 
 TEST(ServiceTest, CancelQueuedPlan) {
@@ -403,7 +438,7 @@ TEST(ServiceTest, CancelQueuedPlan) {
   auto again = client.Cancel(submit->plan);
   ASSERT_FALSE(again.ok());
   EXPECT_EQ(ErrorReason(again), "plan.terminal");
-  client.Drain();
+  client.Drain().IgnoreError();
 }
 
 TEST(ServiceTest, StatsReportQueueAndFleet) {
@@ -424,7 +459,7 @@ TEST(ServiceTest, StatsReportQueueAndFleet) {
   EXPECT_GE(stats->IntOr("fleet_machines", 0), 1);
   EXPECT_GE(stats->IntOr("fleet_slots", 0), 2);
   EXPECT_FALSE(stats->BoolOr("draining", true));
-  client.Drain();
+  client.Drain().IgnoreError();
 }
 
 // ---------------------------------------------------------------------------
@@ -487,7 +522,7 @@ TEST_F(ServiceDrainTest, DrainPersistsQueuedPlansAndRestartRestoresThem) {
   const ServiceClient::PollReply poll = PollToTerminal(&client, 1);
   EXPECT_EQ(poll.state, "DONE");
   // The drain file was consumed: a third daemon starts fresh.
-  client.Drain();
+  client.Drain().IgnoreError();
   CumulonService fresh(restart);
   EXPECT_EQ(fresh.restored_plans(), 0);
 }
@@ -523,7 +558,7 @@ TEST_F(ServiceDrainTest, RestoreReappliesAdmissionDecisions) {
   LocalTransport transport(&service);
   ServiceClient client(&transport);
   ASSERT_TRUE(client.Hello("ops").ok());
-  client.Drain();
+  client.Drain().IgnoreError();
 }
 
 TEST_F(ServiceDrainTest, CorruptDrainFileIsIgnored) {
@@ -582,7 +617,7 @@ TEST(LoadGenTest, ClosedLoopAgainstLocalService) {
   LocalTransport transport(&service);
   ServiceClient client(&transport);
   ASSERT_TRUE(client.Hello("ops").ok());
-  client.Drain();
+  client.Drain().IgnoreError();
 }
 
 }  // namespace

@@ -24,7 +24,16 @@ Checks (all run by default; exit code 0 = clean):
      aligned_alloc/posix_memalign) outside common/aligned_buffer.{h,cc}:
      tile payloads must come from the cache-line-aligned allocator so
      SIMD kernels can assume 64-byte alignment and the cache's
-     MemoryBytes accounting stays truthful.
+     MemoryBytes accounting stays truthful,
+   - `(void)` casts of call expressions (`(void)DoThing();`): Status and
+     Result are [[nodiscard]] and the sanctioned way to drop one is
+     `.IgnoreError()`, which is greppable and states intent. Unused-
+     parameter silencers (`(void)name;`) stay legal.
+
+4. Verifier-edge contract: every guarded pipeline edge must actually call
+   its Verify* entry point (src/verify). The table below names the edge ->
+   entry-point pairs; losing one silently un-guards that edge, so the
+   linter greps for the call.
 
 Usage:
   tools/cumulon_lint.py [--root REPO_ROOT]
@@ -38,10 +47,10 @@ import sys
 import tempfile
 
 METRIC_NAME_RE = re.compile(
-    r'^(exec|engine|dfs|cache|prefetch|sched|plan|cluster|svc|mem|obs)'
+    r'^(exec|engine|dfs|cache|prefetch|sched|plan|cluster|svc|mem|obs|verify)'
     r'\.[a-z0-9_.]+$')
 METRIC_PREFIX_RE = re.compile(
-    r'^(exec|engine|dfs|cache|prefetch|sched|plan|cluster|svc|mem|obs)'
+    r'^(exec|engine|dfs|cache|prefetch|sched|plan|cluster|svc|mem|obs|verify)'
     r'\.([a-z0-9_.]+\.)?$')
 STRING_LITERAL_RE = re.compile(r'"((?:[^"\\]|\\.)*)"')
 
@@ -56,6 +65,23 @@ NON_METRIC_LITERALS = {
 }
 KIND_CALL_RE = re.compile(r'\b(counter|gauge|histogram)\(\s*"([^"]+)"')
 CATEGORY_RE = re.compile(r'\.category\s*=\s*"([^"]+)"')
+
+# `(void)` cast applied to a call expression. The char class after the
+# cast must reach a `(` for the line to count — a bare `(void)name;`
+# parameter silencer never does.
+VOID_DISCARD_RE = re.compile(r'\(void\)\s*[\w:.>\-\[\]]+\s*\(')
+
+# Guarded pipeline edges: (file under src/, Verify* entry point that must
+# be called there). Dropping a call silently un-guards the edge, so the
+# linter greps for it. Keep in sync with DESIGN.md "Plan verification".
+VERIFY_EDGE_CONTRACT = (
+    ('lang/logical_optimizer.cc', 'VerifyProgramStatus'),
+    ('lang/lowering.cc', 'VerifyPlanStatus'),
+    ('sched/workload_manager.cc', 'VerifyPlanStatus'),
+    ('svc/service.cc', 'VerifyPlanStatus'),
+    ('opt/search.cc', 'VerifyMatMulSplit'),
+    ('opt/job_tuner.cc', 'VerifyMatMulSplit'),
+)
 
 BANNED_SYNC_RE = re.compile(
     r'std::(mutex|condition_variable|condition_variable_any|lock_guard|'
@@ -147,6 +173,11 @@ def collect_code_usage(src_root):
                     f'AlignedVector/AlignedAllocator from '
                     f'common/aligned_buffer.h so tile payloads stay '
                     f'64-byte aligned)')
+            if VOID_DISCARD_RE.search(line):
+                violations.append(
+                    f'{where}: banned (void) cast of a call result (drop a '
+                    f'Status/Result with .IgnoreError() so the discard is '
+                    f'greppable and intentional)')
             for lit in STRING_LITERAL_RE.findall(line):
                 if lit in NON_METRIC_LITERALS:
                     continue
@@ -188,6 +219,10 @@ def parse_doc_contract(doc_path):
                     section = 'gauge'
                 elif 'histogram' in head:
                     section = 'histogram'
+                elif 'reason' in head:
+                    # Typed error-reason slugs (verify.*) — documented in
+                    # the same dotted namespace but never metric calls.
+                    section = 'reason'
                 else:
                     section = None
                 in_category_table = 'trace categories' in head
@@ -236,7 +271,7 @@ def doc_pattern_to_regex(name):
     return re.compile('^' + ''.join(out) + '$')
 
 
-def lint(root):
+def lint(root, edge_contract=VERIFY_EDGE_CONTRACT):
     src_root = os.path.join(root, 'src')
     doc_path = os.path.join(root, 'docs', 'observability.md')
     errors = []
@@ -244,6 +279,22 @@ def lint(root):
     names, prefixes, kinds, categories, violations = (
         collect_code_usage(src_root))
     errors.extend(violations)
+
+    # Verifier-edge contract: each guarded edge must call its entry point.
+    for rel, symbol in edge_contract:
+        edge_path = os.path.join(src_root, rel)
+        if not os.path.exists(edge_path):
+            errors.append(
+                f'src/{rel}: file missing but the verifier-edge contract '
+                f'requires it to call {symbol}()')
+            continue
+        with open(edge_path, encoding='utf-8') as f:
+            edge_text = strip_comments(f.read())
+        if not re.search(r'\b' + re.escape(symbol) + r'\s*\(', edge_text):
+            errors.append(
+                f'src/{rel}: guarded pipeline edge no longer calls '
+                f'{symbol}() (verifier-edge contract; see DESIGN.md '
+                f'"Plan verification")')
 
     if not os.path.exists(doc_path):
         errors.append(f'{doc_path}: missing metric contract doc')
@@ -358,14 +409,15 @@ def write_tree(tmp, doc, src):
 def self_test():
     failures = []
 
-    def expect(label, doc, src, want_clean, want_substring=None):
+    def expect(label, doc, src, want_clean, want_substring=None,
+               edge_contract=()):
         with tempfile.TemporaryDirectory() as tmp:
             write_tree(tmp, doc, src)
             import io
             import contextlib
             buf = io.StringIO()
             with contextlib.redirect_stdout(buf):
-                rc = lint(tmp)
+                rc = lint(tmp, edge_contract=edge_contract)
             out = buf.getvalue()
             if want_clean and rc != 0:
                 failures.append(f'{label}: expected clean, got:\n{out}')
@@ -412,6 +464,67 @@ def self_test():
     expect('undocumented dynamic prefix', SELF_TEST_DOC,
            SELF_TEST_SRC.replace('"sched.tenant."', '"sched.mystery."'),
            want_clean=False, want_substring='sched.mystery.')
+
+    # --- (void)-discard ban -------------------------------------------------
+    expect('(void) discard of a call', SELF_TEST_DOC,
+           SELF_TEST_SRC + '\nvoid V() { (void)DoThing(); }\n',
+           want_clean=False, want_substring='banned (void) cast')
+    expect('(void) discard of a member call', SELF_TEST_DOC,
+           SELF_TEST_SRC + '\nvoid V2(Store* s) { (void)s->Delete("x"); }\n',
+           want_clean=False, want_substring='banned (void) cast')
+    expect('(void) parameter silencer stays legal', SELF_TEST_DOC,
+           SELF_TEST_SRC + '\nvoid P(int unused) { (void)unused; }\n',
+           want_clean=True)
+
+    # --- verify.* metric namespace ------------------------------------------
+    expect('undocumented verify metric', SELF_TEST_DOC,
+           SELF_TEST_SRC.replace(
+               '"engine.jobs"',
+               '"engine.jobs"); m->counter("verify.runs"', 1),
+           want_clean=False, want_substring='verify.runs')
+    expect('documented verify metric', SELF_TEST_DOC.replace(
+               '| `engine.jobs` | jobs |',
+               '| `engine.jobs` | jobs |\n| `verify.runs` | runs |'),
+           SELF_TEST_SRC.replace(
+               '"engine.jobs"',
+               '"engine.jobs"); m->counter("verify.runs"', 1),
+           want_clean=True)
+
+    # --- typed error-reason rows --------------------------------------------
+    reason_doc = SELF_TEST_DOC + (
+        '### Verifier error reasons\n'
+        '| Name | Meaning |\n|---|---|\n'
+        '| `verify.plan.dependency` | cycle |\n')
+    reason_src = SELF_TEST_SRC.replace(
+        's.category = "task";',
+        's.category = "task";\n  const char* r = "verify.plan.dependency";')
+    expect('documented reason slug', reason_doc, reason_src, want_clean=True)
+    expect('undocumented reason slug', SELF_TEST_DOC, reason_src,
+           want_clean=False, want_substring='verify.plan.dependency')
+    expect('dead reason row', reason_doc, SELF_TEST_SRC,
+           want_clean=False, want_substring='verify.plan.dependency')
+    expect('reason slug used as a counter', reason_doc,
+           reason_src.replace('m->counter("engine.jobs")',
+                              'm->counter("verify.plan.dependency"); '
+                              'm->counter("engine.jobs")'),
+           want_clean=False, want_substring='documented as')
+
+    # --- verifier-edge contract ---------------------------------------------
+    edge = (('x/x.cc', 'VerifyPlanStatus'),)
+    expect('verifier edge calls its entry point', SELF_TEST_DOC,
+           SELF_TEST_SRC + '\nvoid E() { s = VerifyPlanStatus(p, o); }\n',
+           want_clean=True, edge_contract=edge)
+    expect('verifier edge dropped its call', SELF_TEST_DOC, SELF_TEST_SRC,
+           want_clean=False, want_substring='VerifyPlanStatus',
+           edge_contract=edge)
+    expect('verifier edge call inside a comment does not count',
+           SELF_TEST_DOC,
+           SELF_TEST_SRC + '\n// VerifyPlanStatus(p, o) happens elsewhere\n',
+           want_clean=False, want_substring='VerifyPlanStatus',
+           edge_contract=edge)
+    expect('verifier edge file missing', SELF_TEST_DOC, SELF_TEST_SRC,
+           want_clean=False, want_substring='file missing',
+           edge_contract=(('gone/gone.cc', 'VerifyPlanStatus'),))
 
     if failures:
         for f in failures:
